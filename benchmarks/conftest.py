@@ -1,0 +1,56 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark runs one figure generator exactly once (``rounds=1``) —
+the interesting output is the paper-style table it prints, not the wall
+time — but going through pytest-benchmark keeps a uniform invocation:
+
+    pytest benchmarks/ --benchmark-only
+
+Durations are chosen so the whole suite completes in a few minutes; pass
+``--figure-duration-ms`` to scale every simulated window up for tighter
+statistics.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Directory where each benchmark drops the regenerated figure table.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--figure-duration-ms",
+        action="store",
+        default=None,
+        type=float,
+        help="Override the simulated window length used by every figure benchmark.",
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_duration_override(request):
+    """Optional global override of the simulated window length."""
+    return request.config.getoption("--figure-duration-ms")
+
+
+def run_figure(benchmark, figure_fn, default_duration_ms, override, **kwargs):
+    """Run one figure generator under pytest-benchmark and print its table."""
+    duration = override if override is not None else default_duration_ms
+    result = benchmark.pedantic(
+        figure_fn, kwargs={"duration_ms": duration, **kwargs}, rounds=1, iterations=1
+    )
+    printable = {k: v for k, v in result.summary.items() if not hasattr(v, "keys")}
+    report = (
+        f"=== {result.name}: {result.description}\n"
+        f"{result.text}\n"
+        f"summary: {printable}\n"
+    )
+    print()
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.name}.txt").write_text(report)
+    return result

@@ -1,0 +1,16 @@
+"""Figure 10: (alpha, beta) search under workload changes.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure10
+
+from conftest import run_figure
+
+
+def test_figure10(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure10, 150.0, figure_duration_override)
+    assert result.rows
+    assert all(r['gap_to_global'] < 1.0 for r in result.rows)

@@ -1,0 +1,16 @@
+"""Figure 11: convergence speed of the parameter optimization.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure11
+
+from conftest import run_figure
+
+
+def test_figure11(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure11, 150.0, figure_duration_override)
+    assert result.rows
+    assert all(r['steps_to_converge'] >= 1 for r in result.rows)

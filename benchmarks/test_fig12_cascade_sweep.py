@@ -1,0 +1,16 @@
+"""Figure 12: UXCost while sweeping the ML-cascade probability.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure12
+
+from conftest import run_figure
+
+
+def test_figure12(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure12, 400.0, figure_duration_override)
+    assert result.rows
+    assert {r['cascade_probability'] for r in result.rows} == {0.5, 0.7, 0.9, 0.99}

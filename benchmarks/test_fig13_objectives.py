@@ -1,0 +1,16 @@
+"""Figure 13: deadline-only / energy-only objective ablation.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure13
+
+from conftest import run_figure
+
+
+def test_figure13(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure13, 700.0, figure_duration_override)
+    assert result.rows
+    assert {r['objective'] for r in result.rows} == {'uxcost', 'deadline_only', 'energy_only'}

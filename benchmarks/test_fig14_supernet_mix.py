@@ -1,0 +1,16 @@
+"""Figure 14: Supernet variant mix selected by DREAM under load.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure14
+
+from conftest import run_figure
+
+
+def test_figure14(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure14, 600.0, figure_duration_override)
+    assert result.rows
+    assert all(0.0 <= r['original_fraction'] <= 1.0 for r in result.rows)

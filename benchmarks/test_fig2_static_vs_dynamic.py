@@ -1,0 +1,16 @@
+"""Figure 2: deadline-violation rate of static vs dynamic FCFS on AR_Call.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure2
+
+from conftest import run_figure
+
+
+def test_figure2(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure2, 600.0, figure_duration_override)
+    assert result.rows
+    assert 0.0 <= result.summary['mean_reduction'] <= 1.0

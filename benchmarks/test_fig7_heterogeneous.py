@@ -1,0 +1,17 @@
+"""Figure 7: UXCost / DLV / energy on the four heterogeneous platforms.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure7
+
+from conftest import run_figure
+
+
+def test_figure7(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure7, 400.0, figure_duration_override)
+    assert result.rows
+    assert result.summary['dream_full_vs_planaria'] > 0.0
+    assert result.summary['dream_full_vs_veltair'] > 0.0

@@ -1,0 +1,16 @@
+"""Figure 8: UXCost on the four homogeneous platforms.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure8
+
+from conftest import run_figure
+
+
+def test_figure8(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure8, 400.0, figure_duration_override)
+    assert result.rows
+    assert len(result.rows) == 5 * 4 * 6

@@ -1,0 +1,17 @@
+"""Figure 9: UXCost improvement breakdown of DREAM's optimizations.
+
+Regenerates the figure's data with the experiment harness and prints the
+paper-style table.  Absolute numbers depend on the analytical cost model;
+the assertions only check the qualitative shape the paper reports.
+"""
+
+from repro.experiments.figures import figure9
+
+from conftest import run_figure
+
+
+def test_figure9(benchmark, figure_duration_override):
+    result = run_figure(benchmark, figure9, 1000.0, figure_duration_override)
+    assert result.rows
+    full_rows = [r for r in result.rows if r['scheduler'] == 'dream_full']
+    assert all(r['improvement_vs_fixed'] > -0.5 for r in full_rows)

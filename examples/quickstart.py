@@ -1,0 +1,47 @@
+"""Quickstart: run one RTMM scenario under DREAM and print the paper's metrics.
+
+Usage::
+
+    python examples/quickstart.py [scenario] [platform] [scheduler]
+
+Defaults to the AR call scenario on the 4K heterogeneous (1 WS + 2 OS)
+platform under DREAM-Full.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import quick_run
+from repro.hardware import PLATFORM_PRESETS
+from repro.schedulers import scheduler_names
+from repro.workloads import scenario_names
+
+
+def main() -> None:
+    scenario = sys.argv[1] if len(sys.argv) > 1 else "ar_call"
+    platform = sys.argv[2] if len(sys.argv) > 2 else "4k_1ws_2os"
+    scheduler = sys.argv[3] if len(sys.argv) > 3 else "dream_full"
+
+    if scenario not in scenario_names():
+        raise SystemExit(f"unknown scenario {scenario!r}; pick one of {scenario_names()}")
+    if platform not in PLATFORM_PRESETS:
+        raise SystemExit(f"unknown platform {platform!r}; pick one of {sorted(PLATFORM_PRESETS)}")
+    if scheduler not in scheduler_names():
+        raise SystemExit(f"unknown scheduler {scheduler!r}; pick one of {scheduler_names()}")
+
+    print(f"Simulating {scenario} on {platform} under {scheduler} for 1 second...")
+    result = quick_run(
+        scenario=scenario, platform=platform, scheduler=scheduler, duration_ms=1000.0, seed=0
+    )
+    print()
+    print(result.describe())
+    print()
+    breakdown = result.uxcost_breakdown
+    print(f"UXCost (Algorithm 2): {breakdown.uxcost:.4f}")
+    print(f"  deadline-violation factor: {breakdown.overall_violation_rate:.4f}")
+    print(f"  normalized-energy factor:  {breakdown.overall_normalized_energy:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of DREAM (ASPLOS 2024).
+
+DREAM is a dynamic scheduler for real-time multi-model ML (RTMM) workloads
+on multi-accelerator systems.  This package contains the scheduler, every
+substrate it needs (an analytical accelerator cost model, a layer-level
+model zoo, the five evaluated workload scenarios, a discrete-event
+simulator, the baseline schedulers), and an experiment harness that
+regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_run
+
+    result = quick_run(scenario="ar_call", platform="4k_1ws_2os",
+                       scheduler="dream_full", duration_ms=1000.0)
+    print(result.describe())
+"""
+
+from repro.hardware import make_platform, Platform, CostTable
+from repro.workloads import build_scenario, Scenario
+from repro.schedulers import make_scheduler
+from repro.sim import SimulationEngine, SimulationResult, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "make_platform",
+    "Platform",
+    "CostTable",
+    "build_scenario",
+    "Scenario",
+    "make_scheduler",
+    "SimulationEngine",
+    "SimulationResult",
+    "run_simulation",
+    "quick_run",
+    "__version__",
+]
+
+
+def quick_run(
+    scenario: str = "ar_call",
+    platform: str = "4k_1ws_2os",
+    scheduler: str = "dream_full",
+    duration_ms: float = 1000.0,
+    seed: int = 0,
+    **kwargs,
+) -> SimulationResult:
+    """Run one simulation from preset names (the one-liner entry point).
+
+    Args:
+        scenario: a scenario preset name (``repro.workloads.scenario_names()``).
+        platform: a platform preset name (``repro.hardware.PLATFORM_PRESETS``).
+        scheduler: a scheduler name (``repro.schedulers.scheduler_names()``).
+        duration_ms: simulated window length.
+        seed: random seed.
+        **kwargs: forwarded to :class:`repro.sim.SimulationEngine`.
+    """
+    return run_simulation(
+        scenario=build_scenario(scenario),
+        platform=make_platform(platform),
+        scheduler=make_scheduler(scheduler),
+        duration_ms=duration_ms,
+        seed=seed,
+        **kwargs,
+    )

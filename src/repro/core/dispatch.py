@@ -1,0 +1,164 @@
+"""Job assignment and dispatch engine (Section 4.5), with Supernet switching.
+
+The dispatch engine turns the MapScore table into concrete assignments: it
+greedily picks the highest-scoring (request, accelerator) pair among the
+currently idle accelerators, removes both from consideration, and repeats
+until accelerators or requests run out — one layer per assignment, so the
+mapping can be revisited at every layer boundary.
+
+When Supernet switching is enabled, a Supernet task whose request has not
+started yet is checked against its deadline before dispatch: if even the
+per-layer best-case remaining time of the current variant cannot meet the
+deadline, the engine steps down to lighter weight-sharing variants until
+one fits (or the lightest is reached), as illustrated in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.mapscore import MapScoreEngine
+from repro.hardware.cost_table import CostTable
+from repro.models.graph import ModelGraph
+from repro.models.supernet import Supernet
+from repro.sim.decisions import Assignment, SystemView
+from repro.sim.request import InferenceRequest
+from repro.workloads.scenario import Scenario
+
+
+class JobDispatchEngine:
+    """Greedy MapScore-driven assignment with optional Supernet switching.
+
+    Args:
+        cost_table: offline latency/energy table.
+        scenario: the workload scenario (to discover Supernet tasks).
+        map_score_engine: the score calculator (shared with the scheduler).
+        enable_supernet_switching: whether lighter variants may be
+            substituted under load.
+    """
+
+    def __init__(
+        self,
+        cost_table: CostTable,
+        scenario: Scenario,
+        map_score_engine: MapScoreEngine,
+        enable_supernet_switching: bool = False,
+    ) -> None:
+        self.cost_table = cost_table
+        self.scenario = scenario
+        self.map_score_engine = map_score_engine
+        self.enable_supernet_switching = enable_supernet_switching
+        self._supernets: dict[str, Supernet] = {
+            task.name: task.model
+            for task in scenario.tasks
+            if isinstance(task.model, Supernet)
+        }
+        self.switch_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Supernet switching (Section 4.5.1)
+    # ------------------------------------------------------------------ #
+    def supernet_for(self, task_name: str) -> Optional[Supernet]:
+        """The Supernet of a task, or ``None`` for ordinary models."""
+        return self._supernets.get(task_name)
+
+    def choose_variant(
+        self, request: InferenceRequest, now_ms: float, load_pressure: float = 0.0
+    ) -> Optional[ModelGraph]:
+        """Pick the Supernet variant to dispatch for a not-yet-started request.
+
+        Returns ``None`` when no switch is needed (or possible).  The policy
+        follows Figure 6: the expected completion time of the current
+        variant — its average remaining latency inflated by the current
+        system load (queued work competes for the same accelerators) — is
+        compared against the deadline; while it does not fit, the engine
+        steps to the next lighter weight-sharing variant.
+
+        Args:
+            request: the Supernet task's request (must not have started).
+            now_ms: current time.
+            load_pressure: backlog estimate (pending requests per
+                accelerator); 0 means an otherwise idle system.
+        """
+        supernet = self.supernet_for(request.task_name)
+        if supernet is None or request.started:
+            return None
+        slack = request.deadline_ms - now_ms
+        inflation = 1.0 + max(0.0, load_pressure)
+        current_index = supernet.variant_index(request.model_name)
+        chosen: Optional[ModelGraph] = None
+        for index in range(current_index, len(supernet.variants)):
+            variant = supernet.variants[index]
+            expected = inflation * self.cost_table.remaining_average_latency(
+                variant.name, list(range(variant.num_layers))
+            )
+            chosen = variant
+            if expected <= slack:
+                break
+        if chosen is None or chosen.name == request.model_name:
+            return None
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # assignment
+    # ------------------------------------------------------------------ #
+    def build_assignments(
+        self, view: SystemView, alpha: float, beta: float
+    ) -> list[Assignment]:
+        """Greedy highest-MapScore matching of pending requests to idle accelerators."""
+        idle = [acc for acc in view.accelerators if acc.is_idle]
+        if not idle:
+            return []
+        pending = [
+            request for request in view.pending_requests if request.next_layer() is not None
+        ]
+        if not pending:
+            return []
+
+        resident = {acc.acc_id: acc.resident_model for acc in idle}
+
+        # Score every (pending request, idle accelerator) pair, then greedily
+        # take the globally best remaining pair until accelerators run out.
+        pair_list: list[tuple[float, InferenceRequest, int]] = []
+        for request in pending:
+            for acc in idle:
+                breakdown = self.map_score_engine.map_score(
+                    request,
+                    acc.acc_id,
+                    view.now_ms,
+                    alpha,
+                    beta,
+                    resident.get(acc.acc_id),
+                )
+                pair_list.append((breakdown.total, request, acc.acc_id))
+        pair_list.sort(key=lambda item: item[0], reverse=True)
+
+        # Backlog pressure for the Supernet-switching decision: how many live
+        # inferences (queued or executing) compete for each accelerator.
+        live = len(view.pending_requests) + len(view.running_requests)
+        load_pressure = live / max(1, len(view.accelerators))
+
+        assignments: list[Assignment] = []
+        used_accs: set[int] = set()
+        used_requests: set[int] = set()
+        for score, request, acc_id in pair_list:
+            if acc_id in used_accs or request.request_id in used_requests:
+                continue
+            variant = None
+            if self.enable_supernet_switching:
+                variant = self.choose_variant(request, view.now_ms, load_pressure)
+                if variant is not None:
+                    self.switch_count += 1
+            assignments.append(
+                Assignment(
+                    request=request,
+                    acc_id=acc_id,
+                    layer_count=1,
+                    switch_to_variant=variant,
+                )
+            )
+            used_accs.add(acc_id)
+            used_requests.add(request.request_id)
+            if len(used_accs) == len(idle):
+                break
+        return assignments

@@ -1,0 +1,194 @@
+"""The DREAM scheduler: MapScore + smart frame drop + adaptivity + dispatch.
+
+This class wires the four engines of Figure 4 behind the generic
+:class:`~repro.schedulers.base.Scheduler` protocol so the simulation engine
+can drive it exactly like any baseline:
+
+* on every scheduling point the **adaptivity engine** advances its online
+  (alpha, beta) search (never blocking execution),
+* the **frame drop engine** proposes at most one proactive drop,
+* the **MapScore engine** scores all (pending request, idle accelerator)
+  pairs with the current (alpha, beta),
+* the **dispatch engine** greedily converts the scores into layer
+  assignments, switching Supernet variants when enabled and needed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.adaptivity import OnlineAdaptivityEngine
+from repro.core.config import DreamConfig, dream_full
+from repro.core.dispatch import JobDispatchEngine
+from repro.core.frame_drop import FrameDropConfig, SmartFrameDropEngine
+from repro.core.mapscore import MapScoreEngine
+from repro.schedulers.base import Scheduler
+from repro.sim.decisions import SchedulingDecision, SystemView
+from repro.sim.request import InferenceRequest, RequestState
+
+
+class DreamScheduler(Scheduler):
+    """DREAM (Table 4 configurations are selected through :class:`DreamConfig`).
+
+    Args:
+        config: the DREAM configuration; defaults to DREAM-Full.
+        name: optional result-label override (the registry sets
+            ``dream_mapscore`` / ``dream_smartdrop`` / ``dream_full``).
+    """
+
+    name = "dream"
+
+    def __init__(self, config: Optional[DreamConfig] = None, name: Optional[str] = None) -> None:
+        super().__init__()
+        self.config = config or dream_full()
+        if name is not None:
+            self.name = name
+        self.map_score_engine: Optional[MapScoreEngine] = None
+        self.frame_drop_engine: Optional[SmartFrameDropEngine] = None
+        self.adaptivity_engine: Optional[OnlineAdaptivityEngine] = None
+        self.dispatch_engine: Optional[JobDispatchEngine] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def bind(self, platform, cost_table, scenario, rng) -> None:
+        # Re-binding happens when the usage scenario changes (task-level
+        # dynamicity, Figures 10/11): the tuned (alpha, beta) carry over as
+        # the starting point of the next adaptation, mirroring how DREAM
+        # keeps scheduling while re-adapting after a workload change.
+        carried_alpha = self.config.alpha
+        carried_beta = self.config.beta
+        if self.adaptivity_engine is not None:
+            carried_alpha = self.adaptivity_engine.current.alpha
+            carried_beta = self.adaptivity_engine.current.beta
+        super().bind(platform, cost_table, scenario, rng)
+        self.map_score_engine = MapScoreEngine(cost_table)
+        self.frame_drop_engine = SmartFrameDropEngine(
+            cost_table,
+            scenario,
+            FrameDropConfig(
+                max_drop_rate=self.config.max_drop_rate,
+                window_frames=self.config.drop_window_frames,
+            ),
+        )
+        self.adaptivity_engine = OnlineAdaptivityEngine(
+            alpha=carried_alpha,
+            beta=carried_beta,
+            parameter_range=self.config.parameter_range,
+            window_ms=self.config.adaptation_window_ms,
+            initial_radius=self.config.initial_search_radius,
+            min_radius=self.config.min_search_radius,
+            objective=self.config.objective,
+            enabled=self.config.enable_parameter_optimization,
+        )
+        self.adaptivity_engine.notify_workload(scenario.task_names)
+        self.dispatch_engine = JobDispatchEngine(
+            cost_table,
+            scenario,
+            self.map_score_engine,
+            enable_supernet_switching=self.config.enable_supernet_switching,
+        )
+
+    def _engines(self):
+        if (
+            self.map_score_engine is None
+            or self.frame_drop_engine is None
+            or self.adaptivity_engine is None
+            or self.dispatch_engine is None
+        ):
+            raise RuntimeError("DreamScheduler.schedule called before bind()")
+        return (
+            self.map_score_engine,
+            self.frame_drop_engine,
+            self.adaptivity_engine,
+            self.dispatch_engine,
+        )
+
+    # ------------------------------------------------------------------ #
+    # engine callbacks
+    # ------------------------------------------------------------------ #
+    def on_request_finished(self, request: InferenceRequest, now_ms: float) -> None:
+        _, frame_drop, adaptivity, _ = self._engines()
+        frame_drop.record_outcome(
+            request.task_name, dropped=request.state is RequestState.DROPPED
+        )
+        adaptivity.observe_frame(
+            task_name=request.task_name,
+            violated=request.violated_deadline,
+            energy_mj=request.energy_mj,
+            worst_energy_mj=request.worst_case_energy_mj,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, view: SystemView) -> SchedulingDecision:
+        _, frame_drop, adaptivity, dispatch = self._engines()
+
+        # Adaptivity engine: detect workload changes and advance the online
+        # parameter search (Section 4.4).  This never blocks dispatching.
+        active_tasks = [
+            task.name
+            for task in view.scenario.tasks
+            if view.queue_depths.get(task.name, 0) > 0
+        ]
+        if active_tasks:
+            adaptivity.notify_workload(active_tasks)
+        adaptivity.step(view.now_ms)
+
+        drops = []
+        if self.config.enable_frame_drop:
+            candidate = frame_drop.select_drop(
+                pending=view.pending_requests,
+                running=view.running_requests,
+                now_ms=view.now_ms,
+            )
+            if candidate is not None:
+                drops.append(candidate)
+
+        droppable_ids = {request.request_id for request in drops}
+        assignments = dispatch.build_assignments(
+            view, alpha=adaptivity.alpha, beta=adaptivity.beta
+        )
+        assignments = [
+            assignment
+            for assignment in assignments
+            if assignment.request.request_id not in droppable_ids
+        ]
+        return SchedulingDecision.of(assignments, drops)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def info(self) -> Mapping[str, object]:
+        if self.adaptivity_engine is None:
+            return {"config": self._config_summary()}
+        info = dict(self.adaptivity_engine.info())
+        info["config"] = self._config_summary()
+        if self.dispatch_engine is not None:
+            info["supernet_switches"] = self.dispatch_engine.switch_count
+        if self.frame_drop_engine is not None:
+            info["frame_drops"] = self.frame_drop_engine.total_drops
+        return info
+
+    def _config_summary(self) -> dict[str, object]:
+        return {
+            "parameter_optimization": self.config.enable_parameter_optimization,
+            "frame_drop": self.config.enable_frame_drop,
+            "supernet_switching": self.config.enable_supernet_switching,
+            "objective": self.config.objective.value,
+        }
+
+    @property
+    def current_alpha(self) -> float:
+        """Current starvation weight used by MapScore."""
+        if self.adaptivity_engine is None:
+            return self.config.alpha
+        return self.adaptivity_engine.alpha
+
+    @property
+    def current_beta(self) -> float:
+        """Current energy weight used by MapScore."""
+        if self.adaptivity_engine is None:
+            return self.config.beta
+        return self.adaptivity_engine.beta

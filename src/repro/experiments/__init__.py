@@ -1,0 +1,29 @@
+"""Experiment harness: regenerate every figure of the paper's evaluation.
+
+Each ``figure*`` function in :mod:`repro.experiments.figures` runs the
+simulations behind one figure of the paper and returns a structured result
+plus a plain-text table with the same rows/series the paper plots.  The
+``benchmarks/`` directory wraps each one in a pytest-benchmark target.
+"""
+
+from repro.experiments.harness import (
+    ExperimentCell,
+    GridResult,
+    run_cell,
+    run_grid,
+    run_phased_workload,
+)
+from repro.experiments.sweeps import cascade_probability_sweep, uxcost_objective, parameter_grid
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentCell",
+    "GridResult",
+    "run_cell",
+    "run_grid",
+    "run_phased_workload",
+    "cascade_probability_sweep",
+    "uxcost_objective",
+    "parameter_grid",
+    "figures",
+]

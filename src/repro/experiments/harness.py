@@ -1,0 +1,176 @@
+"""Grid runner shared by all figure generators.
+
+The evaluation is a grid of (scenario, platform, scheduler) cells, each
+cell being one simulation.  The harness caches cost tables per
+(scenario, platform) pair — they are identical for every scheduler — and
+returns results in a structure the figure generators and benchmarks can
+aggregate without re-running anything.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.hardware import CostTable, Platform, make_platform
+from repro.metrics.reporting import geometric_mean
+from repro.schedulers import make_scheduler
+from repro.sim import SimulationResult, run_simulation
+from repro.workloads import Scenario, build_scenario
+from repro.workloads.dynamicity import PhasedWorkload
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (scenario, platform, scheduler) point of an evaluation grid."""
+
+    scenario: str
+    platform: str
+    scheduler: str
+
+    @property
+    def key(self) -> str:
+        """Stable string key for result dictionaries."""
+        return f"{self.scenario}/{self.platform}/{self.scheduler}"
+
+
+@dataclass
+class GridResult:
+    """All simulation results of one grid run."""
+
+    results: dict[ExperimentCell, SimulationResult] = field(default_factory=dict)
+
+    def uxcost(self, cell: ExperimentCell) -> float:
+        """UXCost of one cell."""
+        return self.results[cell].uxcost
+
+    def by_scheduler(self, scenario: str, platform: str) -> dict[str, SimulationResult]:
+        """Results of all schedulers for one (scenario, platform) pair."""
+        return {
+            cell.scheduler: result
+            for cell, result in self.results.items()
+            if cell.scenario == scenario and cell.platform == platform
+        }
+
+    def uxcost_table(self) -> dict[str, dict[str, float]]:
+        """Nested mapping ``"scenario/platform" -> scheduler -> UXCost``."""
+        table: dict[str, dict[str, float]] = {}
+        for cell, result in self.results.items():
+            config = f"{cell.scenario}/{cell.platform}"
+            table.setdefault(config, {})[cell.scheduler] = result.uxcost
+        return table
+
+    def geomean_uxcost(self, scheduler: str) -> float:
+        """Geometric-mean UXCost of one scheduler across all its cells."""
+        values = [
+            result.uxcost
+            for cell, result in self.results.items()
+            if cell.scheduler == scheduler
+        ]
+        return geometric_mean(values)
+
+    def geomean_reduction(self, target: str, baseline: str) -> float:
+        """Geomean fractional UXCost reduction of ``target`` vs ``baseline``.
+
+        Computed per (scenario, platform) configuration and aggregated with
+        the geometric mean, matching how the paper reports its headline
+        numbers.
+        """
+        ratios = []
+        for config, by_scheduler in self.uxcost_table().items():
+            if target in by_scheduler and baseline in by_scheduler and by_scheduler[baseline] > 0:
+                ratios.append(max(by_scheduler[target], 1e-12) / by_scheduler[baseline])
+        if not ratios:
+            return 0.0
+        return 1.0 - geometric_mean(ratios)
+
+
+def run_cell(
+    cell: ExperimentCell,
+    duration_ms: float,
+    seed: int = 0,
+    cascade_probability: float = 0.5,
+    cost_table: Optional[CostTable] = None,
+    scenario: Optional[Scenario] = None,
+    platform: Optional[Platform] = None,
+    **engine_kwargs,
+) -> SimulationResult:
+    """Run one grid cell (one simulation)."""
+    scenario = scenario or build_scenario(cell.scenario, cascade_probability=cascade_probability)
+    platform = platform or make_platform(cell.platform)
+    scheduler = make_scheduler(cell.scheduler)
+    return run_simulation(
+        scenario=scenario,
+        platform=platform,
+        scheduler=scheduler,
+        duration_ms=duration_ms,
+        seed=seed,
+        cost_table=cost_table,
+        **engine_kwargs,
+    )
+
+
+def run_grid(
+    scenarios: Sequence[str],
+    platforms: Sequence[str],
+    schedulers: Sequence[str],
+    duration_ms: float = 1000.0,
+    seed: int = 0,
+    cascade_probability: float = 0.5,
+    **engine_kwargs,
+) -> GridResult:
+    """Run the full (scenario x platform x scheduler) grid.
+
+    Cost tables are built once per (scenario, platform) pair and shared by
+    every scheduler, exactly as the paper's offline cost-model stage would.
+    """
+    grid = GridResult()
+    for scenario_name in scenarios:
+        scenario = build_scenario(scenario_name, cascade_probability=cascade_probability)
+        for platform_name in platforms:
+            platform = make_platform(platform_name)
+            cost_table = CostTable.build(platform, scenario.all_model_graphs())
+            for scheduler_name in schedulers:
+                cell = ExperimentCell(scenario_name, platform_name, scheduler_name)
+                grid.results[cell] = run_cell(
+                    cell,
+                    duration_ms=duration_ms,
+                    seed=seed,
+                    cascade_probability=cascade_probability,
+                    cost_table=cost_table,
+                    scenario=scenario,
+                    platform=platform,
+                    **engine_kwargs,
+                )
+    return grid
+
+
+def run_phased_workload(
+    workload: PhasedWorkload,
+    platform_name: str,
+    scheduler_name: str,
+    seed: int = 0,
+    **engine_kwargs,
+) -> list[SimulationResult]:
+    """Run a multi-phase workload (task-level dynamicity, Figures 10/11).
+
+    The same scheduler object is reused across phases so its internal state
+    — most importantly DREAM's tuned (alpha, beta) — carries over the
+    usage-scenario change, which is exactly the adaptation the paper
+    studies.
+    """
+    platform = make_platform(platform_name)
+    scheduler = make_scheduler(scheduler_name)
+    results = []
+    for index, phase in enumerate(workload.phases):
+        result = run_simulation(
+            scenario=phase.scenario,
+            platform=platform,
+            scheduler=scheduler,
+            duration_ms=phase.duration_ms,
+            seed=seed + index,
+            **engine_kwargs,
+        )
+        results.append(result)
+    return results

@@ -1,0 +1,112 @@
+"""Parameter and workload sweeps shared by several figures.
+
+* :func:`uxcost_objective` — the objective function handed to the
+  iterative (alpha, beta) optimizer: one short simulation of a fixed-
+  parameter DREAM per evaluation (Figures 10, 11, 13).
+* :func:`parameter_grid` — an exhaustive grid evaluation of the (alpha,
+  beta) space, used to locate the "global optimum" the paper compares its
+  search result against.
+* :func:`cascade_probability_sweep` — UXCost of a set of schedulers while
+  the ML-cascade trigger probability rises from 50% towards 99%
+  (Figures 12 and 14).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.config import DreamConfig, OptimizationObjective
+from repro.core.dream import DreamScheduler
+from repro.hardware import CostTable, make_platform
+from repro.sim import SimulationResult, run_simulation
+from repro.workloads import build_scenario
+
+
+def uxcost_objective(
+    scenario_name: str,
+    platform_name: str,
+    duration_ms: float = 400.0,
+    seed: int = 0,
+    cascade_probability: float = 0.5,
+    objective: OptimizationObjective = OptimizationObjective.UXCOST,
+) -> Callable[[float, float], float]:
+    """Build an ``f(alpha, beta) -> cost`` objective for the offline optimizer.
+
+    Each evaluation runs a short simulation of DREAM with *fixed* (alpha,
+    beta) (no online tuning, no frame drop, no Supernet switching, so the
+    measurement isolates the MapScore parameters) and returns the selected
+    metric.
+    """
+    scenario = build_scenario(scenario_name, cascade_probability=cascade_probability)
+    platform = make_platform(platform_name)
+    cost_table = CostTable.build(platform, scenario.all_model_graphs())
+
+    def objective_fn(alpha: float, beta: float) -> float:
+        config = DreamConfig(
+            enable_parameter_optimization=False,
+            enable_frame_drop=False,
+            enable_supernet_switching=False,
+            alpha=alpha,
+            beta=beta,
+        )
+        result = run_simulation(
+            scenario=scenario,
+            platform=platform,
+            scheduler=DreamScheduler(config, name=f"dream_a{alpha:.2f}_b{beta:.2f}"),
+            duration_ms=duration_ms,
+            seed=seed,
+            cost_table=cost_table,
+        )
+        breakdown = result.uxcost_breakdown
+        if objective is OptimizationObjective.DEADLINE_ONLY:
+            return breakdown.overall_violation_rate
+        if objective is OptimizationObjective.ENERGY_ONLY:
+            return breakdown.overall_normalized_energy
+        return breakdown.uxcost
+
+    return objective_fn
+
+
+def parameter_grid(
+    objective_fn: Callable[[float, float], float],
+    values: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+) -> dict[tuple[float, float], float]:
+    """Evaluate the objective on an (alpha, beta) grid (Figure 10 backdrop)."""
+    return {
+        (alpha, beta): objective_fn(alpha, beta)
+        for alpha in values
+        for beta in values
+    }
+
+
+def cascade_probability_sweep(
+    scenario_name: str,
+    platform_name: str,
+    scheduler_names: Sequence[str],
+    probabilities: Sequence[float] = (0.5, 0.7, 0.9, 0.99),
+    duration_ms: float = 800.0,
+    seed: int = 0,
+) -> dict[float, dict[str, SimulationResult]]:
+    """UXCost of each scheduler as the ML-cascade probability increases.
+
+    Returns ``{probability: {scheduler: SimulationResult}}`` — the raw data
+    behind Figure 12 (UXCost curves) and Figure 14 (Supernet variant mix).
+    """
+    from repro.schedulers import make_scheduler  # local import to avoid cycles
+
+    platform = make_platform(platform_name)
+    sweep: dict[float, dict[str, SimulationResult]] = {}
+    for probability in probabilities:
+        scenario = build_scenario(scenario_name, cascade_probability=probability)
+        cost_table = CostTable.build(platform, scenario.all_model_graphs())
+        sweep[probability] = {}
+        for scheduler_name in scheduler_names:
+            sweep[probability][scheduler_name] = run_simulation(
+                scenario=scenario,
+                platform=platform,
+                scheduler=make_scheduler(scheduler_name),
+                duration_ms=duration_ms,
+                seed=seed,
+                cost_table=cost_table,
+            )
+    return sweep

@@ -1,0 +1,264 @@
+"""Offline latency / energy tables consumed by every scheduler.
+
+The paper's schedulers receive "latency and energy information for each
+layer for each accelerator in the system generated offline using a cost
+model or a simulator" (Figure 4).  :class:`CostTable` is that artefact: an
+immutable lookup table keyed by (model name, layer index, accelerator id),
+built once per (platform, set of models) pair and shared by all schedulers
+and the simulator, so every policy sees exactly the same cost estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.cost_model import AnalyticalCostModel, LayerCost, LayerLike
+from repro.hardware.platform import Platform
+
+
+class ModelGraphLike:
+    """Minimal structural interface of a model graph (see repro.models.graph)."""
+
+    name: str
+    layers: Sequence[LayerLike]
+
+
+@dataclass(frozen=True)
+class ModelCostSummary:
+    """Aggregate costs of one model on one platform.
+
+    Attributes:
+        total_macs: total multiply-accumulates of the model.
+        best_case_latency_ms: sum over layers of the best per-layer latency.
+        worst_case_latency_ms: sum over layers of the worst per-layer latency.
+        average_latency_ms: sum over layers of the mean per-layer latency.
+        best_case_energy_mj: sum over layers of the lowest per-layer energy.
+        worst_case_energy_mj: sum over layers of the highest per-layer energy.
+        activation_footprint_bytes: largest live activation footprint of any
+            layer (used to price context switches).
+    """
+
+    total_macs: int
+    best_case_latency_ms: float
+    worst_case_latency_ms: float
+    average_latency_ms: float
+    best_case_energy_mj: float
+    worst_case_energy_mj: float
+    activation_footprint_bytes: float
+
+
+class CostTable:
+    """Per-(model, layer, accelerator) latency and energy estimates.
+
+    Use :meth:`build` to construct a table from a platform and a collection
+    of model graphs.  Lookups raise ``KeyError`` for unknown models and
+    ``IndexError`` for out-of-range layer indices, so scheduler bugs surface
+    immediately instead of silently producing bogus scores.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        entries: Mapping[str, Sequence[Sequence[LayerCost]]],
+        summaries: Mapping[str, ModelCostSummary],
+    ) -> None:
+        self._platform = platform
+        # entries[model_name][layer_index][acc_id] -> LayerCost
+        self._entries = {name: tuple(tuple(row) for row in rows) for name, rows in entries.items()}
+        self._summaries = dict(summaries)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        platform: Platform,
+        models: Iterable[ModelGraphLike],
+        cost_model: AnalyticalCostModel | None = None,
+    ) -> "CostTable":
+        """Build the table for ``models`` on ``platform``.
+
+        Args:
+            platform: the multi-accelerator system.
+            models: model graphs; each must have a unique ``name``.
+            cost_model: the analytical cost model (a default instance is
+                created when omitted).
+        """
+        cost_model = cost_model or AnalyticalCostModel()
+        entries: dict[str, list[list[LayerCost]]] = {}
+        summaries: dict[str, ModelCostSummary] = {}
+        for model in models:
+            if model.name in entries:
+                raise ValueError(f"duplicate model name in cost table: {model.name!r}")
+            rows: list[list[LayerCost]] = []
+            for layer in model.layers:
+                rows.append([cost_model.cost(layer, acc) for acc in platform])
+            entries[model.name] = rows
+            summaries[model.name] = cls._summarize(model, rows)
+        return cls(platform, entries, summaries)
+
+    @staticmethod
+    def _summarize(
+        model: ModelGraphLike, rows: Sequence[Sequence[LayerCost]]
+    ) -> ModelCostSummary:
+        best_lat = sum(min(c.latency_ms for c in row) for row in rows) if rows else 0.0
+        worst_lat = sum(max(c.latency_ms for c in row) for row in rows) if rows else 0.0
+        avg_lat = (
+            sum(sum(c.latency_ms for c in row) / len(row) for row in rows) if rows else 0.0
+        )
+        best_energy = sum(min(c.energy_mj for c in row) for row in rows) if rows else 0.0
+        worst_energy = sum(max(c.energy_mj for c in row) for row in rows) if rows else 0.0
+        footprint = max(
+            (layer.input_bytes + layer.output_bytes for layer in model.layers),
+            default=0.0,
+        )
+        return ModelCostSummary(
+            total_macs=sum(layer.macs for layer in model.layers),
+            best_case_latency_ms=best_lat,
+            worst_case_latency_ms=worst_lat,
+            average_latency_ms=avg_lat,
+            best_case_energy_mj=best_energy,
+            worst_case_energy_mj=worst_energy,
+            activation_footprint_bytes=float(footprint),
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def platform(self) -> Platform:
+        """The platform this table was built for."""
+        return self._platform
+
+    @property
+    def num_accelerators(self) -> int:
+        """Number of accelerators in the platform."""
+        return self._platform.num_accelerators
+
+    @property
+    def model_names(self) -> list[str]:
+        """Names of all models present in the table."""
+        return sorted(self._entries)
+
+    def __contains__(self, model_name: str) -> bool:
+        return model_name in self._entries
+
+    def num_layers(self, model_name: str) -> int:
+        """Number of layers recorded for ``model_name``."""
+        return len(self._entries[model_name])
+
+    def layer_cost(self, model_name: str, layer_index: int, acc_id: int) -> LayerCost:
+        """Full :class:`LayerCost` record for one (layer, accelerator) pair."""
+        return self._entries[model_name][layer_index][acc_id]
+
+    def latency(self, model_name: str, layer_index: int, acc_id: int) -> float:
+        """EstLatency(layer, acc) in milliseconds (Algorithm 1 input)."""
+        return self.layer_cost(model_name, layer_index, acc_id).latency_ms
+
+    def energy(self, model_name: str, layer_index: int, acc_id: int) -> float:
+        """EstEnergy(layer, acc) in millijoules (Algorithm 1 input)."""
+        return self.layer_cost(model_name, layer_index, acc_id).energy_mj
+
+    def summary(self, model_name: str) -> ModelCostSummary:
+        """Aggregate cost summary for ``model_name``."""
+        return self._summaries[model_name]
+
+    # ------------------------------------------------------------------ #
+    # aggregates used by scheduling policies
+    # ------------------------------------------------------------------ #
+    def average_latency(self, model_name: str, layer_index: int) -> float:
+        """Mean latency of the layer across all accelerators."""
+        row = self._entries[model_name][layer_index]
+        return sum(c.latency_ms for c in row) / len(row)
+
+    def total_latency(self, model_name: str, layer_index: int) -> float:
+        """Sum of the layer's latency over all accelerators."""
+        row = self._entries[model_name][layer_index]
+        return sum(c.latency_ms for c in row)
+
+    def total_energy(self, model_name: str, layer_index: int) -> float:
+        """Sum of the layer's energy over all accelerators."""
+        row = self._entries[model_name][layer_index]
+        return sum(c.energy_mj for c in row)
+
+    def worst_layer_energy(self, model_name: str, layer_index: int) -> float:
+        """Energy on the most energy-hungry accelerator for the layer.
+
+        Used to accumulate the per-model worst-case energy that normalizes
+        UXCost (Algorithm 2, line 5).
+        """
+        row = self._entries[model_name][layer_index]
+        return max(c.energy_mj for c in row)
+
+    def best_latency(self, model_name: str, layer_index: int) -> float:
+        """Latency on the best (fastest) accelerator for the layer."""
+        row = self._entries[model_name][layer_index]
+        return min(c.latency_ms for c in row)
+
+    def best_accelerator(self, model_name: str, layer_index: int) -> int:
+        """Id of the fastest accelerator for the layer."""
+        row = self._entries[model_name][layer_index]
+        return min(range(len(row)), key=lambda acc_id: row[acc_id].latency_ms)
+
+    def remaining_average_latency(
+        self, model_name: str, layer_indices: Sequence[int]
+    ) -> float:
+        """ToGo(tsk): average-across-accelerators latency of remaining layers.
+
+        Implements Algorithm 1, line 2: for each remaining layer sum the
+        per-accelerator latencies, then divide by the accelerator count.
+        """
+        if not layer_indices:
+            return 0.0
+        total = sum(self.total_latency(model_name, idx) for idx in layer_indices)
+        return total / self.num_accelerators
+
+    def remaining_best_latency(
+        self, model_name: str, layer_indices: Sequence[int]
+    ) -> float:
+        """minimum_to_go: remaining time if every layer ran on its best accelerator.
+
+        Used by the smart frame drop engine (Section 4.2.1, Condition 1).
+        """
+        return sum(self.best_latency(model_name, idx) for idx in layer_indices)
+
+    def context_switch_energy(
+        self, new_model: str, previous_model: str | None, acc_id: int
+    ) -> float:
+        """CswitchEnergy(tsk, prevTask, acc) in millijoules (Algorithm 1, line 10).
+
+        The cost of flushing the previous model's live activations to DRAM
+        and fetching the new model's activations.  Switching to the model
+        already resident on the accelerator is free.  Only on-chip state can
+        be flushed or prefetched, so the moved bytes are capped at the
+        accelerator's SRAM share (activations that never fit on-chip stream
+        from DRAM during normal execution and are already charged there).
+        """
+        if previous_model is None or previous_model == new_model:
+            return 0.0
+        acc = self._platform[acc_id]
+        flush = min(self._summaries[previous_model].activation_footprint_bytes, acc.sram_bytes)
+        fetch = min(self._summaries[new_model].activation_footprint_bytes, acc.sram_bytes)
+        return acc.context_switch_cost(flush, fetch).energy_mj
+
+    def context_switch_latency(
+        self, new_model: str, previous_model: str | None, acc_id: int
+    ) -> float:
+        """Latency overhead (ms) of a context switch on ``acc_id``.
+
+        The moved bytes are capped at the accelerator's SRAM share, matching
+        :meth:`context_switch_energy`.
+        """
+        if previous_model is None or previous_model == new_model:
+            return 0.0
+        acc = self._platform[acc_id]
+        flush = min(self._summaries[previous_model].activation_footprint_bytes, acc.sram_bytes)
+        fetch = min(self._summaries[new_model].activation_footprint_bytes, acc.sram_bytes)
+        return acc.context_switch_cost(flush, fetch).latency_ms
+
+    def worst_case_energy(self, model_name: str) -> float:
+        """Worst-case energy of the model (UXCost normalization denominator)."""
+        return self._summaries[model_name].worst_case_energy_mj

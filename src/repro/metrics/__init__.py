@@ -1,0 +1,19 @@
+"""Evaluation metrics: UXCost (Algorithm 2) and reporting helpers."""
+
+from repro.metrics.uxcost import ModelOutcome, UXCostBreakdown, compute_uxcost
+from repro.metrics.reporting import (
+    geometric_mean,
+    relative_reduction,
+    format_table,
+    summarize_results,
+)
+
+__all__ = [
+    "ModelOutcome",
+    "UXCostBreakdown",
+    "compute_uxcost",
+    "geometric_mean",
+    "relative_reduction",
+    "format_table",
+    "summarize_results",
+]

@@ -1,0 +1,100 @@
+"""Reporting helpers shared by the experiment harness and benchmarks.
+
+The paper reports geometric-mean reductions of UXCost across scenarios and
+platforms; these helpers implement those aggregations and a plain-text
+table formatter so every benchmark can print paper-style rows without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Zero or negative entries are clamped to a tiny positive value so a
+    single perfect result does not collapse the mean to zero — the same
+    spirit as the paper's small-number rule in UXCost.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    clamped = [max(value, 1e-12) for value in values]
+    return math.exp(sum(math.log(value) for value in clamped) / len(clamped))
+
+
+def relative_reduction(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` relative to ``baseline``.
+
+    A positive result means ``improved`` is lower (better, for
+    lower-is-better metrics like UXCost).  Returns 0 when the baseline is
+    non-positive.
+    """
+    if baseline <= 0:
+        return 0.0
+    return (baseline - improved) / baseline
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Format a small table as aligned plain text.
+
+    Args:
+        headers: column headers.
+        rows: table rows; floats are formatted with ``float_format``.
+        float_format: format string applied to float cells.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def summarize_results(
+    uxcosts: Mapping[str, Mapping[str, float]],
+    baseline_names: Sequence[str],
+    target_name: str,
+) -> dict[str, float]:
+    """Geometric-mean reduction of a target scheduler against baselines.
+
+    Args:
+        uxcosts: mapping of configuration name -> {scheduler name -> UXCost}.
+        baseline_names: schedulers to compare against.
+        target_name: the scheduler whose improvement is reported.
+
+    Returns:
+        Mapping of baseline name -> geometric-mean fractional UXCost
+        reduction of ``target_name`` across all configurations where both
+        schedulers have a result.
+    """
+    reductions: dict[str, float] = {}
+    for baseline in baseline_names:
+        ratios = []
+        for config, by_scheduler in uxcosts.items():
+            if baseline in by_scheduler and target_name in by_scheduler:
+                base = by_scheduler[baseline]
+                target = by_scheduler[target_name]
+                if base > 0:
+                    ratios.append(max(target, 1e-12) / base)
+        if ratios:
+            reductions[baseline] = 1.0 - geometric_mean(ratios)
+    return reductions

@@ -1,0 +1,41 @@
+"""ML model substrate: layer shapes, model graphs, dynamic behaviours.
+
+The DREAM scheduler never executes real neural networks; it consumes
+per-layer latency/energy estimates derived from layer *shapes*.  This
+package therefore describes every model used in the paper's five workload
+scenarios (Table 3) as a graph of shape-annotated layers, plus the dynamic
+behaviours that make RTMM workloads hard to schedule statically:
+
+* per-request layer skipping (SkipNet [42]),
+* early-exit branches (RAPID-RL [14], BranchyNet-style),
+* weight-sharing Supernets with selectable subnet variants
+  (Once-for-All [4]).
+"""
+
+from repro.models.layers import Layer, conv2d, dwconv2d, fc, lstm, pool2d, eltwise
+from repro.models.graph import ModelGraph
+from repro.models.dynamic import (
+    DynamicBehavior,
+    StaticExecution,
+    LayerSkipping,
+    EarlyExit,
+)
+from repro.models.supernet import Supernet
+from repro.models import zoo
+
+__all__ = [
+    "Layer",
+    "conv2d",
+    "dwconv2d",
+    "fc",
+    "lstm",
+    "pool2d",
+    "eltwise",
+    "ModelGraph",
+    "DynamicBehavior",
+    "StaticExecution",
+    "LayerSkipping",
+    "EarlyExit",
+    "Supernet",
+    "zoo",
+]

@@ -1,0 +1,106 @@
+"""Weight-sharing Supernets with selectable subnet variants.
+
+Once-for-All [4] trains one large "Supernet" whose sub-networks can be
+extracted for different deployment points on the accuracy/compute
+trade-off curve.  DREAM exploits this at run time (Section 4.5.1):
+when the system is overloaded, the dispatch engine switches a Supernet
+task to a lighter variant to shed load without dropping the frame.
+
+A :class:`Supernet` groups the variant :class:`~repro.models.graph.ModelGraph`
+objects, ordered from heaviest ("original", the default) to lightest, and
+answers the queries the dispatch engine needs: the default variant, the
+next-lighter variant, and the variant set for cost-table construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.models.graph import ModelGraph
+
+
+@dataclass(frozen=True)
+class Supernet:
+    """A family of weight-sharing model variants.
+
+    Attributes:
+        name: family name (e.g. ``"once_for_all"``).
+        variants: variant graphs ordered heaviest first; the first entry is
+            the "original" variant dispatched under light load.
+    """
+
+    name: str
+    variants: tuple[ModelGraph, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.variants) < 2:
+            raise ValueError(
+                f"supernet {self.name!r} needs at least two variants "
+                f"(got {len(self.variants)})"
+            )
+        macs = [variant.total_macs for variant in self.variants]
+        if any(later > earlier for earlier, later in zip(macs, macs[1:])):
+            raise ValueError(
+                f"supernet {self.name!r}: variants must be ordered from "
+                f"heaviest to lightest (MACs {macs})"
+            )
+        names = [variant.name for variant in self.variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"supernet {self.name!r} has duplicate variant names")
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def __iter__(self) -> Iterator[ModelGraph]:
+        return iter(self.variants)
+
+    @property
+    def default_variant(self) -> ModelGraph:
+        """The heaviest ("original") variant, dispatched under light load."""
+        return self.variants[0]
+
+    @property
+    def lightest_variant(self) -> ModelGraph:
+        """The lightest variant, dispatched under the heaviest load."""
+        return self.variants[-1]
+
+    @property
+    def variant_names(self) -> list[str]:
+        """Variant names ordered heaviest first."""
+        return [variant.name for variant in self.variants]
+
+    def variant_index(self, variant_name: str) -> int:
+        """Index of a variant by name (0 = heaviest).
+
+        Raises:
+            KeyError: if the name is not a variant of this supernet.
+        """
+        for index, variant in enumerate(self.variants):
+            if variant.name == variant_name:
+                return index
+        raise KeyError(f"{variant_name!r} is not a variant of supernet {self.name!r}")
+
+    def lighter_variant(self, variant_name: str, steps: int = 1) -> ModelGraph:
+        """The variant ``steps`` positions lighter than ``variant_name``.
+
+        Clamps at the lightest variant, so requesting a lighter model than
+        exists returns the lightest one rather than failing.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        index = self.variant_index(variant_name)
+        return self.variants[min(index + steps, len(self.variants) - 1)]
+
+    def select_for_load(self, load_fraction: float) -> ModelGraph:
+        """Pick a variant for a given system-load estimate in [0, 1].
+
+        A simple monotone policy used by examples and tests: the load range
+        is split evenly across variants, heaviest at low load.
+        The DREAM dispatch engine uses its own slack-driven policy
+        (:mod:`repro.core.dispatch`); this helper is a convenience for
+        users of the library.
+        """
+        clamped = min(max(load_fraction, 0.0), 1.0)
+        index = min(int(clamped * len(self.variants)), len(self.variants) - 1)
+        return self.variants[index]

@@ -1,0 +1,64 @@
+"""FocalLengthDepth [10] — monocular depth estimation (AR_Social, 30 FPS).
+
+He et al. learn depth from a single image with an encoder-decoder network
+that embeds the camera focal length.  AR_Social runs it at 30 FPS to place
+virtual content relative to real people.  We model a VGG-style encoder on a
+384x288 frame, a focal-length embedding branch and a transposed-convolution
+decoder producing a quarter-resolution depth map.  This is the heaviest
+vision model in the scenario set, which is what makes AR_Social the most
+contended workload (Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import conv2d, fc
+from repro.models.zoo._blocks import vgg_stage
+
+
+def build_focal_length_depth(height: int = 288, width: int = 384) -> ModelGraph:
+    """Build the focal-length-aware depth estimation model graph.
+
+    Args:
+        height, width: input frame resolution.
+    """
+    layers = []
+    fm_h, fm_w = height, width
+    channels = 3
+    # VGG-16-style encoder (5 stages).
+    encoder_config = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+    for stage_index, (out_channels, num_convs) in enumerate(encoder_config):
+        stage_layers, fm_h, fm_w = vgg_stage(
+            f"encoder{stage_index}", fm_h, fm_w, channels, out_channels, num_convs
+        )
+        layers.extend(stage_layers)
+        channels = out_channels
+
+    # Focal-length embedding branch merged into the bottleneck.
+    layers.append(fc("focal.embed", 1 + channels, 512))
+    layers.append(conv2d("bottleneck.conv", fm_h, fm_w, channels, 512, kernel=3))
+    channels = 512
+
+    # Decoder: four upsampling stages (transposed convolutions are modelled
+    # as convolutions at the upsampled resolution, which has the same MACs).
+    decoder_channels = (256, 128, 64, 32)
+    for stage_index, out_channels in enumerate(decoder_channels):
+        fm_h, fm_w = fm_h * 2, fm_w * 2
+        layers.append(
+            conv2d(f"decoder{stage_index}.deconv", fm_h, fm_w, channels, out_channels, 3)
+        )
+        layers.append(
+            conv2d(f"decoder{stage_index}.refine", fm_h, fm_w, out_channels, out_channels, 3)
+        )
+        channels = out_channels
+    layers.append(conv2d("head.depth", fm_h, fm_w, channels, 1, kernel=3))
+
+    return ModelGraph(
+        name="focal_length_depth",
+        layers=tuple(layers),
+        metadata={
+            "source": "He et al., IEEE TIP 2018",
+            "task": "monocular depth estimation",
+            "input": f"{height}x{width}x3",
+        },
+    )

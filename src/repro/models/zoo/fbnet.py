@@ -1,0 +1,65 @@
+"""FBNet-C [43] — gaze-estimation backbone in the VR_Gaming scenario.
+
+FBNet-C is a differentiable-NAS mobile network built from inverted-residual
+blocks.  In the paper it runs the gaze-estimation task at 60 FPS.  We model
+it at a 192x192 eye-crop resolution with the published block configuration
+(22 searched blocks, expansion factors 1-6), ending in a gaze-regression
+head.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import conv2d, fc, pool2d
+from repro.models.zoo._blocks import inverted_residual
+
+#: (expansion, out_channels, num_blocks, stride, kernel) per stage,
+#: following the FBNet-C search result.
+_STAGES = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 4, 2, 3),
+    (6, 32, 4, 2, 5),
+    (6, 64, 4, 2, 5),
+    (6, 112, 4, 1, 3),
+    (6, 184, 4, 2, 5),
+    (6, 352, 1, 1, 3),
+)
+
+
+def build_fbnet_c(resolution: int = 192) -> ModelGraph:
+    """Build the FBNet-C gaze-estimation model graph.
+
+    Args:
+        resolution: square input resolution of the eye crop.
+    """
+    layers = [conv2d("stem", resolution, resolution, 3, 16, kernel=3, stride=2)]
+    height = width = resolution // 2
+    channels = 16
+    for stage_index, (expansion, out_channels, blocks, stride, kernel) in enumerate(_STAGES):
+        for block_index in range(blocks):
+            block_stride = stride if block_index == 0 else 1
+            block_layers, height, width = inverted_residual(
+                f"stage{stage_index}.block{block_index}",
+                height,
+                width,
+                channels,
+                out_channels,
+                expansion,
+                stride=block_stride,
+                kernel=kernel,
+            )
+            layers.extend(block_layers)
+            channels = out_channels
+    layers.append(conv2d("head.conv", height, width, channels, 1504, kernel=1))
+    layers.append(pool2d("head.pool", height, width, 1504, kernel=height))
+    layers.append(fc("head.gaze_fc", 1504, 256))
+    layers.append(fc("head.gaze_out", 256, 3))
+    return ModelGraph(
+        name="fbnet_c_gaze",
+        layers=tuple(layers),
+        metadata={
+            "source": "FBNet-C (CVPR 2019)",
+            "task": "gaze estimation",
+            "input": f"{resolution}x{resolution}x3",
+        },
+    )

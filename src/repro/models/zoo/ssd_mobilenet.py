@@ -1,0 +1,108 @@
+"""SSD with a MobileNetV2 backbone [20] — detection model.
+
+Used three times in Table 3: hand detection (VR_Gaming), object detection
+(both drone scenarios) and face detection (AR_Social), all at 30 FPS.  We
+model the standard SSDLite-MobileNetV2 configuration at a 320x320 input:
+the 17-bottleneck MobileNetV2 backbone, two extra feature stages and six
+SSD prediction heads.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import Layer, conv2d
+from repro.models.zoo._blocks import inverted_residual
+
+#: MobileNetV2 bottleneck configuration: (expansion, channels, blocks, stride).
+_BOTTLENECKS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _backbone(resolution: int) -> tuple[list[Layer], list[tuple[int, int, int]]]:
+    """MobileNetV2 backbone; returns layers and SSD feature-map taps."""
+    layers = [conv2d("stem", resolution, resolution, 3, 32, kernel=3, stride=2)]
+    height = width = resolution // 2
+    channels = 32
+    taps: list[tuple[int, int, int]] = []
+    for stage_index, (expansion, out_channels, blocks, stride) in enumerate(_BOTTLENECKS):
+        for block_index in range(blocks):
+            block_stride = stride if block_index == 0 else 1
+            block_layers, height, width = inverted_residual(
+                f"bottleneck{stage_index}.{block_index}",
+                height,
+                width,
+                channels,
+                out_channels,
+                expansion,
+                stride=block_stride,
+            )
+            layers.extend(block_layers)
+            channels = out_channels
+        if stage_index in (4, 6):
+            taps.append((height, width, channels))
+    layers.append(conv2d("backbone.final", height, width, channels, 1280, kernel=1))
+    taps[-1] = (height, width, 1280)
+    return layers, taps
+
+
+def build_ssd_mobilenet_v2(resolution: int = 320, task: str = "detection") -> ModelGraph:
+    """Build the SSD-MobileNetV2 detector.
+
+    Args:
+        resolution: square input resolution.
+        task: suffix used to give each scenario's detector a distinct model
+            name ("hand", "object", "face"), because cost tables and the
+            scheduler key on model names.
+    """
+    layers, taps = _backbone(resolution)
+    height, width, channels = taps[-1]
+
+    # Extra SSD feature stages shrinking the map down to 2x2.
+    extra_channels = (512, 256, 256, 128)
+    feature_maps = list(taps)
+    for index, out_channels in enumerate(extra_channels):
+        layers.append(
+            conv2d(f"extra{index}.reduce", height, width, channels, out_channels // 2, 1)
+        )
+        layers.append(
+            conv2d(
+                f"extra{index}.conv",
+                height,
+                width,
+                out_channels // 2,
+                out_channels,
+                kernel=3,
+                stride=2,
+            )
+        )
+        height, width = max(1, height // 2), max(1, width // 2)
+        channels = out_channels
+        feature_maps.append((height, width, channels))
+
+    # SSDLite heads: one box-regression and one class head per feature map.
+    anchors = 6
+    num_classes = 21
+    for index, (fm_h, fm_w, fm_c) in enumerate(feature_maps):
+        layers.append(
+            conv2d(f"head{index}.loc", fm_h, fm_w, fm_c, anchors * 4, kernel=3)
+        )
+        layers.append(
+            conv2d(f"head{index}.cls", fm_h, fm_w, fm_c, anchors * num_classes, kernel=3)
+        )
+
+    return ModelGraph(
+        name=f"ssd_mobilenet_v2_{task}",
+        layers=tuple(layers),
+        metadata={
+            "source": "SSD (ECCV 2016) + MobileNetV2 backbone",
+            "task": f"{task} detection",
+            "input": f"{resolution}x{resolution}x3",
+        },
+    )

@@ -1,0 +1,54 @@
+"""TrailNet [32] — outdoor drone trail navigation (Drone_Outdoor, 60 FPS).
+
+TrailNet is the ResNet-18-based trail-following network from the TrailMAV
+work: it outputs lateral-offset and orientation categories used to steer a
+micro aerial vehicle.  We model it on the 320x180 camera crop used on the
+drone, with the standard four residual stages and a double softmax head.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import conv2d, fc, pool2d
+from repro.models.zoo._blocks import resnet_basic_block
+
+#: ResNet-18 stage configuration: (out_channels, num_blocks, stride).
+_STAGES = ((64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2))
+
+
+def build_trailnet(height: int = 180, width: int = 320) -> ModelGraph:
+    """Build the TrailNet navigation model graph.
+
+    Args:
+        height, width: input camera-crop resolution.
+    """
+    layers = [conv2d("stem", height, width, 3, 64, kernel=7, stride=2)]
+    fm_h, fm_w = height // 2, width // 2
+    layers.append(pool2d("stem.pool", fm_h, fm_w, 64, kernel=2))
+    fm_h, fm_w = fm_h // 2, fm_w // 2
+    channels = 64
+    for stage_index, (out_channels, blocks, stride) in enumerate(_STAGES):
+        for block_index in range(blocks):
+            block_stride = stride if block_index == 0 else 1
+            block_layers, fm_h, fm_w = resnet_basic_block(
+                f"stage{stage_index}.block{block_index}",
+                fm_h,
+                fm_w,
+                channels,
+                out_channels,
+                stride=block_stride,
+            )
+            layers.extend(block_layers)
+            channels = out_channels
+    layers.append(pool2d("head.pool", fm_h, fm_w, channels, kernel=min(fm_h, fm_w)))
+    layers.append(fc("head.orientation", channels, 3))
+    layers.append(fc("head.offset", channels, 3))
+    return ModelGraph(
+        name="trailnet",
+        layers=tuple(layers),
+        metadata={
+            "source": "Smolyanskiy et al., IROS 2017 (TrailNet)",
+            "task": "outdoor trail navigation",
+            "input": f"{height}x{width}x3",
+        },
+    )

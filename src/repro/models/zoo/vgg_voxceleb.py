@@ -1,0 +1,53 @@
+"""VGG-VoxCeleb [23] — active speaker verification (AR_Social, 30 FPS).
+
+AR_Social identifies the active speaker by cascading face detection with a
+VGG-M-style verification network trained on VoxCeleb; the verification
+model only runs when a face is detected (control dependency).  We model the
+VGG-M architecture of Nagrani et al. over a 512x300 spectrogram (3-second
+utterance window), which is the published VoxCeleb front-end.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import conv2d, fc, pool2d
+
+
+def build_vgg_voxceleb(height: int = 512, width: int = 300) -> ModelGraph:
+    """Build the VGG-VoxCeleb speaker-verification model graph.
+
+    Args:
+        height: spectrogram frequency bins.
+        width: spectrogram time frames (~3 s utterance).
+    """
+    layers = [conv2d("conv1", height, width, 1, 96, kernel=7, stride=2)]
+    fm_h, fm_w = height // 2, width // 2
+    layers.append(pool2d("pool1", fm_h, fm_w, 96, kernel=3, stride=2))
+    fm_h, fm_w = (fm_h - 3) // 2 + 1, (fm_w - 3) // 2 + 1
+
+    layers.append(conv2d("conv2", fm_h, fm_w, 96, 256, kernel=5, stride=2))
+    fm_h, fm_w = fm_h // 2, fm_w // 2
+    layers.append(pool2d("pool2", fm_h, fm_w, 256, kernel=3, stride=2))
+    fm_h, fm_w = (fm_h - 3) // 2 + 1, (fm_w - 3) // 2 + 1
+
+    layers.append(conv2d("conv3", fm_h, fm_w, 256, 384, kernel=3))
+    layers.append(conv2d("conv4", fm_h, fm_w, 384, 256, kernel=3))
+    layers.append(conv2d("conv5", fm_h, fm_w, 256, 256, kernel=3))
+    layers.append(pool2d("pool5", fm_h, fm_w, 256, kernel=3, stride=2))
+    fm_h, fm_w = (fm_h - 3) // 2 + 1, (fm_w - 3) // 2 + 1
+
+    # fc6 spans the remaining frequency axis; cost-wise it is a dense layer
+    # over the flattened feature map followed by average pooling over time.
+    layers.append(fc("fc6", fm_h * fm_w * 256, 4096))
+    layers.append(fc("fc7", 4096, 1024))
+    layers.append(fc("fc8.embedding", 1024, 1024))
+
+    return ModelGraph(
+        name="vgg_voxceleb",
+        layers=tuple(layers),
+        metadata={
+            "source": "Nagrani et al., Interspeech 2017 (VGG-M on VoxCeleb)",
+            "task": "active speaker verification",
+            "input": f"{height}x{width} spectrogram",
+        },
+    )

@@ -1,0 +1,111 @@
+"""The scheduler protocol shared by DREAM and all baselines.
+
+A scheduler is a policy object the simulation engine consults at every
+state change.  The engine guarantees the call order:
+
+1. :meth:`Scheduler.bind` — once, before the simulation starts, with the
+   platform, the offline cost table, the scenario and a private random
+   generator.
+2. :meth:`Scheduler.on_request_arrival` — whenever a sensor frame or a
+   triggered cascade becomes an inference request.
+3. :meth:`Scheduler.schedule` — at every scheduling point; the scheduler
+   inspects a :class:`~repro.sim.decisions.SystemView` and returns a
+   :class:`~repro.sim.decisions.SchedulingDecision`.
+4. :meth:`Scheduler.on_layers_complete` — when dispatched layers finish but
+   the request still has layers left.
+5. :meth:`Scheduler.on_request_finished` — when a request reaches a
+   terminal state (completed, dropped or expired).
+
+Only :meth:`schedule` is abstract; the bookkeeping hooks default to no-ops
+so simple policies stay simple.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Mapping, Optional
+
+from repro.hardware.cost_table import CostTable
+from repro.hardware.platform import Platform
+from repro.sim.decisions import SchedulingDecision, SystemView
+from repro.sim.request import InferenceRequest
+from repro.workloads.scenario import Scenario
+
+
+class Scheduler(abc.ABC):
+    """Base class for scheduling policies.
+
+    Attributes:
+        name: short identifier used in results and reports.
+    """
+
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self.platform: Optional[Platform] = None
+        self.cost_table: Optional[CostTable] = None
+        self.scenario: Optional[Scenario] = None
+        self.rng: random.Random = random.Random(0)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def bind(
+        self,
+        platform: Platform,
+        cost_table: CostTable,
+        scenario: Scenario,
+        rng: random.Random,
+    ) -> None:
+        """Attach the scheduler to a concrete system before simulation.
+
+        Subclasses overriding this must call ``super().bind(...)`` so the
+        shared attributes are populated.
+        """
+        self.platform = platform
+        self.cost_table = cost_table
+        self.scenario = scenario
+        self.rng = rng
+
+    def on_request_arrival(self, request: InferenceRequest, now_ms: float) -> None:
+        """Hook: a new inference request entered the system."""
+
+    def on_layers_complete(self, request: InferenceRequest, now_ms: float) -> None:
+        """Hook: dispatched layers finished; the request has more layers."""
+
+    def on_request_finished(self, request: InferenceRequest, now_ms: float) -> None:
+        """Hook: the request reached a terminal state."""
+
+    @abc.abstractmethod
+    def schedule(self, view: SystemView) -> SchedulingDecision:
+        """Decide what to dispatch (and optionally drop) right now."""
+
+    def info(self) -> Mapping[str, object]:
+        """Scheduler-specific details attached to the simulation result."""
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def _require_bound(self) -> CostTable:
+        """Return the cost table, failing loudly if ``bind`` was skipped."""
+        if self.cost_table is None:
+            raise RuntimeError(
+                f"{type(self).__name__} was not bound to a platform before use"
+            )
+        return self.cost_table
+
+    def remaining_best_latency_ms(self, request: InferenceRequest) -> float:
+        """minimum_to_go: remaining latency on the per-layer best accelerators."""
+        cost_table = self._require_bound()
+        return cost_table.remaining_best_latency(request.model_name, request.remaining_path())
+
+    def remaining_average_latency_ms(self, request: InferenceRequest) -> float:
+        """ToGo: remaining latency averaged across accelerators (Algorithm 1)."""
+        cost_table = self._require_bound()
+        return cost_table.remaining_average_latency(request.model_name, request.remaining_path())
+
+    def slack_ms(self, request: InferenceRequest, now_ms: float) -> float:
+        """Slack: time left until the request's deadline."""
+        return request.deadline_ms - now_ms

@@ -1,0 +1,158 @@
+"""Planaria-style deadline-aware spatial-fission scheduler [8].
+
+Planaria dynamically fissions a DNN accelerator's PE array so several DNNs
+can be co-located spatially, re-partitioning layer-by-layer based on each
+DNN's timing requirement and resource demand.  As in the paper, only its
+scheduling policy is modelled (the original is a hardware/software
+co-design):
+
+* requests are prioritized by *slack* (time to deadline minus estimated
+  remaining work) — the most at-risk request is served first;
+* layer granularity: an assignment covers one layer, so the partitioning
+  can be revisited at every layer boundary;
+* spatial fission: a fully idle accelerator may be split in half to serve
+  two at-risk requests concurrently (the engine scales the compute-bound
+  latency component accordingly);
+* resource awareness is by PE *count* only.  Planaria predates
+  heterogeneous-dataflow platforms, so its latency estimate assumes a
+  generic array: it prefers the accelerator with the most free PEs rather
+  than the dataflow-preferred one, and it does not optimize energy.  This
+  is what leaves room for DREAM's preference and energy scores on
+  heterogeneous hardware (Figure 7 vs Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.base import Scheduler
+from repro.sim.decisions import Assignment, SchedulingDecision, SystemView
+from repro.sim.request import InferenceRequest
+
+
+class PlanariaScheduler(Scheduler):
+    """Slack-driven, PE-count-aware, fission-capable layer scheduler.
+
+    Args:
+        fission_threshold: minimum number of at-risk pending requests before
+            a fully idle accelerator is split in half.
+        min_fraction: PE fraction of each fission partition.
+    """
+
+    name = "planaria"
+
+    def __init__(self, fission_threshold: int = 2, min_fraction: float = 0.5) -> None:
+        super().__init__()
+        if fission_threshold < 2:
+            raise ValueError("fission_threshold must be at least 2")
+        if not 0.0 < min_fraction <= 0.5:
+            raise ValueError("min_fraction must be in (0, 0.5]")
+        self.fission_threshold = fission_threshold
+        self.min_fraction = min_fraction
+        # Remaining-work estimates only change when a request makes progress.
+        self._remaining_cache: dict[int, tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # internal estimates (deliberately dataflow-agnostic)
+    # ------------------------------------------------------------------ #
+    def _pe_agnostic_remaining_ms(self, request: InferenceRequest) -> float:
+        """Remaining-work estimate by PE count only (no dataflow preference)."""
+        cost_table = self._require_bound()
+        cached = self._remaining_cache.get(request.request_id)
+        if cached is not None and cached[0] == request.next_position:
+            return cached[1]
+        value = cost_table.remaining_average_latency(
+            request.model_name, request.remaining_path()
+        )
+        self._remaining_cache[request.request_id] = (request.next_position, value)
+        return value
+
+    def _slack_score(self, request: InferenceRequest, now_ms: float) -> float:
+        """Slack minus remaining work; smaller (more negative) = more urgent."""
+        return (request.deadline_ms - now_ms) - self._pe_agnostic_remaining_ms(request)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, view: SystemView) -> SchedulingDecision:
+        pending = [
+            request for request in view.pending_requests if request.remaining_path()
+        ]
+        if not pending:
+            return SchedulingDecision.empty()
+        pending.sort(key=lambda request: self._slack_score(request, view.now_ms))
+
+        at_risk = [
+            request
+            for request in pending
+            if self._slack_score(request, view.now_ms) < 0.0
+        ]
+
+        assignments: list[Assignment] = []
+        assigned_ids: set[int] = set()
+
+        # Accelerators ordered by free PE capacity (count-based resource view).
+        accelerators = sorted(
+            view.accelerators,
+            key=lambda acc: acc.free_fraction * view.platform[acc.acc_id].num_pes,
+            reverse=True,
+        )
+        queue = [request for request in pending]
+
+        for acc in accelerators:
+            if not queue:
+                break
+            free = acc.free_fraction
+            if free < self.min_fraction - 1e-9:
+                continue
+            fission = (
+                acc.is_idle
+                and len(at_risk) >= self.fission_threshold
+                and len(queue) >= 2
+            )
+            fractions = (
+                [self.min_fraction, self.min_fraction] if fission else [min(1.0, free)]
+            )
+            for fraction in fractions:
+                request = self._pick_for_accelerator(acc, queue, assigned_ids)
+                if request is None:
+                    break
+                assignments.append(
+                    Assignment(
+                        request=request,
+                        acc_id=acc.acc_id,
+                        layer_count=1,
+                        pe_fraction=fraction,
+                    )
+                )
+                assigned_ids.add(request.request_id)
+        return SchedulingDecision.of(assignments)
+
+    def _pick_for_accelerator(
+        self,
+        acc,
+        queue: list[InferenceRequest],
+        assigned_ids: set[int],
+    ) -> Optional[InferenceRequest]:
+        """Most urgent unassigned request, with resident-model stickiness.
+
+        Planaria keeps a co-located DNN on its sub-array across layers, so
+        among the few most urgent requests the one whose model is already
+        resident on this accelerator is preferred — that avoids pathological
+        per-layer ping-pong (and its flush/fetch cost) without changing the
+        slack-driven priority order materially.
+        """
+        candidates = [r for r in queue if r.request_id not in assigned_ids]
+        if not candidates:
+            return None
+        head = candidates[: self.fission_threshold + 1]
+        for request in head:
+            if acc.resident_model is not None and request.model_name == acc.resident_model:
+                return request
+        return candidates[0]
+
+    def info(self):
+        return {
+            "fission_threshold": self.fission_threshold,
+            "min_fraction": self.min_fraction,
+        }

@@ -1,0 +1,394 @@
+"""The discrete-event simulation engine.
+
+The engine owns the event loop: periodic frame arrivals become inference
+requests, a pluggable scheduler decides which layers run where, accelerator
+executors model execution and context-switch costs, and cascaded requests
+are spawned when control dependencies fire.  The scheduler is consulted at
+every state change (request arrival, layer completion), mirroring the
+paper's description that scheduling decisions are made "each time a new
+scheduling decision needs to be made in the job assignment and dispatch
+engine".
+
+Schedulers must implement the small protocol documented in
+:class:`repro.schedulers.base.Scheduler`; the engine only relies on the
+methods ``bind``, ``on_request_arrival``, ``schedule``,
+``on_layers_complete``, ``on_request_finished`` and ``info``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Optional, TYPE_CHECKING
+
+from repro.hardware.cost_table import CostTable
+from repro.hardware.platform import Platform
+from repro.sim.decisions import AcceleratorView, SchedulingDecision, SystemView
+from repro.sim.executor import AcceleratorExecutor
+from repro.sim.queues import RequestPool
+from repro.sim.request import InferenceRequest, RequestState
+from repro.sim.results import AcceleratorStats, SimulationResult, TaskStats
+from repro.sim.tracer import Tracer
+from repro.workloads.frames import generate_frames
+from repro.workloads.scenario import Scenario, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedulers.base import Scheduler
+
+_EVENT_ARRIVAL = "arrival"
+_EVENT_COMPLETE = "complete"
+
+#: Safety bound on scheduler invocations per event, to surface livelocks in
+#: buggy scheduler implementations instead of hanging the simulation.
+_MAX_DISPATCH_ROUNDS = 64
+
+
+class SimulationEngine:
+    """Simulates one scenario on one platform under one scheduler.
+
+    Args:
+        scenario: the RTMM workload scenario.
+        platform: the multi-accelerator hardware platform.
+        scheduler: a scheduler implementing the protocol of
+            :class:`repro.schedulers.base.Scheduler`.
+        duration_ms: length of the simulated window.
+        seed: seed for all stochastic elements (dynamic paths, cascade
+            triggering, arrival jitter).
+        cost_table: optional pre-built cost table (rebuilt otherwise); pass
+            one in when running many simulations of the same scenario and
+            platform to avoid recomputation.
+        expire_after_periods: grace (in task periods) after the deadline
+            before a never-started request is abandoned; ``None`` disables
+            expiry entirely.
+        jitter_ms: uniform frame arrival jitter.
+        warmup_ms: frames whose sensor frame arrived before this time are
+            executed but excluded from the measured statistics.
+        tracer: optional :class:`~repro.sim.tracer.Tracer` for per-event records.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        platform: Platform,
+        scheduler: "Scheduler",
+        duration_ms: float = 2000.0,
+        seed: int = 0,
+        cost_table: Optional[CostTable] = None,
+        expire_after_periods: Optional[float] = 1.0,
+        jitter_ms: float = 0.5,
+        warmup_ms: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if warmup_ms < 0 or warmup_ms >= duration_ms:
+            raise ValueError("warmup_ms must be in [0, duration_ms)")
+        self.scenario = scenario
+        self.platform = platform
+        self.scheduler = scheduler
+        self.duration_ms = duration_ms
+        self.seed = seed
+        self.jitter_ms = jitter_ms
+        self.warmup_ms = warmup_ms
+        self.expire_after_periods = expire_after_periods
+        self.tracer = tracer
+        self.cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
+
+        self._rng = random.Random(seed)
+        self._executors = [AcceleratorExecutor(acc, self.cost_table) for acc in platform]
+        self._pool = RequestPool()
+        self._stats: dict[str, TaskStats] = {
+            task.name: TaskStats(task_name=task.name) for task in scenario.tasks
+        }
+        self._events: list[tuple[float, int, str, object]] = []
+        self._event_seq = itertools.count()
+        self._now = 0.0
+        self._grace_ms_by_task = {
+            task.name: (expire_after_periods or 0.0) * task.period_ms
+            for task in scenario.tasks
+        }
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and return the measured result."""
+        self.scheduler.bind(self.platform, self.cost_table, self.scenario, random.Random(self.seed + 1))
+        self._schedule_frame_arrivals()
+
+        while self._events:
+            time_ms, _, kind, payload = heapq.heappop(self._events)
+            self._now = time_ms
+            if kind == _EVENT_ARRIVAL:
+                self._handle_arrival(payload)
+            elif kind == _EVENT_COMPLETE:
+                self._handle_completion(payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+            self._dispatch(self._now)
+
+        self._finalize_leftovers()
+        return self._build_result()
+
+    # ------------------------------------------------------------------ #
+    # event handling
+    # ------------------------------------------------------------------ #
+    def _push_event(self, time_ms: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time_ms, next(self._event_seq), kind, payload))
+
+    def _schedule_frame_arrivals(self) -> None:
+        frames = generate_frames(
+            self.scenario,
+            duration_ms=self.duration_ms,
+            jitter_ms=self.jitter_ms,
+            seed=self.seed,
+        )
+        for frame in frames:
+            self._push_event(frame.arrival_ms, _EVENT_ARRIVAL, frame)
+
+    def _handle_arrival(self, frame) -> None:
+        task = self.scenario.task(frame.task_name)
+        request = InferenceRequest(
+            task_name=task.name,
+            model=task.default_model,
+            frame_id=frame.frame_id,
+            arrival_ms=frame.arrival_ms,
+            deadline_ms=frame.deadline_ms,
+            rng=self._rng,
+        )
+        self._pool.add(request)
+        self._trace(request, "arrival")
+        self.scheduler.on_request_arrival(request, self._now)
+
+    def _handle_completion(self, payload) -> None:
+        acc_id, slot_id = payload
+        executor = self._executors[acc_id]
+        slot = executor.complete(slot_id, self._now)
+        request = slot.request
+        self._trace(request, "layers_complete", acc_id=acc_id, detail=f"{len(slot.layer_indices)} layers")
+        if request.state is RequestState.COMPLETED:
+            self._finalize_request(request)
+            self._spawn_cascades(request)
+        else:
+            self.scheduler.on_layers_complete(request, self._now)
+
+    def _spawn_cascades(self, parent: InferenceRequest) -> None:
+        parent_task = self.scenario.task(parent.task_name)
+        for child in self.scenario.children_of(parent_task.name):
+            if self._rng.random() >= child.trigger_probability:
+                continue
+            deadline = parent.frame_arrival_ms + child.period_ms
+            request = InferenceRequest(
+                task_name=child.name,
+                model=child.default_model,
+                frame_id=parent.frame_id,
+                arrival_ms=self._now,
+                deadline_ms=max(deadline, self._now),
+                frame_arrival_ms=parent.frame_arrival_ms,
+                rng=self._rng,
+                parent_task=parent.task_name,
+            )
+            self._pool.add(request)
+            self._trace(request, "cascade_arrival", detail=f"from {parent.task_name}")
+            self.scheduler.on_request_arrival(request, self._now)
+
+    # ------------------------------------------------------------------ #
+    # dispatching
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, now: float) -> None:
+        self._expire_stale(now)
+        for _ in range(_MAX_DISPATCH_ROUNDS):
+            decision = self.scheduler.schedule(self._system_view(now))
+            if decision.is_empty:
+                return
+            applied = self._apply_decision(decision, now)
+            if applied == 0:
+                return
+        raise RuntimeError(
+            f"scheduler {type(self.scheduler).__name__} did not converge after "
+            f"{_MAX_DISPATCH_ROUNDS} dispatch rounds at t={now:.3f} ms"
+        )
+
+    def _expire_stale(self, now: float) -> None:
+        if self.expire_after_periods is None:
+            return
+        for request in self._pool.stale(now, self._grace_ms_by_task):
+            request.mark_expired(now)
+            self._trace(request, "expired")
+            self._finalize_request(request)
+
+    def _apply_decision(self, decision: SchedulingDecision, now: float) -> int:
+        applied = 0
+        for request in decision.drops:
+            if request.is_finished or request.state is RequestState.RUNNING:
+                continue
+            request.mark_dropped(now)
+            self._trace(request, "dropped")
+            self._finalize_request(request)
+            applied += 1
+        for assignment in decision.assignments:
+            request = assignment.request
+            if request.is_finished or request.state is not RequestState.PENDING:
+                continue
+            executor = self._executors[assignment.acc_id]
+            if not executor.can_accept(assignment.pe_fraction):
+                continue
+            if assignment.switch_to_variant is not None and not request.started:
+                old_name = request.model_name
+                request.switch_variant(assignment.switch_to_variant)
+                if request.model_name != old_name:
+                    self._trace(request, "variant_switch", detail=f"{old_name} -> {request.model_name}")
+            record = executor.start(assignment, now)
+            self._trace(
+                request,
+                "dispatch",
+                acc_id=assignment.acc_id,
+                detail=(
+                    f"{len(record.slot.layer_indices)} layers, "
+                    f"pe_fraction={assignment.pe_fraction:g}, "
+                    f"switch={record.context_switch}"
+                ),
+            )
+            self._push_event(record.slot.end_ms, _EVENT_COMPLETE, (assignment.acc_id, record.slot.slot_id))
+            applied += 1
+        return applied
+
+    def _system_view(self, now: float) -> SystemView:
+        accelerators = tuple(
+            AcceleratorView(
+                acc_id=executor.acc_id,
+                free_fraction=executor.free_fraction,
+                busy_until_ms=executor.busy_until_ms(now),
+                resident_model=executor.resident_model,
+                running_tasks=executor.running_tasks(),
+            )
+            for executor in self._executors
+        )
+        pending = tuple(
+            sorted(self._pool.pending(), key=lambda request: (request.arrival_ms, request.request_id))
+        )
+        running = tuple(self._pool.running())
+        queue_depths = {task.name: self._pool.queue_depth(task.name) for task in self.scenario.tasks}
+        return SystemView(
+            now_ms=now,
+            platform=self.platform,
+            cost_table=self.cost_table,
+            scenario=self.scenario,
+            accelerators=accelerators,
+            pending_requests=pending,
+            running_requests=running,
+            queue_depths=queue_depths,
+        )
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def _is_measured(self, request: InferenceRequest) -> bool:
+        """Only frames with a full chance inside the window are measured."""
+        return (
+            request.deadline_ms <= self.duration_ms
+            and request.frame_arrival_ms >= self.warmup_ms
+        )
+
+    def _finalize_request(self, request: InferenceRequest) -> None:
+        self._pool.remove(request)
+        self.scheduler.on_request_finished(request, self._now)
+        if not self._is_measured(request):
+            return
+        stats = self._stats[request.task_name]
+        stats.total_frames += 1
+        stats.actual_energy_mj += request.energy_mj
+        stats.worst_case_energy_mj += request.worst_case_energy_mj
+        if request.state is RequestState.COMPLETED:
+            stats.completed_frames += 1
+            stats.variant_counts[request.model_name] += 1
+            latency = request.latency_ms or 0.0
+            stats.latency_sum_ms += latency
+            stats.latency_max_ms = max(stats.latency_max_ms, latency)
+        elif request.state is RequestState.DROPPED:
+            stats.dropped_frames += 1
+        elif request.state is RequestState.EXPIRED:
+            stats.expired_frames += 1
+        if request.violated_deadline:
+            stats.violated_frames += 1
+
+    def _finalize_leftovers(self) -> None:
+        """Account for requests still live when the event queue drained."""
+        for request in list(self._pool):
+            if request.is_finished:
+                continue
+            if not self._is_measured(request):
+                self._pool.remove(request)
+                continue
+            stats = self._stats[request.task_name]
+            stats.total_frames += 1
+            stats.unfinished_frames += 1
+            stats.violated_frames += 1
+            stats.actual_energy_mj += request.energy_mj
+            stats.worst_case_energy_mj += request.worst_case_energy_mj
+            self._pool.remove(request)
+
+    def _build_result(self) -> SimulationResult:
+        accelerator_stats = tuple(
+            AcceleratorStats(
+                acc_id=executor.acc_id,
+                name=executor.accelerator.name,
+                dataflow=executor.accelerator.dataflow.value,
+                energy_mj=executor.total_energy_mj,
+                busy_pe_ms=executor.total_busy_pe_ms,
+                layers_executed=executor.layers_executed,
+                context_switches=executor.context_switches,
+                utilization=executor.utilization(self.duration_ms),
+            )
+            for executor in self._executors
+        )
+        return SimulationResult(
+            scenario_name=self.scenario.name,
+            platform_name=self.platform.name,
+            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            duration_ms=self.duration_ms,
+            seed=self.seed,
+            task_stats=self._stats,
+            accelerator_stats=accelerator_stats,
+            scheduler_info=self.scheduler.info(),
+        )
+
+    def _trace(
+        self,
+        request: InferenceRequest,
+        event: str,
+        acc_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.record(
+            time_ms=self._now,
+            event=event,
+            task_name=request.task_name,
+            request_id=request.request_id,
+            model_name=request.model_name,
+            acc_id=acc_id,
+            detail=detail,
+        )
+
+
+def run_simulation(
+    scenario: Scenario,
+    platform: Platform,
+    scheduler: "Scheduler",
+    duration_ms: float = 2000.0,
+    seed: int = 0,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SimulationEngine` and run it."""
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=scheduler,
+        duration_ms=duration_ms,
+        seed=seed,
+        **kwargs,
+    )
+    return engine.run()

@@ -1,0 +1,201 @@
+"""Accelerator execution state: slots, context switches, energy accounting.
+
+Each sub-accelerator is wrapped in an :class:`AcceleratorExecutor` that
+tracks what is running on it, prices context switches between models, and
+supports Planaria-style spatial fission by letting multiple assignments
+share the PE array (each with a ``pe_fraction``), with latency re-derived
+from the cost model's compute/memory breakdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.cost_table import CostTable
+from repro.sim.decisions import Assignment
+from repro.sim.request import InferenceRequest
+
+_SLOT_COUNTER = itertools.count()
+
+
+@dataclass
+class RunningSlot:
+    """One in-flight assignment on an accelerator."""
+
+    slot_id: int
+    request: InferenceRequest
+    layer_indices: list[int]
+    pe_fraction: float
+    start_ms: float
+    end_ms: float
+    energy_mj: float
+
+
+@dataclass
+class ExecutionRecord:
+    """What the executor did for one accepted assignment (for tracing)."""
+
+    slot: RunningSlot
+    context_switch: bool
+    context_switch_latency_ms: float
+    context_switch_energy_mj: float
+
+
+class AcceleratorExecutor:
+    """Execution state of one sub-accelerator.
+
+    Args:
+        accelerator: the hardware description.
+        cost_table: offline latency/energy table for all models in play.
+    """
+
+    def __init__(self, accelerator: Accelerator, cost_table: CostTable) -> None:
+        self.accelerator = accelerator
+        self.cost_table = cost_table
+        self.slots: dict[int, RunningSlot] = {}
+        self.resident_model: Optional[str] = None
+        self.total_energy_mj: float = 0.0
+        self.total_busy_pe_ms: float = 0.0
+        self.layers_executed: int = 0
+        self.context_switches: int = 0
+
+    # ------------------------------------------------------------------ #
+    # capacity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def acc_id(self) -> int:
+        """The accelerator's id within the platform."""
+        return self.accelerator.acc_id
+
+    @property
+    def allocated_fraction(self) -> float:
+        """Sum of PE fractions of all in-flight assignments."""
+        return sum(slot.pe_fraction for slot in self.slots.values())
+
+    @property
+    def free_fraction(self) -> float:
+        """Unallocated PE fraction (1.0 = idle)."""
+        return max(0.0, 1.0 - self.allocated_fraction)
+
+    def busy_until_ms(self, now: float) -> float:
+        """Latest end time of in-flight work (``now`` when idle)."""
+        if not self.slots:
+            return now
+        return max(slot.end_ms for slot in self.slots.values())
+
+    def running_tasks(self) -> tuple[str, ...]:
+        """Task names currently executing on this accelerator."""
+        return tuple(slot.request.task_name for slot in self.slots.values())
+
+    def can_accept(self, pe_fraction: float) -> bool:
+        """Whether a new assignment of ``pe_fraction`` fits right now."""
+        return pe_fraction <= self.free_fraction + 1e-9
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def effective_layer_latency_ms(
+        self, model_name: str, layer_index: int, pe_fraction: float
+    ) -> float:
+        """Latency of one layer when only ``pe_fraction`` of the PEs are used.
+
+        The compute-bound component scales inversely with the PE fraction;
+        the memory-bound component and the launch overhead do not (spatial
+        fission does not add bandwidth).
+        """
+        cost = self.cost_table.layer_cost(model_name, layer_index, self.acc_id)
+        overhead = cost.latency_ms - max(cost.compute_ms, cost.memory_ms)
+        scaled_compute = cost.compute_ms / pe_fraction
+        return max(scaled_compute, cost.memory_ms) + overhead
+
+    def start(self, assignment: Assignment, now: float) -> ExecutionRecord:
+        """Begin executing an assignment; returns the created slot record.
+
+        Raises:
+            ValueError: if the accelerator does not have enough free PEs or
+                the request has no remaining layers.
+        """
+        request = assignment.request
+        if not self.can_accept(assignment.pe_fraction):
+            raise ValueError(
+                f"accelerator {self.acc_id} has only {self.free_fraction:.2f} free, "
+                f"cannot accept pe_fraction={assignment.pe_fraction}"
+            )
+        layer_indices = request.next_layers(assignment.layer_count)
+        if not layer_indices:
+            raise ValueError(
+                f"request {request.request_id} has no remaining layers to schedule"
+            )
+
+        switch = (
+            self.resident_model is not None
+            and self.resident_model != request.model_name
+        )
+        switch_latency = 0.0
+        switch_energy = 0.0
+        if switch:
+            switch_latency = self.cost_table.context_switch_latency(
+                request.model_name, self.resident_model, self.acc_id
+            )
+            switch_energy = self.cost_table.context_switch_energy(
+                request.model_name, self.resident_model, self.acc_id
+            )
+            self.context_switches += 1
+
+        duration = switch_latency
+        energy = switch_energy
+        worst_energy = 0.0
+        for layer_index in layer_indices:
+            duration += self.effective_layer_latency_ms(
+                request.model_name, layer_index, assignment.pe_fraction
+            )
+            energy += self.cost_table.energy(request.model_name, layer_index, self.acc_id)
+            worst_energy += self.cost_table.worst_layer_energy(
+                request.model_name, layer_index
+            )
+
+        slot = RunningSlot(
+            slot_id=next(_SLOT_COUNTER),
+            request=request,
+            layer_indices=layer_indices,
+            pe_fraction=assignment.pe_fraction,
+            start_ms=now,
+            end_ms=now + duration,
+            energy_mj=energy,
+        )
+        self.slots[slot.slot_id] = slot
+        self.resident_model = request.model_name
+
+        request.mark_running()
+        request.energy_mj += energy
+        request.worst_case_energy_mj += worst_energy + switch_energy
+
+        self.total_energy_mj += energy
+        self.total_busy_pe_ms += duration * assignment.pe_fraction
+        self.layers_executed += len(layer_indices)
+
+        return ExecutionRecord(
+            slot=slot,
+            context_switch=switch,
+            context_switch_latency_ms=switch_latency,
+            context_switch_energy_mj=switch_energy,
+        )
+
+    def complete(self, slot_id: int, now: float) -> RunningSlot:
+        """Finish the slot's layers and release its PEs.
+
+        Raises:
+            KeyError: if the slot is unknown (already completed).
+        """
+        slot = self.slots.pop(slot_id)
+        slot.request.record_layers(slot.layer_indices, self.acc_id, now)
+        return slot
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """PE-time utilization over an elapsed window."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.total_busy_pe_ms / elapsed_ms)

@@ -1,0 +1,93 @@
+"""Request bookkeeping: the inference request queues of Figure 4.
+
+The :class:`RequestPool` tracks every live request, grouped by task, and
+answers the queries the engine and schedulers need: which requests are
+schedulable right now, which are stale, and per-task queue depths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.sim.request import InferenceRequest, RequestState
+
+
+class RequestPool:
+    """All live (non-terminal) inference requests, grouped by task."""
+
+    def __init__(self) -> None:
+        self._by_task: dict[str, list[InferenceRequest]] = defaultdict(list)
+        self._all: dict[int, InferenceRequest] = {}
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        return iter(list(self._all.values()))
+
+    def add(self, request: InferenceRequest) -> None:
+        """Register a newly arrived request."""
+        if request.request_id in self._all:
+            raise ValueError(f"request {request.request_id} is already in the pool")
+        self._all[request.request_id] = request
+        self._by_task[request.task_name].append(request)
+
+    def remove(self, request: InferenceRequest) -> None:
+        """Remove a terminal request from the pool."""
+        self._all.pop(request.request_id, None)
+        task_queue = self._by_task.get(request.task_name)
+        if task_queue and request in task_queue:
+            task_queue.remove(request)
+
+    def prune_terminal(self) -> list[InferenceRequest]:
+        """Drop every request that reached a terminal state; return them."""
+        finished = [request for request in self._all.values() if request.is_finished]
+        for request in finished:
+            self.remove(request)
+        return finished
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def pending(self) -> list[InferenceRequest]:
+        """Requests that are schedulable right now (not running, not done)."""
+        return [
+            request
+            for request in self._all.values()
+            if request.state is RequestState.PENDING
+        ]
+
+    def running(self) -> list[InferenceRequest]:
+        """Requests with layers currently executing."""
+        return [
+            request
+            for request in self._all.values()
+            if request.state is RequestState.RUNNING
+        ]
+
+    def for_task(self, task_name: str) -> list[InferenceRequest]:
+        """Live requests of one task, oldest first."""
+        return sorted(self._by_task.get(task_name, []), key=lambda r: r.arrival_ms)
+
+    def queue_depth(self, task_name: str) -> int:
+        """Number of live requests of one task."""
+        return len(self._by_task.get(task_name, []))
+
+    def stale(self, now: float, grace_ms_by_task: dict[str, float]) -> list[InferenceRequest]:
+        """Pending, never-started requests whose deadline passed too long ago.
+
+        A request is stale when ``now > deadline + grace`` for its task; the
+        engine expires such requests (their frame is useless by then — the
+        next frame has already arrived), which bounds queue growth under
+        overload for schedulers that have no frame-drop mechanism of their
+        own.
+        """
+        result = []
+        for request in self._all.values():
+            if request.state is not RequestState.PENDING or request.started:
+                continue
+            grace = grace_ms_by_task.get(request.task_name, 0.0)
+            if now > request.deadline_ms + grace:
+                result.append(request)
+        return result

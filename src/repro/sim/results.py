@@ -1,0 +1,181 @@
+"""Simulation outcomes: per-task statistics and the overall result object.
+
+The :class:`SimulationResult` is the artefact every experiment consumes; it
+exposes the paper's metrics directly (UXCost via Algorithm 2, per-task
+deadline-violation rates, normalized energy) plus supporting detail
+(accelerator utilization, Supernet variant mix for Figure 14, latency
+statistics).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.metrics.uxcost import ModelOutcome, UXCostBreakdown, compute_uxcost
+
+
+@dataclass
+class TaskStats:
+    """Accumulated outcome of one task over the measurement window."""
+
+    task_name: str
+    total_frames: int = 0
+    completed_frames: int = 0
+    violated_frames: int = 0
+    dropped_frames: int = 0
+    expired_frames: int = 0
+    unfinished_frames: int = 0
+    actual_energy_mj: float = 0.0
+    worst_case_energy_mj: float = 0.0
+    latency_sum_ms: float = 0.0
+    latency_max_ms: float = 0.0
+    variant_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def violation_rate(self) -> float:
+        """Raw violated / total frame rate (no small-number rule)."""
+        if self.total_frames == 0:
+            return 0.0
+        return self.violated_frames / self.total_frames
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of frames proactively dropped."""
+        if self.total_frames == 0:
+            return 0.0
+        return self.dropped_frames / self.total_frames
+
+    @property
+    def normalized_energy(self) -> float:
+        """Actual energy over worst-case energy for the executed frames."""
+        if self.worst_case_energy_mj <= 0:
+            return 0.0
+        return self.actual_energy_mj / self.worst_case_energy_mj
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end latency of completed frames."""
+        if self.completed_frames == 0:
+            return 0.0
+        return self.latency_sum_ms / self.completed_frames
+
+    def to_outcome(self) -> ModelOutcome:
+        """Convert to the UXCost input record (Algorithm 2 per-model terms)."""
+        return ModelOutcome(
+            model_name=self.task_name,
+            total_frames=self.total_frames,
+            violated_frames=self.violated_frames,
+            actual_energy_mj=self.actual_energy_mj,
+            worst_case_energy_mj=self.worst_case_energy_mj,
+        )
+
+
+@dataclass(frozen=True)
+class AcceleratorStats:
+    """Accumulated execution statistics of one sub-accelerator."""
+
+    acc_id: int
+    name: str
+    dataflow: str
+    energy_mj: float
+    busy_pe_ms: float
+    layers_executed: int
+    context_switches: int
+    utilization: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulation run."""
+
+    scenario_name: str
+    platform_name: str
+    scheduler_name: str
+    duration_ms: float
+    seed: int
+    task_stats: dict[str, TaskStats]
+    accelerator_stats: tuple[AcceleratorStats, ...]
+    scheduler_info: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # headline metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def uxcost_breakdown(self) -> UXCostBreakdown:
+        """UXCost and its two factors (Algorithm 2)."""
+        return compute_uxcost(stats.to_outcome() for stats in self.task_stats.values())
+
+    @property
+    def uxcost(self) -> float:
+        """The headline UXCost value."""
+        return self.uxcost_breakdown.uxcost
+
+    @property
+    def overall_violation_rate(self) -> float:
+        """Violated frames over all frames, across every task."""
+        total = sum(stats.total_frames for stats in self.task_stats.values())
+        if total == 0:
+            return 0.0
+        violated = sum(stats.violated_frames for stats in self.task_stats.values())
+        return violated / total
+
+    @property
+    def summed_violation_rate(self) -> float:
+        """Sum of per-task violation rates (the UXCost DLV factor, raw)."""
+        return sum(stats.violation_rate for stats in self.task_stats.values())
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Total energy consumed across all accelerators."""
+        return sum(acc.energy_mj for acc in self.accelerator_stats)
+
+    @property
+    def normalized_energy(self) -> float:
+        """Sum of per-task normalized energies (the UXCost energy factor)."""
+        return sum(stats.normalized_energy for stats in self.task_stats.values())
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames measured across all tasks."""
+        return sum(stats.total_frames for stats in self.task_stats.values())
+
+    @property
+    def dropped_frames(self) -> int:
+        """Total frames proactively dropped by the scheduler."""
+        return sum(stats.dropped_frames for stats in self.task_stats.values())
+
+    def variant_mix(self, task_name: str) -> dict[str, float]:
+        """Fraction of a task's executed frames per model variant (Figure 14)."""
+        stats = self.task_stats[task_name]
+        total = sum(stats.variant_counts.values())
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in sorted(stats.variant_counts.items())}
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        breakdown = self.uxcost_breakdown
+        lines = [
+            f"{self.scenario_name} on {self.platform_name} with {self.scheduler_name} "
+            f"({self.duration_ms:.0f} ms, seed {self.seed})",
+            f"  UXCost: {breakdown.uxcost:.4f}  "
+            f"(DLV factor {breakdown.overall_violation_rate:.4f}, "
+            f"energy factor {breakdown.overall_normalized_energy:.4f})",
+        ]
+        for task_name, stats in sorted(self.task_stats.items()):
+            lines.append(
+                f"  {task_name}: frames={stats.total_frames} "
+                f"violations={stats.violated_frames} ({stats.violation_rate:.1%}) "
+                f"drops={stats.dropped_frames} "
+                f"norm_energy={stats.normalized_energy:.3f} "
+                f"mean_latency={stats.mean_latency_ms:.2f} ms"
+            )
+        for acc in self.accelerator_stats:
+            lines.append(
+                f"  acc{acc.acc_id} [{acc.dataflow}]: util={acc.utilization:.1%} "
+                f"energy={acc.energy_mj:.1f} mJ layers={acc.layers_executed} "
+                f"switches={acc.context_switches}"
+            )
+        return "\n".join(lines)

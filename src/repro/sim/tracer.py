@@ -1,0 +1,85 @@
+"""Optional per-event tracing for debugging and fine-grained analysis.
+
+The tracer records one :class:`TraceRecord` per interesting event (request
+arrival, dispatch, completion, drop, expiry).  It is disabled by default —
+long simulations generate many events — and enabled by passing
+``tracer=Tracer()`` to the engine.  Tests use it to assert detailed
+scheduling invariants (e.g. a request never runs on two accelerators at
+once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced simulator event."""
+
+    time_ms: float
+    event: str
+    task_name: str
+    request_id: int
+    model_name: str
+    acc_id: Optional[int] = None
+    detail: str = ""
+
+
+class Tracer:
+    """Collects trace records during a simulation run."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """Create a tracer.
+
+        Args:
+            capacity: optional maximum number of records kept (oldest are
+                discarded first); ``None`` keeps everything.
+        """
+        self.capacity = capacity
+        self._records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time_ms: float,
+        event: str,
+        task_name: str,
+        request_id: int,
+        model_name: str,
+        acc_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Append one record, honouring the capacity limit."""
+        self._records.append(
+            TraceRecord(
+                time_ms=time_ms,
+                event=event,
+                task_name=task_name,
+                request_id=request_id,
+                model_name=model_name,
+                acc_id=acc_id,
+                detail=detail,
+            )
+        )
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[0]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All collected records, oldest first."""
+        return list(self._records)
+
+    def events(self, event: str) -> list[TraceRecord]:
+        """All records of one event kind (``"dispatch"``, ``"drop"``...)."""
+        return [record for record in self._records if record.event == event]
+
+    def for_request(self, request_id: int) -> list[TraceRecord]:
+        """All records touching one request."""
+        return [record for record in self._records if record.request_id == request_id]

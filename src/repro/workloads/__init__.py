@@ -1,0 +1,48 @@
+"""RTMM workload scenarios (Table 3 of the paper).
+
+A *scenario* is a set of concurrently running ML tasks, each with a target
+frame rate, an optional control dependency on another task (ML cascade) and
+a model from the zoo — possibly a Supernet with switchable variants or a
+model with operator-level dynamicity.
+
+The five scenarios evaluated in the paper are available from
+:mod:`repro.workloads.scenarios`:
+
+* ``vr_gaming``     — XRBench-derived VR gaming (hand + eye + audio pipelines)
+* ``ar_call``       — XRBench-derived AR call (audio pipeline + SkipNet)
+* ``drone_outdoor`` — TrailMAV outdoor navigation
+* ``drone_indoor``  — TrailMAV indoor navigation variant
+* ``ar_social``     — XRBench-derived AR social interaction
+"""
+
+from repro.workloads.scenario import TaskSpec, Scenario
+from repro.workloads.frames import Frame, FrameSource, generate_frames
+from repro.workloads.scenarios import (
+    SCENARIO_BUILDERS,
+    build_scenario,
+    build_vr_gaming,
+    build_ar_call,
+    build_drone_outdoor,
+    build_drone_indoor,
+    build_ar_social,
+    scenario_names,
+)
+from repro.workloads.dynamicity import WorkloadPhase, PhasedWorkload
+
+__all__ = [
+    "TaskSpec",
+    "Scenario",
+    "Frame",
+    "FrameSource",
+    "generate_frames",
+    "SCENARIO_BUILDERS",
+    "build_scenario",
+    "build_vr_gaming",
+    "build_ar_call",
+    "build_drone_outdoor",
+    "build_drone_indoor",
+    "build_ar_social",
+    "scenario_names",
+    "WorkloadPhase",
+    "PhasedWorkload",
+]

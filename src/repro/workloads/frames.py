@@ -1,0 +1,130 @@
+"""Periodic frame generation for pipeline-head tasks.
+
+Real-time tasks consume periodically streamed sensor data: a task with an
+``fps`` target receives one frame every ``1000 / fps`` milliseconds, and
+each frame must complete within one period (its deadline).  The simulator
+turns each :class:`Frame` into an inference request on arrival; downstream
+(cascaded) tasks do not appear here — their requests are spawned by the
+simulator when the upstream inference completes and the control dependency
+fires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.workloads.scenario import Scenario, TaskSpec
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One periodic sensor frame for a head task.
+
+    Attributes:
+        task_name: the head task receiving the frame.
+        frame_id: monotonically increasing index per task.
+        arrival_ms: arrival time of the frame.
+        deadline_ms: completion deadline (arrival + one period).
+    """
+
+    task_name: str
+    frame_id: int
+    arrival_ms: float
+    deadline_ms: float
+
+
+class FrameSource:
+    """Generates the periodic frames of one head task.
+
+    Args:
+        task: the head task specification.
+        start_ms: arrival time of frame 0 (phase offset).
+        jitter_ms: uniform arrival jitter amplitude; sensors are not
+            perfectly periodic, and a small jitter also prevents pathological
+            phase alignment between tasks with identical rates.
+        rng: random generator used for the jitter.
+    """
+
+    def __init__(
+        self,
+        task: TaskSpec,
+        start_ms: float = 0.0,
+        jitter_ms: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not task.is_head:
+            raise ValueError(
+                f"task {task.name!r} is cascaded (depends on {task.depends_on!r}); "
+                "only head tasks have frame sources"
+            )
+        if jitter_ms < 0:
+            raise ValueError("jitter_ms must be non-negative")
+        self.task = task
+        self.start_ms = start_ms
+        self.jitter_ms = jitter_ms
+        self._rng = rng or random.Random(0)
+
+    def frames_until(self, end_ms: float) -> Iterator[Frame]:
+        """Yield all frames arriving in ``[start_ms, end_ms)``."""
+        period = self.task.period_ms
+        frame_id = 0
+        while True:
+            nominal = self.start_ms + frame_id * period
+            if nominal >= end_ms:
+                return
+            jitter = self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms else 0.0
+            arrival = nominal + jitter
+            yield Frame(
+                task_name=self.task.name,
+                frame_id=frame_id,
+                arrival_ms=arrival,
+                deadline_ms=arrival + period,
+            )
+            frame_id += 1
+
+
+def generate_frames(
+    scenario: Scenario,
+    duration_ms: float,
+    jitter_ms: float = 0.0,
+    seed: int = 0,
+    start_ms: float = 0.0,
+) -> list[Frame]:
+    """Generate all head-task frames of a scenario for a simulation window.
+
+    Head tasks are phase-staggered slightly (a fraction of the shortest
+    period spread across tasks) so that all pipelines do not fire in the
+    same instant at t=0, which would be both unrealistic and adversarial
+    for every scheduler equally.
+
+    Args:
+        scenario: the workload scenario.
+        duration_ms: length of the simulated window.
+        jitter_ms: per-frame uniform arrival jitter.
+        seed: seed for the jitter random generator.
+        start_ms: start of the window (frames arrive at or after this time).
+
+    Returns:
+        All frames sorted by arrival time.
+    """
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    heads = scenario.head_tasks
+    if not heads:
+        raise ValueError(f"scenario {scenario.name!r} has no head tasks")
+    shortest_period = min(task.period_ms for task in heads)
+    stagger = shortest_period / max(1, len(heads)) * 0.25
+    frames: list[Frame] = []
+    for index, task in enumerate(heads):
+        rng = random.Random((seed, task.name).__hash__())
+        source = FrameSource(
+            task,
+            start_ms=start_ms + index * stagger,
+            jitter_ms=jitter_ms,
+            rng=rng,
+        )
+        frames.extend(source.frames_until(start_ms + duration_ms))
+    frames.sort(key=lambda frame: (frame.arrival_ms, frame.task_name))
+    return frames

@@ -1,0 +1,190 @@
+"""The five RTMM workload scenarios of Table 3.
+
+``VR_Gaming``, ``AR_Call`` and ``AR_Social`` are derived from XRBench [17];
+``Drone_Outdoor`` and ``Drone_Indoor`` from TrailMAV [32] (with RAPID-RL and
+GoogLeNet-car substitutions for the indoor variant, as the paper describes).
+
+Cascade control dependencies default to the paper's 50% trigger probability
+and can be swept (Figure 12 raises them to 70/90/99%).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models import zoo
+from repro.workloads.scenario import Scenario, TaskSpec
+
+#: Default probability that a cascade dependency fires (Section 5.1).
+DEFAULT_CASCADE_PROBABILITY = 0.5
+
+# Deployment-time input resolutions.  The zoo defaults follow each model's
+# original publication; AR/VR and drone deployments feed higher-resolution
+# sensor crops (XRBench uses VGA-class cameras), which is what loads a
+# 4K-PE platform realistically.  These constants keep all scenarios
+# consistent and give the calibration knob a single home.
+_GAZE_RESOLUTION = 384
+_DETECTION_RESOLUTION = 512
+_HANDPOSE_RESOLUTION = 256
+_CONTEXT_RESOLUTION = 384
+_SKIPNET_RESOLUTION = 384
+_TRAILNET_SHAPE = (216, 384)
+_SOSNET_PATCHES = 96
+_RAPID_RL_SHAPE = (240, 320)
+_DEPTH_SHAPE = (160, 224)
+_EDTCN_WINDOW = 256
+_VOXCELEB_SHAPE = (384, 256)
+_GNMT_HIDDEN = 1024
+_GNMT_TOKENS = 32
+
+
+def build_vr_gaming(cascade_probability: float = DEFAULT_CASCADE_PROBABILITY) -> Scenario:
+    """VR_Gaming: gaze + hand pipelines, visual context, audio pipeline."""
+    return Scenario(
+        name="vr_gaming",
+        description=(
+            "XRBench-derived VR gaming: 60 FPS gaze estimation, 30 FPS hand "
+            "detection cascaded into pose estimation, Supernet-based context "
+            "understanding, and a keyword-spotting -> translation audio pipeline."
+        ),
+        tasks=(
+            TaskSpec("gaze_estimation", zoo.build_fbnet_c(resolution=_GAZE_RESOLUTION), fps=60),
+            TaskSpec("hand_detection", zoo.build_ssd_mobilenet_v2(resolution=_DETECTION_RESOLUTION, task="hand"), fps=30),
+            TaskSpec(
+                "hand_pose_estimation",
+                zoo.build_handposenet(resolution=_HANDPOSE_RESOLUTION),
+                fps=30,
+                depends_on="hand_detection",
+                trigger_probability=cascade_probability,
+            ),
+            TaskSpec("context_understanding", zoo.build_once_for_all(resolution=_CONTEXT_RESOLUTION), fps=30),
+            TaskSpec("keyword_spotting", zoo.build_kws_res8(), fps=15),
+            TaskSpec(
+                "translation",
+                zoo.build_gnmt(hidden_size=_GNMT_HIDDEN, src_tokens=_GNMT_TOKENS, tgt_tokens=_GNMT_TOKENS),
+                fps=15,
+                depends_on="keyword_spotting",
+                trigger_probability=cascade_probability,
+            ),
+        ),
+    )
+
+
+def build_ar_call(cascade_probability: float = DEFAULT_CASCADE_PROBABILITY) -> Scenario:
+    """AR_Call: audio pipeline plus SkipNet context understanding."""
+    return Scenario(
+        name="ar_call",
+        description=(
+            "XRBench-derived AR call: keyword spotting -> translation audio "
+            "pipeline and a SkipNet-based (layer-skipping) context model."
+        ),
+        tasks=(
+            TaskSpec("keyword_spotting", zoo.build_kws_res8(), fps=15),
+            TaskSpec(
+                "translation",
+                zoo.build_gnmt(hidden_size=_GNMT_HIDDEN, src_tokens=_GNMT_TOKENS, tgt_tokens=_GNMT_TOKENS),
+                fps=15,
+                depends_on="keyword_spotting",
+                trigger_probability=cascade_probability,
+            ),
+            TaskSpec("context_understanding", zoo.build_skipnet(resolution=_SKIPNET_RESOLUTION), fps=30),
+        ),
+    )
+
+
+def build_drone_outdoor(cascade_probability: float = DEFAULT_CASCADE_PROBABILITY) -> Scenario:
+    """Drone_Outdoor: TrailMAV trail navigation workload."""
+    del cascade_probability  # no cascaded tasks in this scenario
+    return Scenario(
+        name="drone_outdoor",
+        description=(
+            "TrailMAV outdoor navigation: 30 FPS object detection, 60 FPS "
+            "TrailNet navigation and 60 FPS SOSNet visual odometry."
+        ),
+        tasks=(
+            TaskSpec("object_detection", zoo.build_ssd_mobilenet_v2(resolution=_DETECTION_RESOLUTION, task="object"), fps=30),
+            TaskSpec("outdoor_navigation", zoo.build_trailnet(height=_TRAILNET_SHAPE[0], width=_TRAILNET_SHAPE[1]), fps=60),
+            TaskSpec("visual_odometry", zoo.build_sosnet(num_patches=_SOSNET_PATCHES), fps=60),
+        ),
+    )
+
+
+def build_drone_indoor(cascade_probability: float = DEFAULT_CASCADE_PROBABILITY) -> Scenario:
+    """Drone_Indoor: indoor navigation with RAPID-RL and parking enforcement."""
+    del cascade_probability  # no cascaded tasks in this scenario
+    return Scenario(
+        name="drone_indoor",
+        description=(
+            "TrailMAV indoor variant: 30 FPS object detection, 60 FPS RAPID-RL "
+            "indoor navigation (early exits), 60 FPS SOSNet obstacle support "
+            "and 60 FPS GoogLeNet-car classification for parking enforcement."
+        ),
+        tasks=(
+            TaskSpec("object_detection", zoo.build_ssd_mobilenet_v2(resolution=_DETECTION_RESOLUTION, task="object"), fps=30),
+            TaskSpec("indoor_navigation", zoo.build_rapid_rl(height=_RAPID_RL_SHAPE[0], width=_RAPID_RL_SHAPE[1]), fps=60),
+            TaskSpec("obstacle_detection", zoo.build_sosnet(num_patches=_SOSNET_PATCHES), fps=60),
+            TaskSpec("car_classification", zoo.build_googlenet_car(), fps=60),
+        ),
+    )
+
+
+def build_ar_social(cascade_probability: float = DEFAULT_CASCADE_PROBABILITY) -> Scenario:
+    """AR_Social: depth, action segmentation, speaker pipeline and context."""
+    return Scenario(
+        name="ar_social",
+        description=(
+            "XRBench-derived AR social interaction: 30 FPS depth estimation, "
+            "action segmentation, face detection cascaded into VGG-VoxCeleb "
+            "speaker verification, and Supernet-based context understanding."
+        ),
+        tasks=(
+            TaskSpec("depth_estimation", zoo.build_focal_length_depth(height=_DEPTH_SHAPE[0], width=_DEPTH_SHAPE[1]), fps=30),
+            TaskSpec("action_segmentation", zoo.build_ed_tcn(window=_EDTCN_WINDOW), fps=30),
+            TaskSpec("face_detection", zoo.build_ssd_mobilenet_v2(resolution=_DETECTION_RESOLUTION, task="face"), fps=30),
+            TaskSpec(
+                "face_verification",
+                zoo.build_vgg_voxceleb(height=_VOXCELEB_SHAPE[0], width=_VOXCELEB_SHAPE[1]),
+                fps=30,
+                depends_on="face_detection",
+                trigger_probability=cascade_probability,
+            ),
+            TaskSpec("context_understanding", zoo.build_once_for_all(resolution=_CONTEXT_RESOLUTION), fps=30),
+        ),
+    )
+
+
+#: Scenario builders keyed by scenario name.
+SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
+    "vr_gaming": build_vr_gaming,
+    "ar_call": build_ar_call,
+    "drone_outdoor": build_drone_outdoor,
+    "drone_indoor": build_drone_indoor,
+    "ar_social": build_ar_social,
+}
+
+
+def scenario_names() -> list[str]:
+    """Names of the five evaluated scenarios, in the paper's order."""
+    return ["vr_gaming", "ar_call", "drone_outdoor", "drone_indoor", "ar_social"]
+
+
+def build_scenario(
+    name: str, cascade_probability: float = DEFAULT_CASCADE_PROBABILITY
+) -> Scenario:
+    """Instantiate a scenario preset by name.
+
+    Args:
+        name: one of :func:`scenario_names`.
+        cascade_probability: probability of each ML-cascade control
+            dependency firing (Figure 12 sweeps this).
+
+    Raises:
+        KeyError: if the name is unknown.
+    """
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        ) from None
+    return builder(cascade_probability=cascade_probability)

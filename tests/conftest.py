@@ -1,0 +1,103 @@
+"""Shared fixtures: a small synthetic scenario and platform for fast tests.
+
+Integration tests that need the real Table 3 scenarios build them directly;
+unit tests use the synthetic ``tiny_scenario`` so the whole suite stays
+fast and the expected numbers stay hand-checkable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hardware import AnalyticalCostModel, CostTable, build_platform, make_platform
+from repro.hardware.dataflow import Dataflow
+from repro.models.dynamic import LayerSkipping
+from repro.models.graph import ModelGraph
+from repro.models.layers import conv2d, fc
+from repro.models.supernet import Supernet
+from repro.workloads.scenario import Scenario, TaskSpec
+
+
+def _make_model(name: str, scale: int = 1, dynamic: bool = False) -> ModelGraph:
+    layers = (
+        conv2d(f"{name}.conv1", 64, 64, 8, 16 * scale, kernel=3),
+        conv2d(f"{name}.conv2", 32, 32, 16 * scale, 32 * scale, kernel=3, stride=2),
+        fc(f"{name}.fc", 2048, 256 * scale),
+    )
+    behavior = LayerSkipping(blocks=((1,),), skip_probability=0.5) if dynamic else None
+    if behavior is not None:
+        return ModelGraph(name=name, layers=layers, dynamic_behavior=behavior)
+    return ModelGraph(name=name, layers=layers)
+
+
+@pytest.fixture(scope="session")
+def tiny_models() -> dict[str, ModelGraph]:
+    """Three small hand-checkable models."""
+    return {
+        "alpha": _make_model("alpha", scale=1),
+        "beta": _make_model("beta", scale=2),
+        "gamma": _make_model("gamma", scale=1, dynamic=True),
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_supernet() -> Supernet:
+    """A two-variant supernet built from scaled copies of the same model."""
+    heavy = _make_model("super_heavy", scale=4)
+    light = _make_model("super_light", scale=1)
+    return Supernet(name="tiny_supernet", variants=(heavy, light))
+
+
+@pytest.fixture(scope="session")
+def tiny_platform():
+    """A 2-accelerator heterogeneous platform (1 WS + 1 OS)."""
+    return build_platform(
+        "tiny_het",
+        [(Dataflow.WEIGHT_STATIONARY, 1024), (Dataflow.OUTPUT_STATIONARY, 512)],
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario(tiny_models, tiny_supernet) -> Scenario:
+    """Two head tasks, one cascade, one supernet task."""
+    return Scenario(
+        name="tiny",
+        tasks=(
+            TaskSpec("vision", tiny_models["alpha"], fps=30),
+            TaskSpec("heavy", tiny_models["beta"], fps=15),
+            TaskSpec(
+                "cascade",
+                tiny_models["gamma"],
+                fps=30,
+                depends_on="vision",
+                trigger_probability=0.5,
+            ),
+            TaskSpec("context", tiny_supernet, fps=15),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_cost_table(tiny_platform, tiny_scenario) -> CostTable:
+    """Cost table for the synthetic scenario on the synthetic platform."""
+    return CostTable.build(tiny_platform, tiny_scenario.all_model_graphs())
+
+
+@pytest.fixture(scope="session")
+def het_4k_platform():
+    """The paper's 4K 1WS+2OS preset (used by integration tests)."""
+    return make_platform("4k_1ws_2os")
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic random generator."""
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> AnalyticalCostModel:
+    """A default analytical cost model instance."""
+    return AnalyticalCostModel()

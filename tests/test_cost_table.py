@@ -1,0 +1,86 @@
+"""Unit tests for the offline cost table."""
+
+import pytest
+
+from repro.hardware import CostTable
+
+
+class TestLookups:
+    def test_contains_every_model(self, tiny_cost_table, tiny_scenario):
+        for name in tiny_scenario.model_names():
+            assert name in tiny_cost_table
+
+    def test_latency_and_energy_positive(self, tiny_cost_table):
+        for model_name in tiny_cost_table.model_names:
+            for layer_index in range(tiny_cost_table.num_layers(model_name)):
+                for acc_id in range(tiny_cost_table.num_accelerators):
+                    assert tiny_cost_table.latency(model_name, layer_index, acc_id) > 0
+                    assert tiny_cost_table.energy(model_name, layer_index, acc_id) > 0
+
+    def test_unknown_model_raises(self, tiny_cost_table):
+        with pytest.raises(KeyError):
+            tiny_cost_table.latency("nonexistent", 0, 0)
+
+    def test_out_of_range_layer_raises(self, tiny_cost_table):
+        with pytest.raises(IndexError):
+            tiny_cost_table.latency("alpha", 999, 0)
+
+    def test_duplicate_model_rejected(self, tiny_platform, tiny_models):
+        with pytest.raises(ValueError):
+            CostTable.build(tiny_platform, [tiny_models["alpha"], tiny_models["alpha"]])
+
+
+class TestAggregates:
+    def test_average_between_best_and_worst(self, tiny_cost_table):
+        model = "alpha"
+        for layer_index in range(tiny_cost_table.num_layers(model)):
+            best = tiny_cost_table.best_latency(model, layer_index)
+            avg = tiny_cost_table.average_latency(model, layer_index)
+            total = tiny_cost_table.total_latency(model, layer_index)
+            assert best <= avg <= total
+
+    def test_best_accelerator_is_argmin(self, tiny_cost_table):
+        model = "beta"
+        acc_id = tiny_cost_table.best_accelerator(model, 0)
+        best = tiny_cost_table.latency(model, 0, acc_id)
+        for other in range(tiny_cost_table.num_accelerators):
+            assert best <= tiny_cost_table.latency(model, 0, other)
+
+    def test_remaining_latency_sums(self, tiny_cost_table):
+        model = "alpha"
+        layers = list(range(tiny_cost_table.num_layers(model)))
+        remaining = tiny_cost_table.remaining_average_latency(model, layers)
+        expected = sum(tiny_cost_table.average_latency(model, i) for i in layers)
+        assert remaining == pytest.approx(expected)
+
+    def test_remaining_empty_is_zero(self, tiny_cost_table):
+        assert tiny_cost_table.remaining_average_latency("alpha", []) == 0.0
+        assert tiny_cost_table.remaining_best_latency("alpha", []) == 0.0
+
+    def test_worst_layer_energy_is_max(self, tiny_cost_table):
+        worst = tiny_cost_table.worst_layer_energy("alpha", 0)
+        for acc_id in range(tiny_cost_table.num_accelerators):
+            assert worst >= tiny_cost_table.energy("alpha", 0, acc_id)
+
+    def test_summary_consistency(self, tiny_cost_table):
+        summary = tiny_cost_table.summary("beta")
+        assert summary.best_case_latency_ms <= summary.average_latency_ms
+        assert summary.average_latency_ms <= summary.worst_case_latency_ms
+        assert summary.best_case_energy_mj <= summary.worst_case_energy_mj
+        assert summary.activation_footprint_bytes > 0
+
+
+class TestContextSwitch:
+    def test_same_model_is_free(self, tiny_cost_table):
+        assert tiny_cost_table.context_switch_energy("alpha", "alpha", 0) == 0.0
+        assert tiny_cost_table.context_switch_latency("alpha", None, 0) == 0.0
+
+    def test_switch_has_positive_cost(self, tiny_cost_table):
+        assert tiny_cost_table.context_switch_energy("alpha", "beta", 0) > 0.0
+        assert tiny_cost_table.context_switch_latency("alpha", "beta", 0) > 0.0
+
+    def test_switch_cost_capped_by_sram(self, tiny_cost_table, tiny_platform):
+        acc = tiny_platform[0]
+        max_bytes = 2 * acc.sram_bytes
+        max_cost = acc.context_switch_cost(acc.sram_bytes, acc.sram_bytes)
+        assert tiny_cost_table.context_switch_latency("alpha", "beta", 0) <= max_cost.latency_ms + 1e-9

@@ -1,0 +1,254 @@
+"""Unit tests for DREAM's MapScore, frame drop, adaptivity and dispatch engines."""
+
+import random
+
+import pytest
+
+from repro.core.adaptivity import (
+    IterativeParameterOptimizer,
+    OnlineAdaptivityEngine,
+    ParameterPoint,
+)
+from repro.core.config import (
+    DreamConfig,
+    OptimizationObjective,
+    dream_fixed,
+    dream_full,
+    dream_mapscore,
+    dream_smartdrop,
+)
+from repro.core.dispatch import JobDispatchEngine
+from repro.core.frame_drop import FrameDropConfig, SmartFrameDropEngine
+from repro.core.mapscore import MapScoreEngine
+from repro.sim.request import InferenceRequest
+
+
+def _request(tiny_scenario, task="vision", deadline=50.0, arrival=0.0, seed=0):
+    spec = tiny_scenario.task(task)
+    return InferenceRequest(
+        task_name=spec.name,
+        model=spec.default_model,
+        frame_id=0,
+        arrival_ms=arrival,
+        deadline_ms=deadline,
+        rng=random.Random(seed),
+    )
+
+
+class TestConfig:
+    def test_presets_match_table4(self):
+        assert dream_mapscore().enable_parameter_optimization
+        assert not dream_mapscore().enable_frame_drop
+        assert dream_smartdrop().enable_frame_drop
+        assert not dream_smartdrop().enable_supernet_switching
+        assert dream_full().enable_supernet_switching
+        assert not dream_fixed().enable_parameter_optimization
+
+    def test_parameter_range_validation(self):
+        with pytest.raises(ValueError):
+            DreamConfig(alpha=5.0)
+
+    def test_with_objective(self):
+        config = dream_mapscore().with_objective(OptimizationObjective.ENERGY_ONLY)
+        assert config.objective is OptimizationObjective.ENERGY_ONLY
+
+
+class TestMapScore:
+    def test_urgency_matches_algorithm1(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        request = _request(tiny_scenario, deadline=40.0)
+        to_go = tiny_cost_table.remaining_average_latency("alpha", request.remaining_path())
+        assert engine.urgency_score(request, now_ms=0.0) == pytest.approx(to_go / 40.0)
+
+    def test_urgency_increases_as_deadline_nears(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        request = _request(tiny_scenario, deadline=40.0)
+        assert engine.urgency_score(request, 30.0) > engine.urgency_score(request, 0.0)
+
+    def test_latency_preference_favours_faster_accelerator(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        request = _request(tiny_scenario)
+        best_acc = tiny_cost_table.best_accelerator("alpha", 0)
+        other = 1 - best_acc
+        assert engine.latency_preference_score(request, best_acc) > engine.latency_preference_score(
+            request, other
+        )
+
+    def test_starvation_grows_with_wait(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        request = _request(tiny_scenario, arrival=0.0)
+        assert engine.starvation_score(request, 20.0) > engine.starvation_score(request, 1.0)
+
+    def test_energy_score_penalizes_context_switch(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        request = _request(tiny_scenario, task="vision")
+        no_switch = engine.energy_score(request, 0, resident_model="alpha")
+        with_switch = engine.energy_score(request, 0, resident_model="beta")
+        assert with_switch < no_switch
+
+    def test_total_composition(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        request = _request(tiny_scenario)
+        breakdown = engine.map_score(request, 0, now_ms=0.0, alpha=0.5, beta=2.0, resident_model=None)
+        expected = (
+            breakdown.urgency * breakdown.latency_preference
+            + 0.5 * breakdown.starvation
+            + 2.0 * breakdown.energy_score
+        )
+        assert breakdown.total == pytest.approx(expected)
+
+    def test_score_table_covers_all_pairs(self, tiny_cost_table, tiny_scenario):
+        engine = MapScoreEngine(tiny_cost_table)
+        requests = [_request(tiny_scenario, seed=i) for i in range(3)]
+        table = engine.score_table(requests, [0, 1], 0.0, 1.0, 1.0, {0: None, 1: None})
+        assert len(table) == 6
+
+
+class TestFrameDrop:
+    def _engine(self, tiny_cost_table, tiny_scenario, **kwargs):
+        return SmartFrameDropEngine(tiny_cost_table, tiny_scenario, FrameDropConfig(**kwargs))
+
+    def test_no_drop_when_single_violation(self, tiny_cost_table, tiny_scenario):
+        engine = self._engine(tiny_cost_table, tiny_scenario)
+        hopeless = _request(tiny_scenario, task="cascade", deadline=0.5)
+        assert engine.select_drop([hopeless], [], now_ms=0.4) is None
+
+    def test_drop_requires_chain_tail(self, tiny_cost_table, tiny_scenario):
+        engine = self._engine(tiny_cost_table, tiny_scenario)
+        upstream = _request(tiny_scenario, task="vision", deadline=0.5)
+        other = _request(tiny_scenario, task="heavy", deadline=0.5)
+        # Both expect violations, but "vision" has a dependant so only
+        # requests from tail tasks are candidates; "heavy" is a tail.
+        selected = engine.select_drop([upstream, other], [], now_ms=0.49)
+        assert selected is other
+
+    def test_drop_budget_enforced(self, tiny_cost_table, tiny_scenario):
+        engine = self._engine(tiny_cost_table, tiny_scenario, max_drop_rate=0.2, window_frames=10)
+        for _ in range(2):
+            engine.record_outcome("heavy", dropped=True)
+        hopeless = _request(tiny_scenario, task="heavy", deadline=0.5)
+        other = _request(tiny_scenario, task="cascade", deadline=0.5)
+        selected = engine.select_drop([hopeless, other], [], now_ms=0.49)
+        assert selected is other  # heavy exhausted its budget
+
+    def test_most_hopeless_candidate_selected(self, tiny_cost_table, tiny_scenario):
+        engine = self._engine(tiny_cost_table, tiny_scenario)
+        slightly_late = _request(tiny_scenario, task="heavy", deadline=1.05)
+        very_late = _request(tiny_scenario, task="cascade", deadline=1.01)
+        selected = engine.select_drop([slightly_late, very_late], [], now_ms=1.0)
+        assert selected is very_late
+
+    def test_no_drop_when_everything_feasible(self, tiny_cost_table, tiny_scenario):
+        engine = self._engine(tiny_cost_table, tiny_scenario)
+        relaxed = _request(tiny_scenario, task="heavy", deadline=500.0)
+        assert engine.select_drop([relaxed], [relaxed], now_ms=0.0) is None
+
+
+class TestIterativeOptimizer:
+    def test_converges_on_convex_objective(self):
+        def objective(alpha, beta):
+            return (alpha - 0.6) ** 2 + (beta - 1.4) ** 2 + 0.01
+
+        optimizer = IterativeParameterOptimizer(objective, initial_radius=0.5, min_radius=0.05)
+        trace = optimizer.optimize(ParameterPoint(1.8, 0.2))
+        assert trace.final_point.distance(ParameterPoint(0.6, 1.4)) < 0.45
+        assert trace.final_cost <= objective(1.8, 0.2)
+
+    def test_costs_never_regress_much(self):
+        def objective(alpha, beta):
+            return abs(alpha - 1.0) + abs(beta - 1.0) + 0.1
+
+        optimizer = IterativeParameterOptimizer(objective)
+        trace = optimizer.optimize(ParameterPoint(0.0, 2.0))
+        costs = trace.costs_per_step()
+        assert costs[-1] <= costs[0] + 1e-9
+
+    def test_candidates_respect_range(self):
+        optimizer = IterativeParameterOptimizer(lambda a, b: a + b)
+        points = optimizer.candidate_points(ParameterPoint(0.0, 2.0), radius=0.5)
+        for point in points:
+            assert 0.0 <= point.alpha <= 2.0
+            assert 0.0 <= point.beta <= 2.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IterativeParameterOptimizer(lambda a, b: 0.0, radius_decay=1.5)
+
+
+class TestOnlineAdaptivity:
+    def test_disabled_engine_keeps_parameters(self):
+        engine = OnlineAdaptivityEngine(alpha=0.7, beta=1.3, enabled=False)
+        engine.observe_frame("t", violated=True, energy_mj=1.0, worst_energy_mj=2.0)
+        for step in range(10):
+            engine.step(now_ms=step * 100.0)
+        assert engine.alpha == pytest.approx(0.7)
+        assert engine.beta == pytest.approx(1.3)
+
+    def test_window_cost_objectives(self):
+        engine = OnlineAdaptivityEngine(objective=OptimizationObjective.UXCOST)
+        engine.observe_frame("t", violated=True, energy_mj=1.0, worst_energy_mj=2.0)
+        engine.observe_frame("t", violated=False, energy_mj=1.0, worst_energy_mj=2.0)
+        uxcost = engine.window_cost()
+        engine.objective = OptimizationObjective.DEADLINE_ONLY
+        assert engine.window_cost() == pytest.approx(0.5)
+        engine.objective = OptimizationObjective.ENERGY_ONLY
+        assert engine.window_cost() == pytest.approx(0.5)
+        assert uxcost == pytest.approx(0.25)
+
+    def test_workload_change_resets_radius(self):
+        engine = OnlineAdaptivityEngine(initial_radius=0.5, min_radius=0.05)
+        engine.notify_workload(["a", "b"])
+        engine._radius = 0.01
+        engine.notify_workload(["a", "c"])
+        assert engine._radius == pytest.approx(0.5)
+
+    def test_history_records_windows(self):
+        engine = OnlineAdaptivityEngine(window_ms=10.0)
+        engine.notify_workload(["t"])
+        engine.step(0.0)
+        engine.observe_frame("t", violated=False, energy_mj=1.0, worst_energy_mj=2.0)
+        engine.step(20.0)
+        assert len(engine.history) == 1
+
+
+class TestDispatchEngine:
+    def _engine(self, tiny_cost_table, tiny_scenario, switching=False):
+        return JobDispatchEngine(
+            tiny_cost_table,
+            tiny_scenario,
+            MapScoreEngine(tiny_cost_table),
+            enable_supernet_switching=switching,
+        )
+
+    def test_supernet_lookup(self, tiny_cost_table, tiny_scenario):
+        engine = self._engine(tiny_cost_table, tiny_scenario)
+        assert engine.supernet_for("context") is not None
+        assert engine.supernet_for("vision") is None
+
+    def test_variant_switch_under_pressure(self, tiny_cost_table, tiny_scenario, tiny_supernet):
+        engine = self._engine(tiny_cost_table, tiny_scenario, switching=True)
+        spec = tiny_scenario.task("context")
+        request = InferenceRequest(
+            task_name=spec.name,
+            model=tiny_supernet.default_variant,
+            frame_id=0,
+            arrival_ms=0.0,
+            deadline_ms=2.0,
+            rng=random.Random(0),
+        )
+        variant = engine.choose_variant(request, now_ms=0.0, load_pressure=10.0)
+        assert variant is not None
+        assert variant.total_macs < tiny_supernet.default_variant.total_macs
+
+    def test_no_switch_with_ample_slack(self, tiny_cost_table, tiny_scenario, tiny_supernet):
+        engine = self._engine(tiny_cost_table, tiny_scenario, switching=True)
+        spec = tiny_scenario.task("context")
+        request = InferenceRequest(
+            task_name=spec.name,
+            model=tiny_supernet.default_variant,
+            frame_id=0,
+            arrival_ms=0.0,
+            deadline_ms=10_000.0,
+            rng=random.Random(0),
+        )
+        assert engine.choose_variant(request, now_ms=0.0, load_pressure=0.0) is None

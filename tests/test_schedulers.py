@@ -1,0 +1,158 @@
+"""Unit and integration tests for the baseline schedulers and DREAM."""
+
+import pytest
+
+from repro.schedulers import (
+    baseline_scheduler_names,
+    dream_scheduler_names,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.sim import RequestState, SimulationEngine, Tracer, run_simulation
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in scheduler_names():
+            scheduler = make_scheduler(name)
+            assert scheduler.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_scheduler("round_robin_3000")
+
+    def test_baselines_and_dream_disjoint(self):
+        assert set(baseline_scheduler_names()).isdisjoint(dream_scheduler_names())
+
+    def test_factories_return_fresh_instances(self):
+        first, second = make_scheduler("dream_full"), make_scheduler("dream_full")
+        assert first is not second
+
+
+@pytest.mark.parametrize("scheduler_name", scheduler_names())
+def test_every_scheduler_completes_work(tiny_scenario, tiny_platform, scheduler_name):
+    """Integration: every policy drives the tiny scenario without stalling."""
+    result = run_simulation(
+        scenario=tiny_scenario,
+        platform=tiny_platform,
+        scheduler=make_scheduler(scheduler_name),
+        duration_ms=600.0,
+        seed=7,
+    )
+    assert result.total_frames > 0
+    total_completed = sum(stats.completed_frames for stats in result.task_stats.values())
+    assert total_completed > 0
+    assert result.total_energy_mj > 0
+    assert 0.0 <= result.overall_violation_rate <= 1.0
+    assert result.uxcost >= 0.0
+
+
+class TestSchedulerBehaviour:
+    def test_static_fcfs_pins_tasks(self, tiny_scenario, tiny_platform, tiny_cost_table):
+        import random
+
+        scheduler = make_scheduler("fcfs_static")
+        scheduler.bind(tiny_platform, tiny_cost_table, tiny_scenario, random.Random(0))
+        mapping = scheduler.info()["task_to_accelerator"]
+        assert set(mapping) == set(tiny_scenario.task_names)
+        assert all(0 <= acc_id < len(tiny_platform) for acc_id in mapping.values())
+
+    def test_veltair_block_size_grows_with_budget(self, tiny_scenario, tiny_platform, tiny_cost_table):
+        import random
+        from repro.schedulers.veltair import VeltairScheduler
+        from repro.sim.request import InferenceRequest
+
+        small = VeltairScheduler(block_latency_ms=0.01)
+        large = VeltairScheduler(block_latency_ms=100.0)
+        for scheduler in (small, large):
+            scheduler.bind(tiny_platform, tiny_cost_table, tiny_scenario, random.Random(0))
+        spec = tiny_scenario.task("heavy")
+        request = InferenceRequest(spec.name, spec.default_model, 0, 0.0, 100.0, rng=random.Random(0))
+        assert small.block_size(request) <= large.block_size(request)
+        assert large.block_size(request) == request.total_layers
+
+    def test_dream_tracks_parameters(self, tiny_scenario, tiny_platform):
+        scheduler = make_scheduler("dream_mapscore")
+        run_simulation(tiny_scenario, tiny_platform, scheduler, duration_ms=500.0, seed=3)
+        info = scheduler.info()
+        assert 0.0 <= info["alpha"] <= 2.0
+        assert 0.0 <= info["beta"] <= 2.0
+        assert info["config"]["parameter_optimization"] is True
+
+    def test_dream_fixed_never_moves_parameters(self, tiny_scenario, tiny_platform):
+        scheduler = make_scheduler("dream_fixed")
+        run_simulation(tiny_scenario, tiny_platform, scheduler, duration_ms=500.0, seed=3)
+        assert scheduler.current_alpha == pytest.approx(1.0)
+        assert scheduler.current_beta == pytest.approx(1.0)
+
+
+class TestEngineInvariants:
+    def test_determinism_same_seed(self, tiny_scenario, tiny_platform):
+        first = run_simulation(tiny_scenario, tiny_platform, make_scheduler("dream_full"), 500.0, seed=11)
+        second = run_simulation(tiny_scenario, tiny_platform, make_scheduler("dream_full"), 500.0, seed=11)
+        assert first.uxcost == pytest.approx(second.uxcost)
+        assert first.total_energy_mj == pytest.approx(second.total_energy_mj)
+
+    def test_different_seeds_differ(self, tiny_scenario, tiny_platform):
+        first = run_simulation(tiny_scenario, tiny_platform, make_scheduler("fcfs_dynamic"), 500.0, seed=1)
+        second = run_simulation(tiny_scenario, tiny_platform, make_scheduler("fcfs_dynamic"), 500.0, seed=2)
+        # Dynamic paths and cascades are stochastic, so at least the energy differs.
+        assert first.total_energy_mj != pytest.approx(second.total_energy_mj)
+
+    def test_tracer_records_consistent_story(self, tiny_scenario, tiny_platform):
+        tracer = Tracer()
+        engine = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=tiny_platform,
+            scheduler=make_scheduler("dream_smartdrop"),
+            duration_ms=400.0,
+            seed=5,
+            tracer=tracer,
+        )
+        engine.run()
+        dispatches = tracer.events("dispatch")
+        arrivals = tracer.events("arrival") + tracer.events("cascade_arrival")
+        assert dispatches and arrivals
+        # Every dispatched request must have arrived first.
+        arrived_ids = {record.request_id for record in arrivals}
+        assert all(record.request_id in arrived_ids for record in dispatches)
+
+    def test_cascade_requests_only_after_parent(self, tiny_scenario, tiny_platform):
+        tracer = Tracer()
+        engine = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=tiny_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=500.0,
+            seed=9,
+            tracer=tracer,
+        )
+        engine.run()
+        cascade_arrivals = tracer.events("cascade_arrival")
+        assert all(record.task_name == "cascade" for record in cascade_arrivals)
+
+    def test_measurement_window_excludes_tail_frames(self, tiny_scenario, tiny_platform):
+        result = run_simulation(
+            tiny_scenario, tiny_platform, make_scheduler("fcfs_dynamic"), duration_ms=500.0, seed=4
+        )
+        # 30 FPS task over 500 ms: at most 15 frames have deadlines inside the window.
+        assert result.task_stats["vision"].total_frames <= 15
+
+    def test_accelerator_utilization_bounded(self, tiny_scenario, tiny_platform):
+        result = run_simulation(
+            tiny_scenario, tiny_platform, make_scheduler("planaria"), duration_ms=500.0, seed=6
+        )
+        for acc in result.accelerator_stats:
+            assert 0.0 <= acc.utilization <= 1.0
+
+    def test_invalid_duration_rejected(self, tiny_scenario, tiny_platform):
+        with pytest.raises(ValueError):
+            SimulationEngine(tiny_scenario, tiny_platform, make_scheduler("fcfs_dynamic"), duration_ms=0.0)
+
+    def test_variant_counts_recorded_for_supernet_task(self, tiny_scenario, tiny_platform):
+        result = run_simulation(
+            tiny_scenario, tiny_platform, make_scheduler("dream_full"), duration_ms=600.0, seed=2
+        )
+        mix = result.variant_mix("context")
+        if mix:
+            assert sum(mix.values()) == pytest.approx(1.0)

@@ -1,0 +1,238 @@
+"""Unit tests for requests, queues, executors and the metric records."""
+
+import random
+
+import pytest
+
+from repro.metrics.uxcost import ModelOutcome, compute_uxcost
+from repro.metrics.reporting import format_table, geometric_mean, relative_reduction
+from repro.sim import Assignment, RequestPool
+from repro.sim.executor import AcceleratorExecutor
+from repro.sim.request import InferenceRequest, RequestState
+
+
+def _request(tiny_scenario, task="vision", deadline=100.0, arrival=0.0, rng_seed=0):
+    task_spec = tiny_scenario.task(task)
+    return InferenceRequest(
+        task_name=task_spec.name,
+        model=task_spec.default_model,
+        frame_id=0,
+        arrival_ms=arrival,
+        deadline_ms=deadline,
+        rng=random.Random(rng_seed),
+    )
+
+
+class TestRequestLifecycle:
+    def test_initial_state(self, tiny_scenario):
+        request = _request(tiny_scenario)
+        assert request.state is RequestState.PENDING
+        assert request.next_layer() == 0
+        assert not request.started
+
+    def test_record_layers_advances(self, tiny_scenario):
+        request = _request(tiny_scenario)
+        request.mark_running()
+        request.record_layers([0], acc_id=0, completion_ms=5.0)
+        assert request.next_position == 1
+        assert request.previous_accelerator() == 0
+        assert request.last_progress_ms == 5.0
+
+    def test_record_wrong_layers_rejected(self, tiny_scenario):
+        request = _request(tiny_scenario)
+        request.mark_running()
+        with pytest.raises(ValueError):
+            request.record_layers([2], acc_id=0, completion_ms=1.0)
+
+    def test_completion_and_violation(self, tiny_scenario):
+        request = _request(tiny_scenario, deadline=10.0)
+        request.mark_running()
+        request.record_layers(request.path, acc_id=1, completion_ms=12.0)
+        assert request.state is RequestState.COMPLETED
+        assert request.violated_deadline
+        assert request.latency_ms == pytest.approx(12.0)
+
+    def test_drop_counts_as_violation(self, tiny_scenario):
+        request = _request(tiny_scenario)
+        request.mark_dropped(now=3.0)
+        assert request.state is RequestState.DROPPED
+        assert request.violated_deadline
+
+    def test_terminal_requests_cannot_transition(self, tiny_scenario):
+        request = _request(tiny_scenario)
+        request.mark_expired(now=1.0)
+        with pytest.raises(ValueError):
+            request.mark_running()
+
+    def test_variant_switch_only_before_start(self, tiny_scenario, tiny_supernet):
+        task = tiny_scenario.task("context")
+        request = InferenceRequest(
+            task_name=task.name,
+            model=tiny_supernet.default_variant,
+            frame_id=0,
+            arrival_ms=0.0,
+            deadline_ms=50.0,
+            rng=random.Random(0),
+        )
+        request.switch_variant(tiny_supernet.lightest_variant)
+        assert request.model_name == "super_light"
+        request.mark_running()
+        request.record_layers([0], acc_id=0, completion_ms=1.0)
+        with pytest.raises(ValueError):
+            request.switch_variant(tiny_supernet.default_variant)
+
+    def test_queue_time(self, tiny_scenario):
+        request = _request(tiny_scenario, arrival=10.0, deadline=100.0)
+        assert request.queue_time_ms(25.0) == pytest.approx(15.0)
+
+    def test_deadline_before_arrival_rejected(self, tiny_scenario):
+        task = tiny_scenario.task("vision")
+        with pytest.raises(ValueError):
+            InferenceRequest(task.name, task.default_model, 0, arrival_ms=5.0, deadline_ms=1.0)
+
+
+class TestRequestPool:
+    def test_add_remove(self, tiny_scenario):
+        pool = RequestPool()
+        request = _request(tiny_scenario)
+        pool.add(request)
+        assert len(pool) == 1
+        assert pool.queue_depth("vision") == 1
+        pool.remove(request)
+        assert len(pool) == 0
+
+    def test_duplicate_add_rejected(self, tiny_scenario):
+        pool = RequestPool()
+        request = _request(tiny_scenario)
+        pool.add(request)
+        with pytest.raises(ValueError):
+            pool.add(request)
+
+    def test_pending_excludes_running(self, tiny_scenario):
+        pool = RequestPool()
+        request = _request(tiny_scenario)
+        pool.add(request)
+        request.mark_running()
+        assert pool.pending() == []
+        assert pool.running() == [request]
+
+    def test_stale_detection(self, tiny_scenario):
+        pool = RequestPool()
+        request = _request(tiny_scenario, deadline=10.0)
+        pool.add(request)
+        assert pool.stale(now=50.0, grace_ms_by_task={"vision": 5.0}) == [request]
+        assert pool.stale(now=11.0, grace_ms_by_task={"vision": 5.0}) == []
+
+
+class TestExecutor:
+    def test_start_and_complete(self, tiny_platform, tiny_cost_table, tiny_scenario):
+        executor = AcceleratorExecutor(tiny_platform[0], tiny_cost_table)
+        request = _request(tiny_scenario)
+        record = executor.start(Assignment(request=request, acc_id=0, layer_count=2), now=0.0)
+        assert executor.free_fraction == 0.0
+        assert record.slot.end_ms > 0.0
+        assert request.state is RequestState.RUNNING
+        executor.complete(record.slot.slot_id, now=record.slot.end_ms)
+        assert executor.free_fraction == 1.0
+        assert request.next_position == 2
+
+    def test_context_switch_charged_once_model_changes(
+        self, tiny_platform, tiny_cost_table, tiny_scenario
+    ):
+        executor = AcceleratorExecutor(tiny_platform[0], tiny_cost_table)
+        first = _request(tiny_scenario, task="vision")
+        second = _request(tiny_scenario, task="heavy")
+        record1 = executor.start(Assignment(request=first, acc_id=0, layer_count=1), now=0.0)
+        executor.complete(record1.slot.slot_id, now=record1.slot.end_ms)
+        record2 = executor.start(
+            Assignment(request=second, acc_id=0, layer_count=1), now=record1.slot.end_ms
+        )
+        assert record1.context_switch is False
+        assert record2.context_switch is True
+        assert record2.context_switch_energy_mj > 0.0
+
+    def test_fission_scales_latency(self, tiny_platform, tiny_cost_table, tiny_scenario):
+        executor_full = AcceleratorExecutor(tiny_platform[0], tiny_cost_table)
+        executor_half = AcceleratorExecutor(tiny_platform[0], tiny_cost_table)
+        full = executor_full.start(
+            Assignment(request=_request(tiny_scenario, rng_seed=1), acc_id=0, layer_count=1), now=0.0
+        )
+        half = executor_half.start(
+            Assignment(
+                request=_request(tiny_scenario, rng_seed=2), acc_id=0, layer_count=1, pe_fraction=0.5
+            ),
+            now=0.0,
+        )
+        assert half.slot.end_ms >= full.slot.end_ms
+
+    def test_over_allocation_rejected(self, tiny_platform, tiny_cost_table, tiny_scenario):
+        executor = AcceleratorExecutor(tiny_platform[0], tiny_cost_table)
+        executor.start(Assignment(request=_request(tiny_scenario, rng_seed=3), acc_id=0), now=0.0)
+        with pytest.raises(ValueError):
+            executor.start(Assignment(request=_request(tiny_scenario, rng_seed=4), acc_id=0), now=0.0)
+
+    def test_energy_accounting_accumulates(self, tiny_platform, tiny_cost_table, tiny_scenario):
+        executor = AcceleratorExecutor(tiny_platform[1], tiny_cost_table)
+        request = _request(tiny_scenario)
+        record = executor.start(Assignment(request=request, acc_id=1, layer_count=3), now=0.0)
+        assert request.energy_mj == pytest.approx(record.slot.energy_mj)
+        assert request.worst_case_energy_mj >= request.energy_mj - 1e-9
+        assert executor.total_energy_mj == pytest.approx(record.slot.energy_mj)
+
+
+class TestAssignmentValidation:
+    def test_layer_count_positive(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            Assignment(request=_request(tiny_scenario), acc_id=0, layer_count=0)
+
+    def test_pe_fraction_range(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            Assignment(request=_request(tiny_scenario), acc_id=0, pe_fraction=1.5)
+
+
+class TestUXCost:
+    def test_zero_violations_use_small_number_rule(self):
+        outcome = ModelOutcome("m", total_frames=20, violated_frames=0, actual_energy_mj=1.0, worst_case_energy_mj=2.0)
+        assert outcome.violation_rate == pytest.approx(1.0 / 40.0)
+        assert outcome.raw_violation_rate == 0.0
+
+    def test_normalized_energy(self):
+        outcome = ModelOutcome("m", 10, 2, actual_energy_mj=3.0, worst_case_energy_mj=6.0)
+        assert outcome.normalized_energy == pytest.approx(0.5)
+
+    def test_uxcost_is_product_of_sums(self):
+        outcomes = [
+            ModelOutcome("a", 10, 5, 1.0, 2.0),
+            ModelOutcome("b", 10, 0, 1.0, 4.0),
+        ]
+        breakdown = compute_uxcost(outcomes)
+        expected_rate = 0.5 + 1.0 / 20.0
+        expected_energy = 0.5 + 0.25
+        assert breakdown.uxcost == pytest.approx(expected_rate * expected_energy)
+
+    def test_empty_models_ignored(self):
+        breakdown = compute_uxcost([ModelOutcome("idle", 0, 0, 0.0, 0.0)])
+        assert breakdown.uxcost == 0.0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ModelOutcome("m", total_frames=1, violated_frames=2, actual_energy_mj=0, worst_case_energy_mj=0)
+
+
+class TestReporting:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_relative_reduction(self):
+        assert relative_reduction(2.0, 1.0) == pytest.approx(0.5)
+        assert relative_reduction(0.0, 1.0) == 0.0
+
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "metric"], [["x", 1.5], ["longer", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "metric" in lines[0]
