@@ -21,7 +21,7 @@ from repro.workloads import build_scenario, Scenario
 from repro.schedulers import make_scheduler
 from repro.sim import SimulationEngine, SimulationResult, run_simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "make_platform",

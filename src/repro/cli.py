@@ -1,0 +1,432 @@
+"""``repro`` — the console entry point of the reproduction.
+
+Subcommands:
+
+* ``repro list`` — every scenario, platform, scheduler, backend and figure
+  preset the harness knows about.
+* ``repro grid`` — run a (scenario x platform x scheduler) grid on a chosen
+  execution backend, print the paper-style UXCost table, optionally
+  persisting results (``--store``) and dumping structured JSON (``--json``).
+  ``--smoke`` selects the small fixed grid CI uses for backend parity.
+* ``repro figure N`` — regenerate one evaluation figure (or ``all``),
+  routed through the selected backend via
+  :func:`repro.experiments.harness.default_execution`.
+* ``repro bench`` — time the same grid on the serial and process backends,
+  assert bit-for-bit parity, and emit a machine-readable ``BENCH_grid.json``
+  (cells/sec, wall times, speedup) so perf trajectories persist across PRs.
+
+Every subcommand is importable and drives the same public harness API the
+tests use; the CLI adds no simulation logic of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.experiments import figures as figures_mod
+from repro.experiments.backends import backend_names
+from repro.experiments.harness import default_execution, run_grid
+from repro.experiments.jobs import grid_jobs
+from repro.experiments.store import ResultStore
+from repro.hardware.platform import all_platform_names
+from repro.metrics.reporting import format_table
+from repro.schedulers import scheduler_names
+from repro.workloads import scenario_names
+
+#: Fixed grid used by ``repro grid --smoke`` and as the ``repro bench``
+#: default: 2 scenarios x 2 platforms x 3 schedulers = 12 cells, spanning a
+#: baseline, a strong baseline and the full DREAM configuration.
+SMOKE_GRID = {
+    "scenarios": ["ar_call", "vr_gaming"],
+    "platforms": ["4k_1ws_2os", "4k_2ws"],
+    "schedulers": ["fcfs_dynamic", "planaria", "dream_full"],
+}
+
+#: Simulated window used by the smoke grid (short but non-trivial).
+SMOKE_DURATION_MS = 400.0
+
+
+def _split_names(values: Optional[Sequence[str]], default: Sequence[str]) -> list[str]:
+    """Expand repeated/comma-separated name options into a flat list."""
+    if not values:
+        return list(default)
+    names: list[str] = []
+    for value in values:
+        names.extend(part for part in value.split(",") if part)
+    return names
+
+
+def _jsonable(value):
+    """Best-effort conversion of figure summaries to JSON-serializable data."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="serial",
+        help="execution backend for grid cells (default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for --backend process (default: CPU count)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-keyed result cache directory; cached cells are not re-run",
+    )
+
+
+def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    return ResultStore(args.store) if args.store is not None else None
+
+
+# --------------------------------------------------------------------- #
+# repro list
+# --------------------------------------------------------------------- #
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("scenarios: ", ", ".join(scenario_names()))
+    print("platforms: ", ", ".join(all_platform_names()))
+    print("schedulers:", ", ".join(scheduler_names()))
+    print("backends:  ", ", ".join(backend_names()))
+    print("figures:   ", ", ".join(sorted(figures_mod.ALL_FIGURES)))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# repro grid
+# --------------------------------------------------------------------- #
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    if args.smoke:
+        scenarios = list(SMOKE_GRID["scenarios"])
+        platforms = list(SMOKE_GRID["platforms"])
+        schedulers = list(SMOKE_GRID["schedulers"])
+        duration_ms = args.duration_ms if args.duration_ms is not None else SMOKE_DURATION_MS
+    else:
+        scenarios = _split_names(args.scenarios, scenario_names())
+        platforms = _split_names(args.platforms, ["4k_1ws_2os"])
+        schedulers = _split_names(args.schedulers, ["fcfs_dynamic", "planaria", "dream_full"])
+        duration_ms = args.duration_ms if args.duration_ms is not None else 800.0
+
+    cells = len(scenarios) * len(platforms) * len(schedulers)
+    print(
+        f"running {cells} cells ({len(scenarios)} scenarios x {len(platforms)} "
+        f"platforms x {len(schedulers)} schedulers) on backend "
+        f"{args.backend!r} (duration {duration_ms:g} ms, seed {args.seed})"
+    )
+    store = _make_store(args)
+    started = time.perf_counter()
+    grid = run_grid(
+        scenarios=scenarios,
+        platforms=platforms,
+        schedulers=schedulers,
+        duration_ms=duration_ms,
+        seed=args.seed,
+        cascade_probability=args.cascade_probability,
+        backend=args.backend,
+        workers=args.workers,
+        store=store,
+    )
+    elapsed = time.perf_counter() - started
+
+    table = grid.uxcost_table()
+    rows = [
+        [config, scheduler, uxcost]
+        for config, by_scheduler in sorted(table.items())
+        for scheduler, uxcost in sorted(by_scheduler.items())
+    ]
+    print(format_table(["scenario/platform", "scheduler", "UXCost"], rows))
+    print(f"done: {cells} cells in {elapsed:.2f} s ({cells / elapsed:.2f} cells/s)")
+    if store is not None:
+        print(f"store: {store.stats()}")
+
+    if args.json is not None:
+        payload = {
+            "grid": {
+                "scenarios": scenarios,
+                "platforms": platforms,
+                "schedulers": schedulers,
+                "duration_ms": duration_ms,
+                "seed": args.seed,
+                "cascade_probability": args.cascade_probability,
+            },
+            "backend": args.backend,
+            "workers": args.workers,
+            "wall_time_s": elapsed,
+            "uxcost_table": table,
+            "results": grid.to_dict(),
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# repro figure
+# --------------------------------------------------------------------- #
+
+
+def _figure_key(name: str) -> str:
+    return name if name.startswith("figure") else f"figure{name}"
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        names = sorted(figures_mod.ALL_FIGURES)
+    else:
+        key = _figure_key(args.name)
+        if key not in figures_mod.ALL_FIGURES:
+            known = ", ".join(sorted(figures_mod.ALL_FIGURES))
+            print(f"unknown figure {args.name!r}; available: {known}, all", file=sys.stderr)
+            return 2
+        names = [key]
+
+    store = _make_store(args)
+    with default_execution(backend=args.backend, workers=args.workers, store=store):
+        for name in names:
+            generator = figures_mod.ALL_FIGURES[name]
+            kwargs = {"seed": args.seed}
+            if args.duration_ms is not None:
+                kwargs["duration_ms"] = args.duration_ms
+            started = time.perf_counter()
+            result = generator(**kwargs)
+            elapsed = time.perf_counter() - started
+            print(f"== {result.name}: {result.description} [{elapsed:.2f} s]")
+            print(result.text)
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(result.text + "\n", encoding="utf-8")
+                payload = {
+                    "name": result.name,
+                    "description": result.description,
+                    "rows": _jsonable(result.rows),
+                    "summary": _jsonable(result.summary),
+                }
+                (args.out / f"{name}.json").write_text(
+                    json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+                )
+                print(f"wrote {args.out / name}.{{txt,json}}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# repro bench
+# --------------------------------------------------------------------- #
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    scenarios = _split_names(args.scenarios, SMOKE_GRID["scenarios"])
+    platforms = _split_names(args.platforms, SMOKE_GRID["platforms"])
+    schedulers = _split_names(args.schedulers, SMOKE_GRID["schedulers"])
+    duration_ms = args.duration_ms if args.duration_ms is not None else 2000.0
+    jobs = grid_jobs(
+        scenarios, platforms, schedulers, duration_ms=duration_ms, seed=args.seed
+    )
+    cells = len(jobs)
+    print(
+        f"benchmarking {cells} cells (duration {duration_ms:g} ms) "
+        f"serial vs process[{args.workers}]"
+    )
+
+    started = time.perf_counter()
+    serial_grid = run_grid(
+        scenarios, platforms, schedulers,
+        duration_ms=duration_ms, seed=args.seed, backend="serial",
+    )
+    serial_s = time.perf_counter() - started
+    print(f"serial:  {serial_s:.2f} s ({cells / serial_s:.2f} cells/s)")
+
+    started = time.perf_counter()
+    process_grid = run_grid(
+        scenarios, platforms, schedulers,
+        duration_ms=duration_ms, seed=args.seed,
+        backend="process", workers=args.workers,
+    )
+    process_s = time.perf_counter() - started
+    print(f"process: {process_s:.2f} s ({cells / process_s:.2f} cells/s)")
+
+    parity = serial_grid.uxcost_table() == process_grid.uxcost_table()
+    speedup = serial_s / process_s if process_s > 0 else 0.0
+    print(f"parity:  {'OK (bit-for-bit)' if parity else 'MISMATCH'}")
+    print(f"speedup: {speedup:.2f}x at {args.workers} workers")
+
+    payload = {
+        "benchmark": "grid_throughput",
+        "repro_version": __version__,
+        "grid": {
+            "scenarios": scenarios,
+            "platforms": platforms,
+            "schedulers": schedulers,
+            "duration_ms": duration_ms,
+            "seed": args.seed,
+        },
+        "cells": cells,
+        "workers": args.workers,
+        "serial": {"wall_time_s": serial_s, "cells_per_sec": cells / serial_s},
+        "process": {"wall_time_s": process_s, "cells_per_sec": cells / process_s},
+        "speedup": speedup,
+        "parity": parity,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if not parity:
+        print("error: serial and process backends disagree", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's experiment grids, figures and benchmarks.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list every known preset name")
+    list_parser.set_defaults(func=_cmd_list)
+
+    grid_parser = subparsers.add_parser(
+        "grid", help="run a scenario x platform x scheduler grid"
+    )
+    grid_parser.add_argument(
+        "--scenarios", action="append", metavar="NAMES",
+        help="comma-separated scenario names (repeatable; default: all)",
+    )
+    grid_parser.add_argument(
+        "--platforms", action="append", metavar="NAMES",
+        help="comma-separated platform names (repeatable; default: 4k_1ws_2os)",
+    )
+    grid_parser.add_argument(
+        "--schedulers", action="append", metavar="NAMES",
+        help="comma-separated scheduler names (repeatable; "
+        "default: fcfs_dynamic,planaria,dream_full)",
+    )
+    grid_parser.add_argument(
+        "--duration-ms", type=float, default=None, help="simulated window per cell"
+    )
+    grid_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    grid_parser.add_argument(
+        "--cascade-probability", type=float, default=0.5,
+        help="ML-cascade trigger probability (default: 0.5)",
+    )
+    grid_parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"use the fixed CI smoke grid ({'x'.join(str(len(v)) for v in SMOKE_GRID.values())} "
+        f"cells at {SMOKE_DURATION_MS:g} ms)",
+    )
+    grid_parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the full grid result (uxcost table + per-cell stats) as JSON",
+    )
+    _add_execution_options(grid_parser)
+    grid_parser.set_defaults(func=_cmd_grid)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one evaluation figure (2,7-14) or 'all'"
+    )
+    figure_parser.add_argument(
+        "name", help="figure number (e.g. 7), name (figure7), or 'all'"
+    )
+    figure_parser.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="override the figure's default simulated window",
+    )
+    figure_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    figure_parser.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="write <figure>.txt and <figure>.json into this directory",
+    )
+    _add_execution_options(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="time serial vs process execution and emit BENCH_grid.json"
+    )
+    bench_parser.add_argument(
+        "--scenarios", action="append", metavar="NAMES",
+        help="comma-separated scenario names (default: smoke grid)",
+    )
+    bench_parser.add_argument(
+        "--platforms", action="append", metavar="NAMES",
+        help="comma-separated platform names (default: smoke grid)",
+    )
+    bench_parser.add_argument(
+        "--schedulers", action="append", metavar="NAMES",
+        help="comma-separated scheduler names (default: smoke grid)",
+    )
+    bench_parser.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="simulated window per cell (default: 2000)",
+    )
+    bench_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    bench_parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="process-pool size to benchmark against (default: 4)",
+    )
+    bench_parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_grid.json"), metavar="PATH",
+        help="machine-readable output file (default: BENCH_grid.json)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail unless the process backend is at least X times faster",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point (``repro`` in ``pyproject.toml``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as error:
+        # Unknown preset names and invalid option values raise with a
+        # message that already lists the alternatives; show it without a
+        # traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -16,7 +16,7 @@ energy-only, controlled by :class:`OptimizationObjective`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 class OptimizationObjective(enum.Enum):

@@ -1,0 +1,115 @@
+"""Pluggable execution backends for experiment jobs.
+
+A backend maps a sequence of :class:`~repro.experiments.jobs.CellJob` specs
+to their :class:`~repro.sim.SimulationResult` objects, preserving order.
+Two backends ship with the harness:
+
+* ``serial`` — runs every job in the calling process (the reference
+  implementation; also the fallback for single-job batches).
+* ``process`` — fans jobs out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker memoizes
+  the per-(scenario, platform) context (scenario, platform, cost table)
+  through the same :func:`~repro.experiments.jobs.shared_context` cache the
+  serial path uses, so both backends execute byte-identical simulation
+  code and produce bit-for-bit identical results.
+
+Jobs carry every input by value (preset names + scalars), so the pool can
+use either the ``fork`` or ``spawn`` start method; the module-level
+:func:`execute_job` entry point keeps job execution picklable under both.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Sequence, Union
+
+from repro.experiments.jobs import CellJob
+from repro.sim import SimulationResult
+
+
+def execute_job(job: CellJob) -> SimulationResult:
+    """Run one job (module-level so process pools can pickle it)."""
+    return job.run()
+
+
+class SerialBackend:
+    """Run every job sequentially in the calling process."""
+
+    name = "serial"
+
+    def run_jobs(self, jobs: Sequence[CellJob]) -> list[SimulationResult]:
+        """Execute jobs in order and return their results in order."""
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessBackend:
+    """Run jobs on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Args:
+        workers: pool size; defaults to ``os.cpu_count()``.
+        chunksize: jobs handed to a worker per dispatch.  ``None`` picks a
+            chunk that spreads the batch ~4 ways per worker — big enough
+            that contiguous same-(scenario, platform) cells usually land on
+            one worker and share its memoized cost table, small enough to
+            load-balance uneven cell durations.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        self.workers = workers or os.cpu_count() or 1
+        self.chunksize = chunksize
+
+    def run_jobs(self, jobs: Sequence[CellJob]) -> list[SimulationResult]:
+        """Execute jobs across the pool, preserving submission order."""
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.workers == 1:
+            return SerialBackend().run_jobs(jobs)
+        workers = min(self.workers, len(jobs))
+        chunksize = self.chunksize or max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+
+#: Factories for every execution backend, keyed by canonical name.
+BACKEND_FACTORIES: dict[str, Callable[..., object]] = {
+    "serial": SerialBackend,
+    "process": ProcessBackend,
+}
+
+#: Anything accepted where a backend is expected: a name or an instance.
+BackendLike = Union[str, SerialBackend, ProcessBackend]
+
+
+def backend_names() -> list[str]:
+    """All registered backend names."""
+    return list(BACKEND_FACTORIES)
+
+
+def make_backend(backend: BackendLike = "serial", workers: Optional[int] = None):
+    """Resolve a backend name (or pass an instance through).
+
+    Args:
+        backend: ``"serial"``, ``"process"``, or an object with a
+            ``run_jobs`` method (returned unchanged).
+        workers: pool size, only meaningful for the ``process`` backend.
+
+    Raises:
+        ValueError: if the name is not registered.
+    """
+    if not isinstance(backend, str):
+        if not hasattr(backend, "run_jobs"):
+            raise TypeError(f"not an execution backend: {backend!r}")
+        return backend
+    try:
+        factory = BACKEND_FACTORIES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {backend_names()}"
+        ) from None
+    if factory is ProcessBackend:
+        return ProcessBackend(workers=workers)
+    return factory()

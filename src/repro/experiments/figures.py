@@ -5,12 +5,20 @@ paper's evaluation and returns a :class:`FigureResult` whose ``rows`` hold
 the same series the paper plots and whose ``text`` is a printable table.
 Durations default to values that keep a full regeneration tractable on a
 laptop; pass larger ``duration_ms`` for tighter statistics.
+
+Grid-shaped figures execute through :func:`repro.experiments.harness.run_grid`
+and therefore inherit the execution defaults installed with
+:func:`repro.experiments.harness.default_execution` — wrap a figure call in
+that context manager (or use ``repro figure N --backend process``) to fan
+its cells out over a process pool and/or persist them in a
+:class:`~repro.experiments.store.ResultStore` without changing any figure
+signature.  Results are bit-for-bit identical across backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.adaptivity import IterativeParameterOptimizer, OptimizationTrace, ParameterPoint
 from repro.core.config import DreamConfig, OptimizationObjective
@@ -20,7 +28,6 @@ from repro.experiments.sweeps import cascade_probability_sweep, parameter_grid, 
 from repro.hardware import make_platform
 from repro.hardware.platform import heterogeneous_platform_names, homogeneous_platform_names
 from repro.metrics.reporting import format_table, geometric_mean
-from repro.schedulers import make_scheduler
 from repro.sim import run_simulation
 from repro.workloads import build_scenario, scenario_names
 

@@ -1,38 +1,59 @@
 """Grid runner shared by all figure generators.
 
 The evaluation is a grid of (scenario, platform, scheduler) cells, each
-cell being one simulation.  The harness caches cost tables per
-(scenario, platform) pair — they are identical for every scheduler — and
-returns results in a structure the figure generators and benchmarks can
-aggregate without re-running anything.
+cell being one simulation.  Since the parallel-backend refactor the
+harness is a thin orchestration layer over three pieces:
+
+* :mod:`repro.experiments.jobs` — every cell is a picklable
+  :class:`~repro.experiments.jobs.CellJob` (preset names + scalars) whose
+  ``run()`` builds a fresh scheduler via ``make_scheduler`` and reuses a
+  process-local (scenario, platform, cost-table) context cache, so cost
+  tables are still built once per (scenario, platform) pair.
+* :mod:`repro.experiments.backends` — jobs execute on a pluggable backend:
+  ``serial`` (in-process reference) or ``process``
+  (:class:`concurrent.futures.ProcessPoolExecutor`).  Both run the same
+  job code, so results are bit-for-bit identical across backends.
+* :mod:`repro.experiments.store` — an optional content-keyed on-disk
+  :class:`~repro.experiments.store.ResultStore`; cells whose job hash is
+  already persisted are skipped and loaded instead of re-simulated.
+
+:func:`default_execution` installs a backend/store for a whole code region,
+which is how the ``repro`` CLI routes the untouched ``figure*`` generators
+through the process pool without changing their signatures.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Sequence
 
-from repro.hardware import CostTable, Platform, make_platform
+from repro.experiments.backends import BackendLike, make_backend
+from repro.experiments.jobs import (
+    CellJob,
+    ExperimentCell,
+    PhasedJob,
+    grid_jobs,
+)
+from repro.experiments.store import ResultStore
+from repro.hardware import make_platform
 from repro.metrics.reporting import geometric_mean
 from repro.schedulers import make_scheduler
 from repro.sim import SimulationResult, run_simulation
-from repro.workloads import Scenario, build_scenario
+from repro.workloads import build_scenario
 from repro.workloads.dynamicity import PhasedWorkload
 
-
-@dataclass(frozen=True)
-class ExperimentCell:
-    """One (scenario, platform, scheduler) point of an evaluation grid."""
-
-    scenario: str
-    platform: str
-    scheduler: str
-
-    @property
-    def key(self) -> str:
-        """Stable string key for result dictionaries."""
-        return f"{self.scenario}/{self.platform}/{self.scheduler}"
+__all__ = [
+    "ExperimentCell",
+    "GridResult",
+    "ExecutionDefaults",
+    "default_execution",
+    "get_execution_defaults",
+    "execute_jobs",
+    "run_cell",
+    "run_grid",
+    "run_phased_workload",
+]
 
 
 @dataclass
@@ -85,25 +106,166 @@ class GridResult:
             return 0.0
         return 1.0 - geometric_mean(ratios)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form keyed by ``scenario/platform/scheduler``."""
+        return {
+            "cells": {
+                cell.key: result.to_dict()
+                for cell, result in sorted(self.results.items(), key=lambda item: item[0].key)
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridResult":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            results={
+                ExperimentCell.from_key(key): SimulationResult.from_dict(result)
+                for key, result in data["cells"].items()
+            }
+        )
+
+
+# --------------------------------------------------------------------- #
+# execution defaults (how the CLI re-routes figure generators)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ExecutionDefaults:
+    """Backend/store applied when a caller does not pass them explicitly."""
+
+    backend: BackendLike = "serial"
+    workers: Optional[int] = None
+    store: Optional[ResultStore] = None
+
+
+_defaults = ExecutionDefaults()
+
+
+def get_execution_defaults() -> ExecutionDefaults:
+    """The currently installed execution defaults."""
+    return _defaults
+
+
+@contextmanager
+def default_execution(
+    backend: Optional[BackendLike] = None,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> Iterator[ExecutionDefaults]:
+    """Temporarily change the default backend/workers/store.
+
+    Any argument left as ``None`` keeps its current default.  Every
+    ``run_grid`` call inside the ``with`` body — including the ones made
+    deep inside figure generators — picks these up, which lets the CLI run
+    an unmodified figure through the process backend::
+
+        with default_execution(backend="process", workers=4):
+            figures.figure7()
+    """
+    global _defaults
+    previous = _defaults
+    _defaults = replace(
+        previous,
+        backend=backend if backend is not None else previous.backend,
+        workers=workers if workers is not None else previous.workers,
+        store=store if store is not None else previous.store,
+    )
+    try:
+        yield _defaults
+    finally:
+        _defaults = previous
+
+
+# --------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------- #
+
+
+def execute_jobs(
+    jobs: Sequence[CellJob],
+    backend: Optional[BackendLike] = None,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> list[SimulationResult]:
+    """Execute cell jobs on a backend, consulting the store first.
+
+    Cells already persisted in the store are loaded instead of re-run; the
+    remainder is dispatched to the backend in one batch and persisted on
+    completion.  Results come back in job order regardless of cache state.
+
+    Args:
+        jobs: the cell jobs to compute.
+        backend: backend name or instance; defaults per
+            :func:`default_execution` (initially ``"serial"``).
+        workers: pool size for the ``process`` backend.
+        store: optional :class:`ResultStore`; defaults per
+            :func:`default_execution` (initially no store).
+    """
+    defaults = get_execution_defaults()
+    resolved = make_backend(
+        backend if backend is not None else defaults.backend,
+        workers=workers if workers is not None else defaults.workers,
+    )
+    store = store if store is not None else defaults.store
+
+    jobs = list(jobs)
+    results: list[Optional[SimulationResult]] = [None] * len(jobs)
+    pending: list[tuple[int, CellJob]] = []
+    if store is None:
+        pending = list(enumerate(jobs))
+    else:
+        for index, job in enumerate(jobs):
+            cached = store.get(job)
+            if cached is None:
+                pending.append((index, job))
+            else:
+                results[index] = cached
+    if pending:
+        computed = resolved.run_jobs([job for _, job in pending])
+        for (index, job), result in zip(pending, computed):
+            results[index] = result
+            if store is not None:
+                store.put(job, result)
+    return results  # type: ignore[return-value]
+
 
 def run_cell(
     cell: ExperimentCell,
     duration_ms: float,
     seed: int = 0,
     cascade_probability: float = 0.5,
-    cost_table: Optional[CostTable] = None,
-    scenario: Optional[Scenario] = None,
-    platform: Optional[Platform] = None,
+    cost_table=None,
+    scenario=None,
+    platform=None,
     **engine_kwargs,
 ) -> SimulationResult:
-    """Run one grid cell (one simulation)."""
+    """Run one grid cell (one simulation).
+
+    With no prebuilt objects this delegates to the picklable
+    :class:`CellJob` path (the same code both backends execute).  Passing
+    ``scenario``/``platform``/``cost_table`` overrides keeps the historical
+    escape hatch for callers that hold custom-built objects; the cell's
+    names then only have to resolve for the pieces NOT overridden, and a
+    missing cost table is built by the engine from the actual objects.
+    """
+    if cost_table is None and scenario is None and platform is None:
+        return CellJob.create(
+            scenario=cell.scenario,
+            platform=cell.platform,
+            scheduler=cell.scheduler,
+            duration_ms=duration_ms,
+            seed=seed,
+            cascade_probability=cascade_probability,
+            **engine_kwargs,
+        ).run()
     scenario = scenario or build_scenario(cell.scenario, cascade_probability=cascade_probability)
     platform = platform or make_platform(cell.platform)
-    scheduler = make_scheduler(cell.scheduler)
     return run_simulation(
         scenario=scenario,
         platform=platform,
-        scheduler=scheduler,
+        scheduler=make_scheduler(cell.scheduler),
         duration_ms=duration_ms,
         seed=seed,
         cost_table=cost_table,
@@ -118,32 +280,43 @@ def run_grid(
     duration_ms: float = 1000.0,
     seed: int = 0,
     cascade_probability: float = 0.5,
+    backend: Optional[BackendLike] = None,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
     **engine_kwargs,
 ) -> GridResult:
     """Run the full (scenario x platform x scheduler) grid.
 
-    Cost tables are built once per (scenario, platform) pair and shared by
-    every scheduler, exactly as the paper's offline cost-model stage would.
+    Each cell becomes a :class:`CellJob` executed on the selected backend.
+    Cost tables are built once per (scenario, platform) pair per process —
+    exactly as the paper's offline cost-model stage would — via the
+    process-local context cache, and every cell gets a fresh scheduler, so
+    serial and process backends produce bit-for-bit identical results.
+
+    Args:
+        scenarios / platforms / schedulers: preset names spanning the grid.
+        duration_ms: simulated window length per cell.
+        seed: seed shared by every cell (each cell's simulation re-seeds
+            from it deterministically).
+        cascade_probability: ML-cascade trigger probability.
+        backend: ``"serial"`` (default), ``"process"``, or a backend
+            instance; see :func:`default_execution`.
+        workers: pool size for the ``process`` backend.
+        store: optional result cache; hits skip simulation entirely.
+        **engine_kwargs: extra scalar :class:`~repro.sim.SimulationEngine`
+            kwargs applied to every cell.
     """
-    grid = GridResult()
-    for scenario_name in scenarios:
-        scenario = build_scenario(scenario_name, cascade_probability=cascade_probability)
-        for platform_name in platforms:
-            platform = make_platform(platform_name)
-            cost_table = CostTable.build(platform, scenario.all_model_graphs())
-            for scheduler_name in schedulers:
-                cell = ExperimentCell(scenario_name, platform_name, scheduler_name)
-                grid.results[cell] = run_cell(
-                    cell,
-                    duration_ms=duration_ms,
-                    seed=seed,
-                    cascade_probability=cascade_probability,
-                    cost_table=cost_table,
-                    scenario=scenario,
-                    platform=platform,
-                    **engine_kwargs,
-                )
-    return grid
+    jobs = grid_jobs(
+        scenarios,
+        platforms,
+        schedulers,
+        duration_ms=duration_ms,
+        seed=seed,
+        cascade_probability=cascade_probability,
+        **engine_kwargs,
+    )
+    results = execute_jobs(jobs, backend=backend, workers=workers, store=store)
+    return GridResult(results={job.cell: result for job, result in zip(jobs, results)})
 
 
 def run_phased_workload(
@@ -155,22 +328,17 @@ def run_phased_workload(
 ) -> list[SimulationResult]:
     """Run a multi-phase workload (task-level dynamicity, Figures 10/11).
 
-    The same scheduler object is reused across phases so its internal state
-    — most importantly DREAM's tuned (alpha, beta) — carries over the
-    usage-scenario change, which is exactly the adaptation the paper
-    studies.
+    Delegates to :class:`~repro.experiments.jobs.PhasedJob`, which creates
+    the scheduler once through the same ``make_scheduler`` path grid cells
+    use and documents the seed contract: phase ``i`` runs with seed
+    ``seed + i`` while the scheduler instance (and therefore DREAM's tuned
+    (alpha, beta)) carries over the usage-scenario change — exactly the
+    adaptation the paper studies.
     """
-    platform = make_platform(platform_name)
-    scheduler = make_scheduler(scheduler_name)
-    results = []
-    for index, phase in enumerate(workload.phases):
-        result = run_simulation(
-            scenario=phase.scenario,
-            platform=platform,
-            scheduler=scheduler,
-            duration_ms=phase.duration_ms,
-            seed=seed + index,
-            **engine_kwargs,
-        )
-        results.append(result)
-    return results
+    return PhasedJob.create(
+        workload=workload,
+        platform=platform_name,
+        scheduler=scheduler_name,
+        seed=seed,
+        **engine_kwargs,
+    ).run()

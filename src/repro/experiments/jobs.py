@@ -1,0 +1,303 @@
+"""Picklable job specifications for the experiment layer.
+
+A grid evaluation is a set of independent (scenario, platform, scheduler)
+cells, and a phased run is a sequence of scenarios executed under one
+scheduler instance.  Both are described here as small frozen dataclasses
+built only from preset *names* and scalars, so a job can be
+
+* pickled to a :class:`concurrent.futures.ProcessPoolExecutor` worker,
+* hashed into a stable content key for the on-disk result cache
+  (:mod:`repro.experiments.store`), and
+* replayed bit-for-bit: the job carries every input that influences the
+  simulation (names, seed, duration, cascade probability, engine kwargs),
+  and :meth:`CellJob.run` constructs a *fresh* scheduler via
+  :func:`repro.schedulers.make_scheduler` on every execution.
+
+Workers memoize the expensive per-(scenario, platform) context — the built
+scenario, the platform and its :class:`~repro.hardware.CostTable` — in a
+process-local cache, mirroring how the serial harness builds each cost
+table once and shares it across schedulers.  All cached objects are frozen
+dataclasses, so sharing them across cells cannot leak state between
+simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.hardware import CostTable, Platform, make_platform
+from repro.schedulers import make_scheduler
+from repro.sim import SimulationResult, run_simulation
+from repro.workloads import Scenario, build_scenario
+from repro.workloads.dynamicity import PhasedWorkload
+
+#: Bump when simulation semantics change in a way that invalidates cached
+#: results (also combined with ``repro.__version__`` in the cache key).
+CACHE_FORMAT_VERSION = 1
+
+#: Engine kwargs must stay JSON-scalar so jobs remain picklable and
+#: content-addressable.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _freeze_engine_kwargs(kwargs: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    """Validate and canonicalize engine kwargs into a hashable tuple."""
+    for key, value in kwargs.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise TypeError(
+                f"engine kwarg {key!r} must be a JSON scalar to be used in a "
+                f"job spec (got {type(value).__name__}); pass prebuilt objects "
+                f"through run_cell's explicit-override path instead"
+            )
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (scenario, platform, scheduler) point of an evaluation grid."""
+
+    scenario: str
+    platform: str
+    scheduler: str
+
+    @property
+    def key(self) -> str:
+        """Stable string key for result dictionaries."""
+        return f"{self.scenario}/{self.platform}/{self.scheduler}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "ExperimentCell":
+        """Inverse of :attr:`key`."""
+        scenario, platform, scheduler = key.split("/")
+        return cls(scenario, platform, scheduler)
+
+
+@dataclass(frozen=True)
+class CellJob:
+    """A self-contained, picklable description of one grid-cell simulation.
+
+    Attributes:
+        scenario: scenario preset name (``repro.workloads.scenario_names()``).
+        platform: platform preset name (``repro.hardware.PLATFORM_PRESETS``).
+        scheduler: scheduler name (``repro.schedulers.scheduler_names()``); a
+            fresh scheduler is instantiated per run, so repeated executions
+            are independent and deterministic.
+        duration_ms: simulated window length.
+        seed: seed for every stochastic element of the simulation.
+        cascade_probability: ML-cascade trigger probability of the scenario.
+        engine_kwargs: extra :class:`~repro.sim.SimulationEngine` kwargs as a
+            sorted tuple of (name, scalar) pairs (see :meth:`create`).
+    """
+
+    scenario: str
+    platform: str
+    scheduler: str
+    duration_ms: float = 1000.0
+    seed: int = 0
+    cascade_probability: float = 0.5
+    engine_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        scenario: str,
+        platform: str,
+        scheduler: str,
+        duration_ms: float = 1000.0,
+        seed: int = 0,
+        cascade_probability: float = 0.5,
+        **engine_kwargs,
+    ) -> "CellJob":
+        """Build a job from keyword engine kwargs (validated to scalars)."""
+        return cls(
+            scenario=scenario,
+            platform=platform,
+            scheduler=scheduler,
+            duration_ms=duration_ms,
+            seed=seed,
+            cascade_probability=cascade_probability,
+            engine_kwargs=_freeze_engine_kwargs(engine_kwargs),
+        )
+
+    @property
+    def cell(self) -> ExperimentCell:
+        """The grid coordinate this job computes."""
+        return ExperimentCell(self.scenario, self.platform, self.scheduler)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description of every simulation input."""
+        return {
+            "scenario": self.scenario,
+            "platform": self.platform,
+            "scheduler": self.scheduler,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+            "cascade_probability": self.cascade_probability,
+            "engine_kwargs": {key: value for key, value in self.engine_kwargs},
+        }
+
+    def cache_key(self) -> str:
+        """Content hash of the job — the key of the on-disk result cache.
+
+        Two jobs share a key iff they describe the same simulation, so a
+        cache hit is a correctness-preserving skip.  The repro package
+        version and a cache format version are folded in, invalidating
+        stale results when simulation semantics change.
+        """
+        import repro
+
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "repro_version": repro.__version__,
+            "job": self.to_dict(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def run(self) -> SimulationResult:
+        """Execute the cell, reusing the process-local context cache."""
+        scenario, platform, cost_table = shared_context(
+            self.scenario, self.platform, self.cascade_probability
+        )
+        return run_simulation(
+            scenario=scenario,
+            platform=platform,
+            scheduler=make_scheduler(self.scheduler),
+            duration_ms=self.duration_ms,
+            seed=self.seed,
+            cost_table=cost_table,
+            **dict(self.engine_kwargs),
+        )
+
+
+@dataclass(frozen=True)
+class PhasedJob:
+    """A multi-phase workload run under ONE scheduler instance.
+
+    Unlike :class:`CellJob`, phases intentionally share scheduler state:
+    the scheduler is created once (via :func:`make_scheduler`, so the
+    construction path is identical to the grid path) and reused across
+    phases so its internal state — most importantly DREAM's tuned
+    (alpha, beta) — carries over the usage-scenario change.  Phase ``i``
+    runs with seed ``seed + i``; both facts are part of the job contract,
+    making the determinism of phased runs explicit rather than incidental.
+    """
+
+    workload: PhasedWorkload
+    platform: str
+    scheduler: str
+    seed: int = 0
+    engine_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        workload: PhasedWorkload,
+        platform: str,
+        scheduler: str,
+        seed: int = 0,
+        **engine_kwargs,
+    ) -> "PhasedJob":
+        """Build a phased job from keyword engine kwargs."""
+        return cls(
+            workload=workload,
+            platform=platform,
+            scheduler=scheduler,
+            seed=seed,
+            engine_kwargs=_freeze_engine_kwargs(engine_kwargs),
+        )
+
+    def run(self) -> list[SimulationResult]:
+        """Execute every phase in order, threading one scheduler through."""
+        platform = make_platform(self.platform)
+        scheduler = make_scheduler(self.scheduler)
+        results = []
+        for index, phase in enumerate(self.workload.phases):
+            results.append(
+                run_simulation(
+                    scenario=phase.scenario,
+                    platform=platform,
+                    scheduler=scheduler,
+                    duration_ms=phase.duration_ms,
+                    seed=self.seed + index,
+                    **dict(self.engine_kwargs),
+                )
+            )
+        return results
+
+
+# --------------------------------------------------------------------- #
+# process-local context cache
+# --------------------------------------------------------------------- #
+
+#: Cap on memoized (scenario, platform) contexts per process; large sweeps
+#: evict least-recently-used entries instead of growing without bound.
+_CONTEXT_CACHE_SIZE = 32
+
+_context_cache: "OrderedDict[tuple, tuple[Scenario, Platform, CostTable]]" = OrderedDict()
+
+
+def shared_context(
+    scenario_name: str,
+    platform_name: str,
+    cascade_probability: float,
+) -> tuple[Scenario, Platform, CostTable]:
+    """Scenario, platform and cost table for a cell, memoized per process.
+
+    The cost table is identical for every scheduler of a (scenario,
+    platform) pair, exactly as the paper's offline cost-model stage would
+    produce it once; memoizing it here gives both the serial backend and
+    each pool worker the same build-once behavior.  All returned objects
+    are immutable, so reuse across cells is safe.
+    """
+    key = (scenario_name, platform_name, cascade_probability)
+    cached = _context_cache.get(key)
+    if cached is not None:
+        _context_cache.move_to_end(key)
+        return cached
+    scenario = build_scenario(scenario_name, cascade_probability=cascade_probability)
+    platform = make_platform(platform_name)
+    cost_table = CostTable.build(platform, scenario.all_model_graphs())
+    _context_cache[key] = (scenario, platform, cost_table)
+    while len(_context_cache) > _CONTEXT_CACHE_SIZE:
+        _context_cache.popitem(last=False)
+    return scenario, platform, cost_table
+
+
+def clear_context_cache() -> None:
+    """Drop every memoized (scenario, platform) context (mainly for tests)."""
+    _context_cache.clear()
+
+
+def grid_jobs(
+    scenarios: Sequence[str],
+    platforms: Sequence[str],
+    schedulers: Sequence[str],
+    duration_ms: float = 1000.0,
+    seed: int = 0,
+    cascade_probability: float = 0.5,
+    **engine_kwargs,
+) -> list[CellJob]:
+    """Expand a (scenario x platform x scheduler) grid into cell jobs.
+
+    Jobs are ordered scheduler-innermost so contiguous chunks handed to a
+    worker share their (scenario, platform) context.
+    """
+    return [
+        CellJob.create(
+            scenario=scenario,
+            platform=platform,
+            scheduler=scheduler,
+            duration_ms=duration_ms,
+            seed=seed,
+            cascade_probability=cascade_probability,
+            **engine_kwargs,
+        )
+        for scenario in scenarios
+        for platform in platforms
+        for scheduler in schedulers
+    ]

@@ -1,0 +1,132 @@
+"""On-disk persistence for simulation results.
+
+The store is a content-addressed cache: the key of a result is the SHA-256
+of its :class:`~repro.experiments.jobs.CellJob` spec (every simulation
+input, plus the package version), so a hit can only ever return a result
+the current code would recompute identically.  Re-running a grid with a
+store attached skips already-computed cells entirely — the enabler for
+incremental figure regeneration and cheap CI smoke runs.
+
+Layout: ``root/<key[:2]>/<key>.json``, one JSON document per result (the
+:meth:`~repro.sim.SimulationResult.to_dict` form wrapped with its job spec
+for inspectability).  Writes are atomic (temp file + rename), so a killed
+run never leaves a truncated entry; unreadable entries are treated as
+misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.experiments.jobs import CellJob
+from repro.sim import SimulationResult
+
+
+class ResultStore:
+    """Content-keyed directory of persisted :class:`SimulationResult` objects.
+
+    Args:
+        root: cache directory; created (with parents) if missing.
+
+    Attributes:
+        hits: number of ``get``/``load`` calls answered from disk.
+        misses: number of calls that found no (usable) entry.
+        writes: number of results persisted.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------ #
+    # key/path plumbing
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a cache key."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, job: CellJob) -> bool:
+        return self.path_for(job.cache_key()).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every persisted cache key."""
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------ #
+    # read/write
+    # ------------------------------------------------------------------ #
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """Result stored under a raw cache key, or ``None``.
+
+        Corrupt or unreadable entries count as misses rather than raising —
+        the caller recomputes and overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def get(self, job: CellJob) -> Optional[SimulationResult]:
+        """Cached result of a job, or ``None`` on a miss."""
+        return self.load(job.cache_key())
+
+    def put(self, job: CellJob, result: SimulationResult) -> Path:
+        """Persist a job's result atomically and return its path."""
+        path = self.path_for(job.cache_key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"job": job.to_dict(), "result": result.to_dict()}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                # No sort_keys: task_stats order is part of the result
+                # contract (UXCost sums terms in task order).
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Hit/miss/write counters plus the entry count."""
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

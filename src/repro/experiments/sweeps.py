@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro.core.config import DreamConfig, OptimizationObjective
 from repro.core.dream import DreamScheduler

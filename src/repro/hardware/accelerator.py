@@ -14,7 +14,7 @@ activations to DRAM and fetching the new ones), which feeds the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.dataflow import Dataflow
 

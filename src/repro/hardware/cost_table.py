@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from repro.hardware.accelerator import Accelerator
 from repro.hardware.cost_model import AnalyticalCostModel, LayerCost, LayerLike
 from repro.hardware.platform import Platform
 

@@ -10,8 +10,8 @@ counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.hardware.accelerator import (
     Accelerator,

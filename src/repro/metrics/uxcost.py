@@ -15,7 +15,7 @@ miss and are implemented here exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
 
 @dataclass(frozen=True)

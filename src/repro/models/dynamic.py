@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 
 class DynamicBehavior(abc.ABC):

@@ -15,7 +15,7 @@ next-lighter variant, and the variant set for cost-table construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.models.graph import ModelGraph
 

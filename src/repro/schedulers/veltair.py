@@ -18,7 +18,6 @@ Two properties matter for the comparison with DREAM:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.schedulers.base import Scheduler
 from repro.sim.decisions import Assignment, SchedulingDecision, SystemView

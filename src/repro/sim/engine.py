@@ -31,7 +31,7 @@ from repro.sim.request import InferenceRequest, RequestState
 from repro.sim.results import AcceleratorStats, SimulationResult, TaskStats
 from repro.sim.tracer import Tracer
 from repro.workloads.frames import generate_frames
-from repro.workloads.scenario import Scenario, TaskSpec
+from repro.workloads.scenario import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.schedulers.base import Scheduler

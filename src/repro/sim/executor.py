@@ -10,7 +10,7 @@ from the cost model's compute/memory breakdown.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hardware.accelerator import Accelerator

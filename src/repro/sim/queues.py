@@ -8,7 +8,7 @@ schedulable right now, which are stale, and per-task queue depths.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.sim.request import InferenceRequest, RequestState
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.models.graph import ModelGraph

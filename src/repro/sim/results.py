@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.metrics.uxcost import ModelOutcome, UXCostBreakdown, compute_uxcost
 
@@ -71,6 +71,30 @@ class TaskStats:
             worst_case_energy_mj=self.worst_case_energy_mj,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "task_name": self.task_name,
+            "total_frames": self.total_frames,
+            "completed_frames": self.completed_frames,
+            "violated_frames": self.violated_frames,
+            "dropped_frames": self.dropped_frames,
+            "expired_frames": self.expired_frames,
+            "unfinished_frames": self.unfinished_frames,
+            "actual_energy_mj": self.actual_energy_mj,
+            "worst_case_energy_mj": self.worst_case_energy_mj,
+            "latency_sum_ms": self.latency_sum_ms,
+            "latency_max_ms": self.latency_max_ms,
+            "variant_counts": dict(self.variant_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TaskStats":
+        """Rebuild from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["variant_counts"] = Counter(payload.get("variant_counts", {}))
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class AcceleratorStats:
@@ -84,6 +108,24 @@ class AcceleratorStats:
     layers_executed: int
     context_switches: int
     utilization: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "acc_id": self.acc_id,
+            "name": self.name,
+            "dataflow": self.dataflow,
+            "energy_mj": self.energy_mj,
+            "busy_pe_ms": self.busy_pe_ms,
+            "layers_executed": self.layers_executed,
+            "context_switches": self.context_switches,
+            "utilization": self.utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AcceleratorStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**dict(data))
 
 
 @dataclass
@@ -145,6 +187,49 @@ class SimulationResult:
     def dropped_frames(self) -> int:
         """Total frames proactively dropped by the scheduler."""
         return sum(stats.dropped_frames for stats in self.task_stats.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`).
+
+        Only raw measurements are stored — every headline metric (UXCost,
+        violation rates, normalized energy) is a derived property and is
+        recomputed on the rebuilt object, so a round-trip preserves all of
+        them exactly.  ``scheduler_info`` must itself be JSON-serializable,
+        which every bundled scheduler's ``info()`` guarantees.
+        """
+        return {
+            "scenario_name": self.scenario_name,
+            "platform_name": self.platform_name,
+            "scheduler_name": self.scheduler_name,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+            # Insertion order is preserved deliberately: UXCost sums terms in
+            # task order, so reordering would change the result by an ulp.
+            "task_stats": {
+                name: stats.to_dict() for name, stats in self.task_stats.items()
+            },
+            "accelerator_stats": [acc.to_dict() for acc in self.accelerator_stats],
+            "scheduler_info": dict(self.scheduler_info),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SimulationResult":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            scenario_name=data["scenario_name"],
+            platform_name=data["platform_name"],
+            scheduler_name=data["scheduler_name"],
+            duration_ms=data["duration_ms"],
+            seed=data["seed"],
+            task_stats={
+                name: TaskStats.from_dict(stats)
+                for name, stats in data["task_stats"].items()
+            },
+            accelerator_stats=tuple(
+                AcceleratorStats.from_dict(acc) for acc in data["accelerator_stats"]
+            ),
+            scheduler_info=dict(data.get("scheduler_info", {})),
+        )
 
     def variant_mix(self, task_name: str) -> dict[str, float]:
         """Fraction of a task's executed frames per model variant (Figure 14)."""

@@ -12,7 +12,7 @@ exactly the adaptation scenario of Figures 10 and 11.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.workloads.scenario import Scenario
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.workloads.scenario import Scenario, TaskSpec
 
@@ -118,7 +118,10 @@ def generate_frames(
     stagger = shortest_period / max(1, len(heads)) * 0.25
     frames: list[Frame] = []
     for index, task in enumerate(heads):
-        rng = random.Random((seed, task.name).__hash__())
+        # Seed from a string, not tuple.__hash__(): str hashing is salted by
+        # PYTHONHASHSEED, which made arrivals differ between interpreter
+        # sessions (random.Random(str) seeds via SHA-512 and is stable).
+        rng = random.Random(f"{seed}:{task.name}")
         source = FrameSource(
             task,
             start_ms=start_ms + index * stagger,

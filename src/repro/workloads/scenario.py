@@ -11,8 +11,8 @@ which tasks are downstream of which, and which tasks are chain tails
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Optional, Union
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Union
 
 from repro.models.graph import ModelGraph
 from repro.models.supernet import Supernet

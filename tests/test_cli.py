@@ -1,0 +1,117 @@
+"""The ``repro`` console CLI: grid, figure, bench, list."""
+
+import json
+
+import pytest
+
+from repro.cli import SMOKE_GRID, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_smoke_grid_spans_parity_requirements(self):
+        # The CI parity job relies on the smoke grid being non-trivial.
+        assert len(SMOKE_GRID["scenarios"]) >= 2
+        assert len(SMOKE_GRID["platforms"]) >= 2
+        assert len(SMOKE_GRID["schedulers"]) >= 3
+
+
+class TestList:
+    def test_lists_presets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("ar_call", "4k_1ws_2os", "dream_full", "serial", "figure7"):
+            assert needle in out
+
+
+class TestGrid:
+    def test_grid_runs_and_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "grid.json"
+        code = main(
+            [
+                "grid",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic,planaria",
+                "--duration-ms", "200",
+                "--json", str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        table = payload["uxcost_table"]["ar_call/4k_1ws_2os"]
+        assert set(table) == {"fcfs_dynamic", "planaria"}
+        assert "UXCost" in capsys.readouterr().out
+
+    def test_grid_uses_store(self, tmp_path, capsys):
+        args = [
+            "grid",
+            "--scenarios", "ar_call",
+            "--platforms", "4k_1ws_2os",
+            "--schedulers", "fcfs_dynamic",
+            "--duration-ms", "200",
+            "--store", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "'hits': 1" in out
+
+
+class TestFigure:
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure2_writes_outputs(self, tmp_path, capsys):
+        code = main(
+            ["figure", "2", "--duration-ms", "200", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "figure2.txt").is_file()
+        payload = json.loads((tmp_path / "figure2.json").read_text())
+        assert payload["name"] == "figure2"
+        assert len(payload["rows"]) == 4
+
+
+class TestBench:
+    def test_bench_emits_machine_readable_json(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_grid.json"
+        code = main(
+            [
+                "bench",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic,planaria",
+                "--duration-ms", "200",
+                "--workers", "2",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["benchmark"] == "grid_throughput"
+        assert payload["cells"] == 2
+        assert payload["parity"] is True
+        assert payload["serial"]["cells_per_sec"] > 0
+        assert payload["process"]["cells_per_sec"] > 0
+
+    def test_bench_min_speedup_gate(self, tmp_path, capsys):
+        # An impossible bar must fail the command (parity still checked first).
+        code = main(
+            [
+                "bench",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--duration-ms", "150",
+                "--workers", "2",
+                "--out", str(tmp_path / "b.json"),
+                "--min-speedup", "1000",
+            ]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().err

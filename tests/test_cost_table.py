@@ -81,6 +81,5 @@ class TestContextSwitch:
 
     def test_switch_cost_capped_by_sram(self, tiny_cost_table, tiny_platform):
         acc = tiny_platform[0]
-        max_bytes = 2 * acc.sram_bytes
         max_cost = acc.context_switch_cost(acc.sram_bytes, acc.sram_bytes)
         assert tiny_cost_table.context_switch_latency("alpha", "beta", 0) <= max_cost.latency_ms + 1e-9

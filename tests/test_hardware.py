@@ -10,7 +10,7 @@ from repro.hardware.platform import (
     heterogeneous_platform_names,
     homogeneous_platform_names,
 )
-from repro.models.layers import conv2d, dwconv2d, fc
+from repro.models.layers import conv2d, dwconv2d
 
 
 class TestDataflow:

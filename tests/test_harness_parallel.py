@@ -1,0 +1,179 @@
+"""Parallel execution backend: job specs, backends, and serial/process parity.
+
+The contract under test is the tentpole guarantee of the experiment layer:
+a grid cell is a picklable job spec, and executing the same jobs on the
+``serial`` and ``process`` backends produces bit-for-bit identical results.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import (
+    CellJob,
+    ProcessBackend,
+    SerialBackend,
+    backend_names,
+    default_execution,
+    get_execution_defaults,
+    grid_jobs,
+    make_backend,
+    run_cell,
+    run_grid,
+    run_phased_workload,
+)
+from repro.experiments.jobs import ExperimentCell
+from repro.workloads import build_scenario
+from repro.workloads.dynamicity import PhasedWorkload, WorkloadPhase
+
+#: Small but non-trivial grid: 1 scenario x 2 platforms x 2 schedulers.
+GRID_KWARGS = dict(
+    scenarios=["ar_call"],
+    platforms=["4k_1ws_2os", "4k_2ws"],
+    schedulers=["fcfs_dynamic", "dream_mapscore"],
+    duration_ms=250.0,
+    seed=0,
+)
+
+
+class TestCellJob:
+    def test_job_is_picklable(self):
+        job = CellJob.create("ar_call", "4k_1ws_2os", "fcfs_dynamic", duration_ms=100.0)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+
+    def test_cache_key_is_stable_and_input_sensitive(self):
+        job = CellJob.create("ar_call", "4k_1ws_2os", "fcfs_dynamic", seed=0)
+        assert job.cache_key() == job.cache_key()
+        reseeded = CellJob.create("ar_call", "4k_1ws_2os", "fcfs_dynamic", seed=1)
+        assert reseeded.cache_key() != job.cache_key()
+        rescheduled = CellJob.create("ar_call", "4k_1ws_2os", "planaria", seed=0)
+        assert rescheduled.cache_key() != job.cache_key()
+
+    def test_engine_kwargs_must_be_scalars(self):
+        with pytest.raises(TypeError):
+            CellJob.create("ar_call", "4k_1ws_2os", "fcfs_dynamic", tracer=object())
+
+    def test_run_cell_matches_job_run(self):
+        cell = ExperimentCell("ar_call", "4k_1ws_2os", "fcfs_dynamic")
+        via_helper = run_cell(cell, duration_ms=250.0, seed=0)
+        via_job = CellJob.create(
+            cell.scenario, cell.platform, cell.scheduler, duration_ms=250.0, seed=0
+        ).run()
+        assert via_helper.to_dict() == via_job.to_dict()
+
+    def test_run_cell_override_path_accepts_non_preset_objects(self):
+        # The escape hatch must not resolve overridden pieces by name:
+        # a custom scenario under a label that is not a preset still runs.
+        custom = build_scenario("ar_call")
+        cell = ExperimentCell("my_custom_label", "4k_1ws_2os", "fcfs_dynamic")
+        result = run_cell(cell, duration_ms=200.0, seed=0, scenario=custom)
+        assert result.scenario_name == custom.name
+        assert result.total_frames > 0
+
+    def test_grid_jobs_expands_full_cross_product(self):
+        jobs = grid_jobs(["ar_call"], ["4k_1ws_2os", "4k_2ws"], ["fcfs_dynamic"], seed=3)
+        assert [job.cell.key for job in jobs] == [
+            "ar_call/4k_1ws_2os/fcfs_dynamic",
+            "ar_call/4k_2ws/fcfs_dynamic",
+        ]
+        assert all(job.seed == 3 for job in jobs)
+
+
+class TestBackends:
+    def test_registry_names(self):
+        assert set(backend_names()) == {"serial", "process"}
+
+    def test_make_backend_resolves_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        backend = make_backend("process", workers=2)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.workers == 2
+
+    def test_make_backend_passes_instances_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_make_backend_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("threads")
+
+    def test_process_backend_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=0)
+
+
+class TestSerialProcessParity:
+    def test_uxcost_table_is_bit_for_bit_identical(self):
+        serial = run_grid(backend="serial", **GRID_KWARGS)
+        process = run_grid(backend="process", workers=2, **GRID_KWARGS)
+        assert serial.uxcost_table() == process.uxcost_table()
+
+    def test_full_results_are_identical(self):
+        serial = run_grid(backend="serial", **GRID_KWARGS)
+        process = run_grid(backend="process", workers=2, **GRID_KWARGS)
+        assert set(serial.results) == set(process.results)
+        for cell, result in serial.results.items():
+            assert result.to_dict() == process.results[cell].to_dict(), cell.key
+
+    def test_default_execution_context_reroutes_run_grid(self):
+        baseline = run_grid(**GRID_KWARGS)
+        assert get_execution_defaults().backend == "serial"
+        with default_execution(backend="process", workers=2) as defaults:
+            assert defaults.backend == "process"
+            rerouted = run_grid(**GRID_KWARGS)
+        assert get_execution_defaults().backend == "serial"
+        assert rerouted.uxcost_table() == baseline.uxcost_table()
+
+
+class TestCrossSessionDeterminism:
+    """Results must not depend on interpreter-level randomization.
+
+    Regression test for the frame-jitter RNG being seeded through
+    ``str.__hash__`` (salted by PYTHONHASHSEED), which made every
+    interpreter session — and thus every spawn-based pool worker and every
+    cache entry — see different frame arrivals.
+    """
+
+    def _uxcost_under_hash_seed(self, hash_seed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                          env.get("PYTHONPATH", "")])
+        )
+        script = (
+            "from repro.experiments import run_cell\n"
+            "from repro.experiments.jobs import ExperimentCell\n"
+            "cell = ExperimentCell('ar_call', '4k_1ws_2os', 'dream_mapscore')\n"
+            "print(repr(run_cell(cell, duration_ms=200.0, seed=0).uxcost))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script], env=env, check=True,
+            capture_output=True, text=True,
+        )
+        return output.stdout.strip()
+
+    def test_uxcost_is_identical_across_hash_seeds(self):
+        assert self._uxcost_under_hash_seed("1") == self._uxcost_under_hash_seed("2")
+
+
+class TestPhasedDeterminism:
+    def _workload(self):
+        return PhasedWorkload(
+            phases=(
+                WorkloadPhase(build_scenario("ar_call"), duration_ms=150.0),
+                WorkloadPhase(build_scenario("vr_gaming"), duration_ms=150.0),
+            )
+        )
+
+    def test_phased_runs_are_deterministic(self):
+        first = run_phased_workload(self._workload(), "4k_1ws_2os", "dream_full", seed=7)
+        second = run_phased_workload(self._workload(), "4k_1ws_2os", "dream_full", seed=7)
+        assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+
+    def test_phase_seeds_are_offset_from_base(self):
+        results = run_phased_workload(self._workload(), "4k_1ws_2os", "fcfs_dynamic", seed=5)
+        assert [result.seed for result in results] == [5, 6]

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.models import zoo
-from repro.models.dynamic import EarlyExit, LayerSkipping, StaticExecution
+from repro.models.dynamic import EarlyExit, LayerSkipping
 from repro.models.graph import ModelGraph
 from repro.models.layers import fc
 from repro.models.supernet import Supernet

@@ -8,7 +8,7 @@ from repro.schedulers import (
     make_scheduler,
     scheduler_names,
 )
-from repro.sim import RequestState, SimulationEngine, Tracer, run_simulation
+from repro.sim import SimulationEngine, Tracer, run_simulation
 
 
 class TestRegistry:
