@@ -14,6 +14,16 @@ Subcommands:
 * ``repro bench`` — time the same grid on the serial and process backends,
   assert bit-for-bit parity, and emit a machine-readable ``BENCH_grid.json``
   (cells/sec, wall times, speedup) so perf trajectories persist across PRs.
+* ``repro generate`` — sample randomized scenarios from the model zoo
+  (seeded, reproducible), optionally writing the generator spec and running
+  the generated grid on any backend/store.
+* ``repro fuzz`` — cross-scheduler differential testing: run every
+  requested scheduler on each generated scenario, audit the trace-invariant
+  oracle and the metamorphic cross-scheduler properties, and write failing
+  scenario specs as replayable artifacts.  Exit codes: 0 = clean,
+  1 = harness error (a scheduler/engine crashed), 2 = usage error,
+  3 = invariant or metamorphic violation.  ``--replay <spec.json>``
+  deterministically re-runs a stored artifact.
 
 Every subcommand is importable and drives the same public harness API the
 tests use; the CLI adds no simulation logic of its own.
@@ -31,13 +41,24 @@ from typing import Optional, Sequence
 from repro import __version__
 from repro.experiments import figures as figures_mod
 from repro.experiments.backends import backend_names
-from repro.experiments.harness import default_execution, run_grid
-from repro.experiments.jobs import grid_jobs
+from repro.experiments.differential import replay_artifact, run_fuzz
+from repro.experiments.harness import (
+    GridResult,
+    default_execution,
+    execute_jobs,
+    run_grid,
+)
+from repro.experiments.jobs import generated_cell_jobs, grid_jobs
 from repro.experiments.store import ResultStore
 from repro.hardware.platform import all_platform_names
 from repro.metrics.reporting import format_table
 from repro.schedulers import scheduler_names
-from repro.workloads import scenario_names
+from repro.workloads import GeneratorSpec, ScenarioGenerator, scenario_names
+
+#: ``repro fuzz`` exit code for invariant/metamorphic violations (a harness
+#: error exits 1 and a usage error exits 2, so the three are distinguishable
+#: in CI).
+EXIT_INVARIANT_VIOLATION = 3
 
 #: Fixed grid used by ``repro grid --smoke`` and as the ``repro bench``
 #: default: 2 scenarios x 2 platforms x 3 schedulers = 12 cells, spanning a
@@ -100,6 +121,31 @@ def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
     return ResultStore(args.store) if args.store is not None else None
 
 
+def _execute_and_report(jobs, args: argparse.Namespace) -> tuple[GridResult, float]:
+    """Run cell jobs on the selected backend and print the UXCost table.
+
+    Shared by ``repro grid`` and ``repro generate --run`` so both
+    subcommands report identically (table format, throughput, store stats).
+    """
+    store = _make_store(args)
+    started = time.perf_counter()
+    results = execute_jobs(jobs, backend=args.backend, workers=args.workers, store=store)
+    elapsed = time.perf_counter() - started
+    grid = GridResult(results={job.cell: result for job, result in zip(jobs, results)})
+
+    table = grid.uxcost_table()
+    rows = [
+        [config, scheduler, uxcost]
+        for config, by_scheduler in sorted(table.items())
+        for scheduler, uxcost in sorted(by_scheduler.items())
+    ]
+    print(format_table(["scenario/platform", "scheduler", "UXCost"], rows))
+    print(f"done: {len(jobs)} cells in {elapsed:.2f} s ({len(jobs) / elapsed:.2f} cells/s)")
+    if store is not None:
+        print(f"store: {store.stats()}")
+    return grid, elapsed
+
+
 # --------------------------------------------------------------------- #
 # repro list
 # --------------------------------------------------------------------- #
@@ -137,33 +183,18 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         f"platforms x {len(schedulers)} schedulers) on backend "
         f"{args.backend!r} (duration {duration_ms:g} ms, seed {args.seed})"
     )
-    store = _make_store(args)
-    started = time.perf_counter()
-    grid = run_grid(
-        scenarios=scenarios,
-        platforms=platforms,
-        schedulers=schedulers,
+    jobs = grid_jobs(
+        scenarios,
+        platforms,
+        schedulers,
         duration_ms=duration_ms,
         seed=args.seed,
         cascade_probability=args.cascade_probability,
-        backend=args.backend,
-        workers=args.workers,
-        store=store,
     )
-    elapsed = time.perf_counter() - started
-
-    table = grid.uxcost_table()
-    rows = [
-        [config, scheduler, uxcost]
-        for config, by_scheduler in sorted(table.items())
-        for scheduler, uxcost in sorted(by_scheduler.items())
-    ]
-    print(format_table(["scenario/platform", "scheduler", "UXCost"], rows))
-    print(f"done: {cells} cells in {elapsed:.2f} s ({cells / elapsed:.2f} cells/s)")
-    if store is not None:
-        print(f"store: {store.stats()}")
+    grid, elapsed = _execute_and_report(jobs, args)
 
     if args.json is not None:
+        table = grid.uxcost_table()
         payload = {
             "grid": {
                 "scenarios": scenarios,
@@ -306,6 +337,161 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# repro generate / repro fuzz
+# --------------------------------------------------------------------- #
+
+
+def _add_generator_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--generator-seed", type=int, default=0, metavar="S",
+        help="base seed of the scenario generator (default: 0)",
+    )
+    parser.add_argument(
+        "--min-tasks", type=int, default=2, help="minimum tasks per scenario (default: 2)"
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=5, help="maximum tasks per scenario (default: 5)"
+    )
+    parser.add_argument(
+        "--max-cascade-depth", type=int, default=2,
+        help="maximum cascade-chain depth (0 disables cascades; default: 2)",
+    )
+    parser.add_argument(
+        "--chain-probability", type=float, default=0.35,
+        help="probability a task extends a cascade chain (default: 0.35)",
+    )
+    parser.add_argument(
+        "--no-resolution-sweep", action="store_true",
+        help="use each model's canonical input size instead of sweeping",
+    )
+
+
+def _generator_spec(args: argparse.Namespace) -> GeneratorSpec:
+    return GeneratorSpec(
+        seed=args.generator_seed,
+        min_tasks=args.min_tasks,
+        max_tasks=args.max_tasks,
+        max_cascade_depth=args.max_cascade_depth,
+        chain_probability=args.chain_probability,
+        resolution_sweep=not args.no_resolution_sweep,
+    )
+
+
+def _scheduler_list(values: Optional[Sequence[str]], default: Sequence[str]) -> list[str]:
+    names = _split_names(values, default)
+    if "all" in names:
+        return scheduler_names()
+    return names
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = _generator_spec(args)
+    generator = ScenarioGenerator(spec)
+    scenarios = [generator.generate(index) for index in range(args.count)]
+    for scenario in scenarios:
+        print(scenario.describe())
+        print()
+    if args.spec_out is not None:
+        payload = {"generator": spec.to_dict(), "count": args.count}
+        args.spec_out.parent.mkdir(parents=True, exist_ok=True)
+        args.spec_out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.spec_out}")
+    if not args.run:
+        return 0
+
+    schedulers = _scheduler_list(args.schedulers, ["fcfs_dynamic", "planaria", "dream_full"])
+    platforms = _split_names(args.platforms, ["4k_1ws_2os"])
+    duration_ms = args.duration_ms if args.duration_ms is not None else 400.0
+    jobs = generated_cell_jobs(
+        spec, args.count, platforms, schedulers,
+        duration_ms=duration_ms, seed=args.seed,
+    )
+    print(
+        f"running {len(jobs)} generated cells ({args.count} scenarios x "
+        f"{len(platforms)} platforms x {len(schedulers)} schedulers) on backend "
+        f"{args.backend!r}"
+    )
+    _execute_and_report(jobs, args)
+    return 0
+
+
+def _print_fuzz_report(report) -> None:
+    print(report.describe())
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    schedulers = _scheduler_list(args.schedulers, scheduler_names())
+    duration_ms = args.duration_ms if args.duration_ms is not None else 400.0
+
+    if args.replay is not None:
+        try:
+            artifact = json.loads(args.replay.read_text(encoding="utf-8"))
+        except OSError as error:
+            print(f"repro: error: cannot read {args.replay}: {error}", file=sys.stderr)
+            return 2
+        try:
+            report = replay_artifact(artifact, schedulers=args.schedulers and schedulers)
+        except ValueError:
+            # Malformed artifact (e.g. no generator spec): a usage error —
+            # main() maps ValueError to exit 2, like other bad inputs.
+            raise
+        except Exception as error:  # noqa: BLE001 - harness error, exit 1
+            print(f"repro fuzz: harness error during replay: {error}", file=sys.stderr)
+            return 1
+        _print_fuzz_report(report)
+        if report.harness_errors:
+            return 1
+        return 0 if report.ok else EXIT_INVARIANT_VIOLATION
+
+    if args.seeds < 1:
+        # Usage error (exit 2 via main's handler), NOT a harness error: the
+        # broad except below must only classify engine/scheduler crashes.
+        raise ValueError("--seeds must be positive")
+    spec = _generator_spec(args)
+    print(
+        f"fuzzing {args.seeds} generated scenario(s) (generator seed "
+        f"{spec.seed}) x {len(schedulers)} schedulers on {args.platform} "
+        f"({duration_ms:g} ms, sim seed {args.seed})"
+    )
+    try:
+        fuzz = run_fuzz(
+            spec,
+            count=args.seeds,
+            schedulers=schedulers,
+            platform=args.platform,
+            duration_ms=duration_ms,
+            seed=args.seed,
+        )
+    except Exception as error:  # noqa: BLE001 - harness error, exit 1
+        print(f"repro fuzz: harness error: {error}", file=sys.stderr)
+        return 1
+
+    for report in fuzz.reports:
+        _print_fuzz_report(report)
+    print(fuzz.summary())
+
+    needs_artifacts = fuzz.failing or fuzz.erroneous
+    if args.artifacts is not None and needs_artifacts:
+        args.artifacts.mkdir(parents=True, exist_ok=True)
+        for report in fuzz.reports:
+            if report.ok and not report.harness_errors:
+                continue
+            path = args.artifacts / f"{report.scenario_name}.json"
+            path.write_text(
+                json.dumps(report.to_artifact(), indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"wrote failing scenario artifact {path}")
+
+    if fuzz.erroneous:
+        print("repro fuzz: harness error(s) — see report above", file=sys.stderr)
+        return 1
+    if fuzz.failing:
+        print("repro fuzz: invariant/metamorphic violation(s)", file=sys.stderr)
+        return EXIT_INVARIANT_VIOLATION
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
 
@@ -409,6 +595,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the process backend is at least X times faster",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="sample randomized scenarios from the model zoo"
+    )
+    generate_parser.add_argument(
+        "--count", type=int, default=3, metavar="N",
+        help="number of scenarios to generate (default: 3)",
+    )
+    _add_generator_options(generate_parser)
+    generate_parser.add_argument(
+        "--spec-out", type=Path, default=None, metavar="PATH",
+        help="write the generator spec (JSON) for later replay/sharing",
+    )
+    generate_parser.add_argument(
+        "--run", action="store_true",
+        help="also run the generated scenarios as a grid on the chosen backend",
+    )
+    generate_parser.add_argument(
+        "--schedulers", action="append", metavar="NAMES",
+        help="schedulers for --run ('all' or comma-separated; "
+        "default: fcfs_dynamic,planaria,dream_full)",
+    )
+    generate_parser.add_argument(
+        "--platforms", action="append", metavar="NAMES",
+        help="platforms for --run (default: 4k_1ws_2os)",
+    )
+    generate_parser.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="simulated window per cell for --run (default: 400)",
+    )
+    generate_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    _add_execution_options(generate_parser)
+    generate_parser.set_defaults(func=_cmd_generate)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="cross-scheduler differential testing with the trace-invariant oracle",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=5, metavar="N",
+        help="number of generated scenarios to sweep (default: 5)",
+    )
+    _add_generator_options(fuzz_parser)
+    fuzz_parser.add_argument(
+        "--schedulers", action="append", metavar="NAMES",
+        help="schedulers to differential-test ('all' or comma-separated; default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--platform", default="4k_1ws_2os",
+        help="platform preset shared by every run (default: 4k_1ws_2os)",
+    )
+    fuzz_parser.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="simulated window per run (default: 400)",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    fuzz_parser.add_argument(
+        "--artifacts", type=Path, default=None, metavar="DIR",
+        help="write failing scenario specs (replayable JSON) into this directory",
+    )
+    fuzz_parser.add_argument(
+        "--replay", type=Path, default=None, metavar="SPEC.json",
+        help="re-run one stored failing-scenario artifact instead of fuzzing",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     return parser
 

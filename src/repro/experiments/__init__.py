@@ -32,7 +32,15 @@ from repro.experiments.harness import (
     run_grid,
     run_phased_workload,
 )
-from repro.experiments.jobs import CellJob, PhasedJob, grid_jobs
+from repro.experiments.differential import (
+    DifferentialReport,
+    FuzzResult,
+    SchedulerRun,
+    replay_artifact,
+    run_differential,
+    run_fuzz,
+)
+from repro.experiments.jobs import CellJob, PhasedJob, generated_cell_jobs, grid_jobs
 from repro.experiments.store import ResultStore
 from repro.experiments.sweeps import cascade_probability_sweep, uxcost_objective, parameter_grid
 from repro.experiments import figures
@@ -40,13 +48,20 @@ from repro.experiments import figures
 __all__ = [
     "BACKEND_FACTORIES",
     "CellJob",
+    "DifferentialReport",
     "ExecutionDefaults",
     "ExperimentCell",
+    "FuzzResult",
     "GridResult",
     "PhasedJob",
     "ProcessBackend",
     "ResultStore",
+    "SchedulerRun",
     "SerialBackend",
+    "generated_cell_jobs",
+    "replay_artifact",
+    "run_differential",
+    "run_fuzz",
     "backend_names",
     "cascade_probability_sweep",
     "default_execution",

@@ -27,13 +27,14 @@ import hashlib
 import json
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Callable, Mapping, Optional, Sequence, Tuple
 
 from repro.hardware import CostTable, Platform, make_platform
 from repro.schedulers import make_scheduler
 from repro.sim import SimulationResult, run_simulation
 from repro.workloads import Scenario, build_scenario
 from repro.workloads.dynamicity import PhasedWorkload
+from repro.workloads.generator import GeneratorSpec, ScenarioGenerator
 
 #: Bump when simulation semantics change in a way that invalidates cached
 #: results (also combined with ``repro.__version__`` in the cache key).
@@ -91,6 +92,15 @@ class CellJob:
         cascade_probability: ML-cascade trigger probability of the scenario.
         engine_kwargs: extra :class:`~repro.sim.SimulationEngine` kwargs as a
             sorted tuple of (name, scalar) pairs (see :meth:`create`).
+        generator: optional :class:`~repro.workloads.GeneratorSpec`; when
+            set, the scenario is *generated* (``ScenarioGenerator(generator)
+            .generate(generator_index)``) instead of resolved as a preset
+            name, and ``scenario`` must equal the generated scenario's name.
+            The spec is a frozen dataclass of scalars, so generated jobs
+            remain picklable and content-addressable exactly like preset
+            jobs (``cascade_probability`` is ignored — trigger probabilities
+            live inside the spec).
+        generator_index: scenario index within the generator spec.
     """
 
     scenario: str
@@ -100,6 +110,8 @@ class CellJob:
     seed: int = 0
     cascade_probability: float = 0.5
     engine_kwargs: Tuple[Tuple[str, object], ...] = ()
+    generator: Optional[GeneratorSpec] = None
+    generator_index: int = 0
 
     @classmethod
     def create(
@@ -110,6 +122,8 @@ class CellJob:
         duration_ms: float = 1000.0,
         seed: int = 0,
         cascade_probability: float = 0.5,
+        generator: Optional[GeneratorSpec] = None,
+        generator_index: int = 0,
         **engine_kwargs,
     ) -> "CellJob":
         """Build a job from keyword engine kwargs (validated to scalars)."""
@@ -121,6 +135,35 @@ class CellJob:
             seed=seed,
             cascade_probability=cascade_probability,
             engine_kwargs=_freeze_engine_kwargs(engine_kwargs),
+            generator=generator,
+            generator_index=generator_index,
+        )
+
+    @classmethod
+    def for_generated(
+        cls,
+        generator: GeneratorSpec,
+        index: int,
+        platform: str,
+        scheduler: str,
+        duration_ms: float = 1000.0,
+        seed: int = 0,
+        **engine_kwargs,
+    ) -> "CellJob":
+        """Build a job for one *generated* scenario of a spec.
+
+        The scenario name is derived from the spec so the job's grid cell
+        key stays self-describing (``gen-<seed>-<index>/platform/scheduler``).
+        """
+        return cls.create(
+            scenario=ScenarioGenerator(generator).scenario_name(index),
+            platform=platform,
+            scheduler=scheduler,
+            duration_ms=duration_ms,
+            seed=seed,
+            generator=generator,
+            generator_index=index,
+            **engine_kwargs,
         )
 
     @property
@@ -129,8 +172,13 @@ class CellJob:
         return ExperimentCell(self.scenario, self.platform, self.scheduler)
 
     def to_dict(self) -> dict:
-        """JSON-serializable description of every simulation input."""
-        return {
+        """JSON-serializable description of every simulation input.
+
+        Generator fields are only included for generated jobs, so the
+        content hashes (and therefore the cached results) of preset jobs
+        are unchanged by the generator feature.
+        """
+        payload = {
             "scenario": self.scenario,
             "platform": self.platform,
             "scheduler": self.scheduler,
@@ -139,6 +187,10 @@ class CellJob:
             "cascade_probability": self.cascade_probability,
             "engine_kwargs": {key: value for key, value in self.engine_kwargs},
         }
+        if self.generator is not None:
+            payload["generator"] = self.generator.to_dict()
+            payload["generator_index"] = self.generator_index
+        return payload
 
     def cache_key(self) -> str:
         """Content hash of the job — the key of the on-disk result cache.
@@ -160,9 +212,20 @@ class CellJob:
 
     def run(self) -> SimulationResult:
         """Execute the cell, reusing the process-local context cache."""
-        scenario, platform, cost_table = shared_context(
-            self.scenario, self.platform, self.cascade_probability
-        )
+        if self.generator is not None:
+            scenario, platform, cost_table = generated_context(
+                self.generator, self.generator_index, self.platform
+            )
+            if self.scenario != scenario.name:
+                raise ValueError(
+                    f"generated job scenario name {self.scenario!r} does not match "
+                    f"the generated scenario {scenario.name!r}; build jobs via "
+                    f"generated_cell_jobs() or CellJob.for_generated()"
+                )
+        else:
+            scenario, platform, cost_table = shared_context(
+                self.scenario, self.platform, self.cascade_probability
+            )
         return run_simulation(
             scenario=scenario,
             platform=platform,
@@ -241,6 +304,21 @@ _CONTEXT_CACHE_SIZE = 32
 _context_cache: "OrderedDict[tuple, tuple[Scenario, Platform, CostTable]]" = OrderedDict()
 
 
+def _cached_context(key: tuple, build: "Callable[[], Scenario]", platform_name: str):
+    """LRU-memoize (scenario, platform, cost table) under ``key``."""
+    cached = _context_cache.get(key)
+    if cached is not None:
+        _context_cache.move_to_end(key)
+        return cached
+    scenario = build()
+    platform = make_platform(platform_name)
+    cost_table = CostTable.build(platform, scenario.all_model_graphs())
+    _context_cache[key] = (scenario, platform, cost_table)
+    while len(_context_cache) > _CONTEXT_CACHE_SIZE:
+        _context_cache.popitem(last=False)
+    return scenario, platform, cost_table
+
+
 def shared_context(
     scenario_name: str,
     platform_name: str,
@@ -254,18 +332,30 @@ def shared_context(
     each pool worker the same build-once behavior.  All returned objects
     are immutable, so reuse across cells is safe.
     """
-    key = (scenario_name, platform_name, cascade_probability)
-    cached = _context_cache.get(key)
-    if cached is not None:
-        _context_cache.move_to_end(key)
-        return cached
-    scenario = build_scenario(scenario_name, cascade_probability=cascade_probability)
-    platform = make_platform(platform_name)
-    cost_table = CostTable.build(platform, scenario.all_model_graphs())
-    _context_cache[key] = (scenario, platform, cost_table)
-    while len(_context_cache) > _CONTEXT_CACHE_SIZE:
-        _context_cache.popitem(last=False)
-    return scenario, platform, cost_table
+    return _cached_context(
+        (scenario_name, platform_name, cascade_probability),
+        lambda: build_scenario(scenario_name, cascade_probability=cascade_probability),
+        platform_name,
+    )
+
+
+def generated_context(
+    spec: GeneratorSpec,
+    index: int,
+    platform_name: str,
+) -> tuple[Scenario, Platform, CostTable]:
+    """Like :func:`shared_context` but for a generated scenario.
+
+    Keyed by the spec's canonical JSON (stable across processes), the
+    scenario index and the platform, and stored in the same LRU cache, so
+    fuzz sweeps that run many schedulers over one generated scenario build
+    its cost table once per process.
+    """
+    return _cached_context(
+        ("generated", spec.canonical_key(), index, platform_name),
+        lambda: ScenarioGenerator(spec).generate(index),
+        platform_name,
+    )
 
 
 def clear_context_cache() -> None:
@@ -298,6 +388,36 @@ def grid_jobs(
             **engine_kwargs,
         )
         for scenario in scenarios
+        for platform in platforms
+        for scheduler in schedulers
+    ]
+
+
+def generated_cell_jobs(
+    spec: GeneratorSpec,
+    count: int,
+    platforms: Sequence[str],
+    schedulers: Sequence[str],
+    duration_ms: float = 1000.0,
+    seed: int = 0,
+    **engine_kwargs,
+) -> list[CellJob]:
+    """Expand ``count`` generated scenarios into a grid of cell jobs.
+
+    Ordered scheduler-innermost like :func:`grid_jobs`, so contiguous
+    chunks share the generated (scenario, platform) context.
+    """
+    return [
+        CellJob.for_generated(
+            spec,
+            index,
+            platform=platform,
+            scheduler=scheduler,
+            duration_ms=duration_ms,
+            seed=seed,
+            **engine_kwargs,
+        )
+        for index in range(count)
         for platform in platforms
         for scheduler in schedulers
     ]

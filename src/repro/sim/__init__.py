@@ -32,9 +32,21 @@ from repro.sim.decisions import Assignment, SchedulingDecision, AcceleratorView,
 from repro.sim.executor import AcceleratorExecutor, RunningSlot
 from repro.sim.results import TaskStats, AcceleratorStats, SimulationResult
 from repro.sim.tracer import TraceRecord, Tracer
+from repro.sim.invariants import (
+    INVARIANT_NAMES,
+    TraceInvariantError,
+    Violation,
+    assert_trace_invariants,
+    audit_trace,
+)
 from repro.sim.engine import SimulationEngine, run_simulation
 
 __all__ = [
+    "INVARIANT_NAMES",
+    "TraceInvariantError",
+    "Violation",
+    "assert_trace_invariants",
+    "audit_trace",
     "InferenceRequest",
     "RequestState",
     "RequestPool",

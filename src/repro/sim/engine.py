@@ -168,6 +168,7 @@ class SimulationEngine:
         request = slot.request
         self._trace(request, "layers_complete", acc_id=acc_id, detail=f"{len(slot.layer_indices)} layers")
         if request.state is RequestState.COMPLETED:
+            self._trace(request, "complete", acc_id=acc_id)
             self._finalize_request(request)
             self._spawn_cascades(request)
         else:
@@ -249,6 +250,7 @@ class SimulationEngine:
                     f"pe_fraction={assignment.pe_fraction:g}, "
                     f"switch={record.context_switch}"
                 ),
+                pe_fraction=assignment.pe_fraction,
             )
             self._push_event(record.slot.end_ms, _EVENT_COMPLETE, (assignment.acc_id, record.slot.slot_id))
             applied += 1
@@ -318,6 +320,7 @@ class SimulationEngine:
         for request in list(self._pool):
             if request.is_finished:
                 continue
+            self._trace(request, "unfinished")
             if not self._is_measured(request):
                 self._pool.remove(request)
                 continue
@@ -360,6 +363,7 @@ class SimulationEngine:
         event: str,
         acc_id: Optional[int] = None,
         detail: str = "",
+        pe_fraction: Optional[float] = None,
     ) -> None:
         if self.tracer is None:
             return
@@ -371,6 +375,9 @@ class SimulationEngine:
             model_name=request.model_name,
             acc_id=acc_id,
             detail=detail,
+            frame_id=request.frame_id,
+            pe_fraction=pe_fraction,
+            deadline_ms=request.deadline_ms,
         )
 
 

@@ -1,0 +1,479 @@
+"""Trace-invariant oracle: simulation-correctness properties of any run.
+
+Generated workloads have no golden numbers to compare against, so
+correctness must be expressed as *properties of the event trace* rather
+than point checks (cf. the asynchronous large-scale-simulation methodology
+in PAPERS.md: once workloads are generated, oracles audit invariants).
+Each invariant below is a closed-world property every correct simulation
+of any scenario, platform and scheduler must satisfy:
+
+``no_pe_oversubscription``
+    At no instant does the sum of dispatched PE fractions on one
+    sub-accelerator exceed its whole PE array (Planaria-style spatial
+    fission shares the array, it never overbooks it), and no request holds
+    two in-flight slots at once (a request runs on at most one accelerator
+    at a time — the paper's Stack_task is a chain, not a DAG).
+
+``causality``
+    Nothing happens to a request before it arrives: the first record of
+    every request is its (cascade) arrival and every dispatch happens at or
+    after it.
+
+``monotonic_progress``
+    Within one request's layer chain, events are totally ordered in time
+    and alternate dispatch -> layers_complete; no event follows a terminal
+    one (complete / dropped / expired / unfinished).
+
+``cascade_after_parent``
+    A cascaded request only arrives after its parent task completed an
+    inference of the same sensor frame (control dependencies fire on
+    completion, Section 2.1) — an orphan cascade child is a simulator bug.
+
+``conservation``
+    Every request that arrives reaches *exactly one* terminal outcome
+    (complete, dropped, expired, or unfinished-at-window-end): nothing is
+    double-finished and nothing leaks.
+
+``stats_consistency``
+    The per-task counters of the returned
+    :class:`~repro.sim.results.SimulationResult` equal what the trace
+    says happened to *measured* requests (deadline inside the window), so
+    aggregate statistics cannot drift from the event stream.
+
+The oracle consumes the structured fields of
+:class:`~repro.sim.tracer.TraceRecord` (``pe_fraction``, ``frame_id``,
+``deadline_ms``) and refuses to run conservation-style global checks on a
+truncated (bounded-capacity) trace, which :class:`~repro.sim.tracer.Tracer`
+now reports explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.sim.results import SimulationResult
+from repro.sim.tracer import TraceRecord, Tracer
+from repro.workloads.scenario import Scenario
+
+#: Events that open a request's lifecycle.
+_ARRIVAL_EVENTS = ("arrival", "cascade_arrival")
+#: Events that close a request's lifecycle, exactly one of which must occur.
+_TERMINAL_EVENTS = ("complete", "dropped", "expired", "unfinished")
+
+#: Slack for floating-point PE-fraction sums.
+_PE_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected breach of a trace invariant."""
+
+    invariant: str
+    message: str
+    time_ms: float = 0.0
+    request_id: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        where = f" (request {self.request_id})" if self.request_id is not None else ""
+        return f"[{self.invariant}] t={self.time_ms:.3f} ms{where}: {self.message}"
+
+
+class TraceInvariantError(AssertionError):
+    """Raised by :func:`assert_trace_invariants` when any invariant fails."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = list(violations)
+        lines = [f"{len(self.violations)} trace invariant violation(s):"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        super().__init__("\n".join(lines))
+
+
+# --------------------------------------------------------------------- #
+# individual invariant checkers
+# --------------------------------------------------------------------- #
+
+
+def check_no_pe_oversubscription(records: Sequence[TraceRecord]) -> list[Violation]:
+    """Dispatched PE fractions never oversubscribe an accelerator."""
+    violations: list[Violation] = []
+    in_flight: dict[int, tuple[int, float]] = {}  # request_id -> (acc_id, fraction)
+    allocated: dict[int, float] = {}  # acc_id -> summed fraction
+    for record in records:
+        if record.event == "dispatch":
+            if record.acc_id is None or record.pe_fraction is None:
+                violations.append(
+                    Violation(
+                        "no_pe_oversubscription",
+                        "dispatch record lacks acc_id/pe_fraction",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            if record.request_id in in_flight:
+                held_acc, _ = in_flight[record.request_id]
+                violations.append(
+                    Violation(
+                        "no_pe_oversubscription",
+                        f"request dispatched to accelerator {record.acc_id} while "
+                        f"already in flight on accelerator {held_acc}",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            in_flight[record.request_id] = (record.acc_id, record.pe_fraction)
+            allocated[record.acc_id] = allocated.get(record.acc_id, 0.0) + record.pe_fraction
+            if allocated[record.acc_id] > 1.0 + _PE_EPSILON:
+                violations.append(
+                    Violation(
+                        "no_pe_oversubscription",
+                        f"accelerator {record.acc_id} oversubscribed: allocated "
+                        f"PE fraction {allocated[record.acc_id]:.4f} > 1.0",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+        elif record.event == "layers_complete":
+            slot = in_flight.pop(record.request_id, None)
+            if slot is not None:
+                acc_id, fraction = slot
+                allocated[acc_id] = allocated.get(acc_id, 0.0) - fraction
+    return violations
+
+
+def check_causality(records: Sequence[TraceRecord]) -> list[Violation]:
+    """Every request arrives before anything else happens to it."""
+    violations: list[Violation] = []
+    arrival_ms: dict[int, float] = {}
+    for record in records:
+        if record.event in _ARRIVAL_EVENTS:
+            if record.request_id in arrival_ms:
+                violations.append(
+                    Violation(
+                        "causality",
+                        f"request has a second {record.event!r} record",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+            arrival_ms.setdefault(record.request_id, record.time_ms)
+            continue
+        if record.request_id not in arrival_ms:
+            violations.append(
+                Violation(
+                    "causality",
+                    f"{record.event!r} recorded before any arrival of the request",
+                    record.time_ms,
+                    record.request_id,
+                )
+            )
+            continue
+        if record.event == "dispatch" and record.time_ms < arrival_ms[record.request_id] - 1e-9:
+            violations.append(
+                Violation(
+                    "causality",
+                    f"dispatch at {record.time_ms:.3f} ms precedes arrival at "
+                    f"{arrival_ms[record.request_id]:.3f} ms",
+                    record.time_ms,
+                    record.request_id,
+                )
+            )
+    return violations
+
+
+def check_monotonic_progress(records: Sequence[TraceRecord]) -> list[Violation]:
+    """Per request: time-ordered events, dispatch/complete alternation, and
+    nothing after a terminal event."""
+    violations: list[Violation] = []
+    last_time: dict[int, float] = {}
+    outstanding: dict[int, bool] = {}  # request_id -> has an open dispatch
+    terminal: dict[int, str] = {}
+    for record in records:
+        rid = record.request_id
+        if rid in terminal:
+            violations.append(
+                Violation(
+                    "monotonic_progress",
+                    f"{record.event!r} recorded after terminal {terminal[rid]!r}",
+                    record.time_ms,
+                    rid,
+                )
+            )
+            continue
+        if rid in last_time and record.time_ms < last_time[rid] - 1e-9:
+            violations.append(
+                Violation(
+                    "monotonic_progress",
+                    f"{record.event!r} at {record.time_ms:.3f} ms goes back in time "
+                    f"(previous event at {last_time[rid]:.3f} ms)",
+                    record.time_ms,
+                    rid,
+                )
+            )
+        last_time[rid] = max(record.time_ms, last_time.get(rid, record.time_ms))
+        if record.event == "dispatch":
+            if outstanding.get(rid):
+                violations.append(
+                    Violation(
+                        "monotonic_progress",
+                        "second dispatch while a layer block is still in flight",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+            outstanding[rid] = True
+        elif record.event == "layers_complete":
+            if not outstanding.get(rid):
+                violations.append(
+                    Violation(
+                        "monotonic_progress",
+                        "layers_complete without a matching dispatch",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+            outstanding[rid] = False
+        elif record.event in _TERMINAL_EVENTS:
+            terminal[rid] = record.event
+    return violations
+
+
+def check_cascade_after_parent(
+    records: Sequence[TraceRecord], scenario: Scenario
+) -> list[Violation]:
+    """Cascade children arrive only after a parent completion of their frame."""
+    violations: list[Violation] = []
+    # (task_name, frame_id) -> earliest completion time
+    completions: dict[tuple[str, Optional[int]], float] = {}
+    for record in records:
+        if record.event == "complete":
+            key = (record.task_name, record.frame_id)
+            completions.setdefault(key, record.time_ms)
+        elif record.event == "cascade_arrival":
+            try:
+                parent_name = scenario.task(record.task_name).depends_on
+            except KeyError:
+                violations.append(
+                    Violation(
+                        "cascade_after_parent",
+                        f"cascade arrival for task {record.task_name!r} which is "
+                        f"not part of scenario {scenario.name!r}",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            if parent_name is None:
+                violations.append(
+                    Violation(
+                        "cascade_after_parent",
+                        f"cascade arrival for head task {record.task_name!r} "
+                        "(head tasks have no upstream dependency)",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            parent_completion = completions.get((parent_name, record.frame_id))
+            if parent_completion is None or parent_completion > record.time_ms + 1e-9:
+                violations.append(
+                    Violation(
+                        "cascade_after_parent",
+                        f"orphan cascade child: task {record.task_name!r} frame "
+                        f"{record.frame_id} arrived without a prior completion of "
+                        f"parent task {parent_name!r} for that frame",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+    return violations
+
+
+def check_conservation(records: Sequence[TraceRecord]) -> list[Violation]:
+    """Every arrived request reaches exactly one terminal outcome."""
+    violations: list[Violation] = []
+    arrived: dict[int, TraceRecord] = {}
+    finished: dict[int, str] = {}
+    for record in records:
+        rid = record.request_id
+        if record.event in _ARRIVAL_EVENTS:
+            arrived.setdefault(rid, record)
+        elif record.event in _TERMINAL_EVENTS:
+            if rid in finished:
+                violations.append(
+                    Violation(
+                        "conservation",
+                        f"double finish: request already terminated via "
+                        f"{finished[rid]!r}, now {record.event!r}",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+                continue
+            finished[rid] = record.event
+            if rid not in arrived:
+                violations.append(
+                    Violation(
+                        "conservation",
+                        f"terminal {record.event!r} for a request that never arrived",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+    for rid, record in arrived.items():
+        if rid not in finished:
+            violations.append(
+                Violation(
+                    "conservation",
+                    f"leaked request: task {record.task_name!r} frame "
+                    f"{record.frame_id} arrived but never reached a terminal state",
+                    record.time_ms,
+                    rid,
+                )
+            )
+    return violations
+
+
+def check_stats_consistency(
+    records: Sequence[TraceRecord],
+    result: SimulationResult,
+    warmup_ms: float = 0.0,
+) -> list[Violation]:
+    """Per-task result counters match the trace's measured-request outcomes.
+
+    A request is *measured* when its deadline falls inside the simulated
+    window (the engine's accounting rule with ``warmup_ms=0``).  With a
+    non-zero warmup the trace does not carry enough information to re-derive
+    measured-ness exactly (a cascade's sensor-frame arrival predates its own
+    arrival record), so the check degrades to inequalities.
+    """
+    violations: list[Violation] = []
+    duration_ms = result.duration_ms
+    counts: dict[str, dict[str, int]] = {}
+    terminal_for: dict[int, str] = {}
+    for record in records:
+        if record.event not in _TERMINAL_EVENTS or record.request_id in terminal_for:
+            continue
+        terminal_for[record.request_id] = record.event
+        if record.deadline_ms is None or record.deadline_ms > duration_ms:
+            continue  # unmeasured: no full chance inside the window
+        per_task = counts.setdefault(record.task_name, dict.fromkeys(_TERMINAL_EVENTS, 0))
+        per_task[record.event] += 1
+
+    stat_fields = {
+        "complete": "completed_frames",
+        "dropped": "dropped_frames",
+        "expired": "expired_frames",
+        "unfinished": "unfinished_frames",
+    }
+    for task_name, stats in result.task_stats.items():
+        traced = counts.get(task_name, dict.fromkeys(_TERMINAL_EVENTS, 0))
+        for event, field_name in stat_fields.items():
+            reported = getattr(stats, field_name)
+            observed = traced[event]
+            exact = warmup_ms <= 0.0
+            mismatch = reported != observed if exact else reported > observed
+            if mismatch:
+                relation = "!=" if exact else ">"
+                violations.append(
+                    Violation(
+                        "stats_consistency",
+                        f"task {task_name!r}: result reports "
+                        f"{field_name}={reported} {relation} {observed} measured "
+                        f"{event!r} events in the trace",
+                        duration_ms,
+                    )
+                )
+    return violations
+
+
+#: Checker registry: invariant name -> callable.  Scenario- and
+#: result-dependent checkers are adapted inside :func:`audit_trace`.
+INVARIANT_NAMES: tuple[str, ...] = (
+    "no_pe_oversubscription",
+    "causality",
+    "monotonic_progress",
+    "cascade_after_parent",
+    "conservation",
+    "stats_consistency",
+)
+
+
+def audit_trace(
+    trace: "Tracer | Iterable[TraceRecord]",
+    scenario: Optional[Scenario] = None,
+    result: Optional[SimulationResult] = None,
+    warmup_ms: float = 0.0,
+    invariants: Optional[Sequence[str]] = None,
+) -> list[Violation]:
+    """Audit a trace against every applicable invariant.
+
+    Args:
+        trace: a :class:`~repro.sim.tracer.Tracer` or an iterable of
+            :class:`~repro.sim.tracer.TraceRecord`.
+        scenario: required for ``cascade_after_parent`` (skipped otherwise).
+        result: required for ``stats_consistency`` (skipped otherwise).
+        warmup_ms: the engine's warmup window, if one was used.
+        invariants: optional subset of :data:`INVARIANT_NAMES` to run.
+
+    Returns:
+        All violations found, in invariant-registry order.
+
+    Raises:
+        ValueError: if the trace is truncated (bounded capacity overflowed)
+            — global invariants cannot be audited on a partial trace — or
+            if an unknown invariant name is requested.
+    """
+    if isinstance(trace, Tracer):
+        if trace.truncated:
+            raise ValueError(
+                f"trace is truncated ({trace.dropped_records} oldest records "
+                "discarded); the invariant oracle needs a complete trace — use "
+                "an unbounded Tracer()"
+            )
+        records: Sequence[TraceRecord] = trace.records
+    else:
+        records = list(trace)
+
+    selected = tuple(invariants) if invariants is not None else INVARIANT_NAMES
+    unknown = [name for name in selected if name not in INVARIANT_NAMES]
+    if unknown:
+        raise ValueError(f"unknown invariants {unknown}; available: {list(INVARIANT_NAMES)}")
+
+    checks: dict[str, Callable[[], list[Violation]]] = {
+        "no_pe_oversubscription": lambda: check_no_pe_oversubscription(records),
+        "causality": lambda: check_causality(records),
+        "monotonic_progress": lambda: check_monotonic_progress(records),
+        "cascade_after_parent": (
+            (lambda: check_cascade_after_parent(records, scenario))
+            if scenario is not None
+            else lambda: []
+        ),
+        "conservation": lambda: check_conservation(records),
+        "stats_consistency": (
+            (lambda: check_stats_consistency(records, result, warmup_ms))
+            if result is not None
+            else lambda: []
+        ),
+    }
+    violations: list[Violation] = []
+    for name in selected:
+        violations.extend(checks[name]())
+    return violations
+
+
+def assert_trace_invariants(
+    trace: "Tracer | Iterable[TraceRecord]",
+    scenario: Optional[Scenario] = None,
+    result: Optional[SimulationResult] = None,
+    warmup_ms: float = 0.0,
+    invariants: Optional[Sequence[str]] = None,
+) -> None:
+    """Like :func:`audit_trace` but raises :class:`TraceInvariantError`."""
+    violations = audit_trace(
+        trace, scenario=scenario, result=result, warmup_ms=warmup_ms, invariants=invariants
+    )
+    if violations:
+        raise TraceInvariantError(violations)

@@ -3,9 +3,20 @@
 The tracer records one :class:`TraceRecord` per interesting event (request
 arrival, dispatch, completion, drop, expiry).  It is disabled by default —
 long simulations generate many events — and enabled by passing
-``tracer=Tracer()`` to the engine.  Tests use it to assert detailed
-scheduling invariants (e.g. a request never runs on two accelerators at
-once).
+``tracer=Tracer()`` to the engine.  Tests and the trace-invariant oracle
+(:mod:`repro.sim.invariants`) use it to assert detailed scheduling
+invariants (e.g. a request never runs on two accelerators at once).
+
+Truncation semantics
+--------------------
+A bounded tracer (``Tracer(capacity=N)``) behaves as a ring buffer over
+arrival order: once more than ``N`` records have been collected, the
+**oldest records are discarded first** and the newest ``N`` are kept.  The
+number of discarded records is reported by :attr:`Tracer.dropped_records`
+(and :attr:`Tracer.truncated`), so consumers that require a complete event
+stream — most importantly the invariant oracle, whose conservation checks
+are meaningless on a partial trace — can detect truncation instead of
+silently auditing a suffix.
 """
 
 from __future__ import annotations
@@ -16,7 +27,21 @@ from typing import Iterator, Optional
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One traced simulator event."""
+    """One traced simulator event.
+
+    Besides the identifying fields, records carry the structured facts the
+    invariant oracle audits, so no information has to be parsed back out of
+    the free-form ``detail`` string:
+
+    * ``frame_id`` — originating sensor-frame index (cascaded requests
+      inherit their parent's frame id, which is what lets the oracle match
+      a ``cascade_arrival`` to the parent completion that spawned it).
+    * ``pe_fraction`` — PE-array share of a ``dispatch`` event (``None``
+      for non-dispatch events).
+    * ``deadline_ms`` — the request's completion deadline, from which the
+      oracle re-derives measured-ness when cross-checking trace counts
+      against :class:`~repro.sim.results.TaskStats`.
+    """
 
     time_ms: float
     event: str
@@ -25,6 +50,9 @@ class TraceRecord:
     model_name: str
     acc_id: Optional[int] = None
     detail: str = ""
+    frame_id: Optional[int] = None
+    pe_fraction: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
 
 class Tracer:
@@ -34,11 +62,16 @@ class Tracer:
         """Create a tracer.
 
         Args:
-            capacity: optional maximum number of records kept (oldest are
-                discarded first); ``None`` keeps everything.
+            capacity: optional maximum number of records kept.  When the
+                limit is exceeded the *oldest* records are discarded first
+                (the newest ``capacity`` records are kept); ``None`` keeps
+                everything.  See :attr:`dropped_records`.
         """
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
         self.capacity = capacity
         self._records: list[TraceRecord] = []
+        self._dropped = 0
 
     def record(
         self,
@@ -49,8 +82,11 @@ class Tracer:
         model_name: str,
         acc_id: Optional[int] = None,
         detail: str = "",
+        frame_id: Optional[int] = None,
+        pe_fraction: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
-        """Append one record, honouring the capacity limit."""
+        """Append one record, honouring the capacity limit (oldest dropped)."""
         self._records.append(
             TraceRecord(
                 time_ms=time_ms,
@@ -60,10 +96,14 @@ class Tracer:
                 model_name=model_name,
                 acc_id=acc_id,
                 detail=detail,
+                frame_id=frame_id,
+                pe_fraction=pe_fraction,
+                deadline_ms=deadline_ms,
             )
         )
-        if self.capacity is not None and len(self._records) > self.capacity:
+        while self.capacity is not None and len(self._records) > self.capacity:
             del self._records[0]
+            self._dropped += 1
 
     def __len__(self) -> int:
         return len(self._records)
@@ -73,8 +113,18 @@ class Tracer:
 
     @property
     def records(self) -> list[TraceRecord]:
-        """All collected records, oldest first."""
+        """All collected records, oldest first (newest kept under capacity)."""
         return list(self._records)
+
+    @property
+    def dropped_records(self) -> int:
+        """Number of oldest records discarded due to the capacity limit."""
+        return self._dropped
+
+    @property
+    def truncated(self) -> bool:
+        """True if any record was discarded; the trace is then a suffix."""
+        return self._dropped > 0
 
     def events(self, event: str) -> list[TraceRecord]:
         """All records of one event kind (``"dispatch"``, ``"drop"``...)."""

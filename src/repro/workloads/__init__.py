@@ -28,8 +28,18 @@ from repro.workloads.scenarios import (
     scenario_names,
 )
 from repro.workloads.dynamicity import WorkloadPhase, PhasedWorkload
+from repro.workloads.generator import (
+    MODEL_POOL,
+    GeneratorSpec,
+    ScenarioGenerator,
+    generate_scenarios,
+)
 
 __all__ = [
+    "MODEL_POOL",
+    "GeneratorSpec",
+    "ScenarioGenerator",
+    "generate_scenarios",
     "TaskSpec",
     "Scenario",
     "Frame",

@@ -1,10 +1,10 @@
-"""The ``repro`` console CLI: grid, figure, bench, list."""
+"""The ``repro`` console CLI: grid, figure, bench, list, generate, fuzz."""
 
 import json
 
 import pytest
 
-from repro.cli import SMOKE_GRID, build_parser, main
+from repro.cli import EXIT_INVARIANT_VIOLATION, SMOKE_GRID, build_parser, main
 
 
 class TestParser:
@@ -75,6 +75,118 @@ class TestFigure:
         payload = json.loads((tmp_path / "figure2.json").read_text())
         assert payload["name"] == "figure2"
         assert len(payload["rows"]) == 4
+
+
+class TestGenerate:
+    def test_generate_prints_and_writes_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        code = main(
+            [
+                "generate", "--count", "2", "--max-tasks", "3",
+                "--generator-seed", "7", "--spec-out", str(spec_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario gen-7-0" in out and "Scenario gen-7-1" in out
+        payload = json.loads(spec_path.read_text())
+        assert payload["generator"]["seed"] == 7
+        assert payload["count"] == 2
+
+    def test_generate_run_executes_grid_with_store(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate", "--count", "1", "--max-tasks", "3",
+                "--run", "--schedulers", "fcfs_dynamic",
+                "--duration-ms", "150", "--store", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UXCost" in out
+        assert "gen-0-0/4k_1ws_2os" in out
+
+    def test_invalid_generator_bounds_fail_cleanly(self, capsys):
+        code = main(["generate", "--count", "1", "--min-tasks", "5", "--max-tasks", "2"])
+        assert code == 2
+        assert "min_tasks" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_fuzz_clean_sweep_exits_zero(self, capsys):
+        code = main(
+            [
+                "fuzz", "--seeds", "1", "--max-tasks", "3",
+                "--schedulers", "fcfs_dynamic,dream_full", "--duration-ms", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 clean" in out
+
+    def test_fuzz_schedulers_all_expands_registry(self, monkeypatch, capsys):
+        from repro.experiments.differential import FuzzResult
+        from repro.schedulers import scheduler_names
+
+        seen = {}
+
+        def fake_run_fuzz(spec, count, schedulers, platform, duration_ms, seed):
+            seen["schedulers"] = list(schedulers)
+            return FuzzResult(spec=spec, reports=[])
+
+        monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
+        assert main(["fuzz", "--seeds", "1", "--schedulers", "all"]) == 0
+        assert seen["schedulers"] == scheduler_names()
+
+    def test_fuzz_violation_exit_code_and_artifacts(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.differential import DifferentialReport, FuzzResult
+        from repro.sim import Violation
+        from repro.workloads import GeneratorSpec
+
+        report = DifferentialReport(
+            scenario_name="gen-0-0", platform="4k_1ws_2os",
+            duration_ms=100.0, seed=0, generator=GeneratorSpec(), generator_index=0,
+        )
+        report.metamorphic_failures.append(
+            Violation("identical_arrivals", "streams differ")
+        )
+        fuzz = FuzzResult(spec=GeneratorSpec(), reports=[report])
+        monkeypatch.setattr("repro.cli.run_fuzz", lambda *a, **k: fuzz)
+
+        artifacts = tmp_path / "artifacts"
+        code = main(["fuzz", "--seeds", "1", "--artifacts", str(artifacts)])
+        assert code == EXIT_INVARIANT_VIOLATION
+        artifact_path = artifacts / "gen-0-0.json"
+        assert artifact_path.is_file()
+        payload = json.loads(artifact_path.read_text())
+        assert payload["generator"]["seed"] == 0
+        assert payload["metamorphic_failures"]
+
+    def test_fuzz_harness_error_exit_code(self, monkeypatch, capsys):
+        def broken_run_fuzz(*args, **kwargs):
+            raise RuntimeError("engine went sideways")
+
+        monkeypatch.setattr("repro.cli.run_fuzz", broken_run_fuzz)
+        code = main(["fuzz", "--seeds", "1"])
+        assert code == 1
+        assert "harness error" in capsys.readouterr().err
+
+    def test_fuzz_replay_artifact(self, tmp_path, capsys):
+        from repro.workloads import GeneratorSpec
+
+        artifact = {
+            "generator": GeneratorSpec(seed=13, min_tasks=2, max_tasks=3).to_dict(),
+            "generator_index": 0,
+            "platform": "4k_1ws_2os",
+            "duration_ms": 150.0,
+            "seed": 0,
+            "schedulers": ["fcfs_dynamic"],
+        }
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps(artifact))
+        code = main(["fuzz", "--replay", str(path)])
+        assert code == 0
+        assert "gen-13-0" in capsys.readouterr().out
 
 
 class TestBench:

@@ -1,0 +1,123 @@
+"""Cross-scheduler differential runner and metamorphic properties."""
+
+import pytest
+
+from repro.experiments.differential import (
+    DifferentialReport,
+    FuzzResult,
+    SchedulerRun,
+    _check_metamorphic,
+    replay_artifact,
+    run_differential,
+    run_fuzz,
+)
+from repro.workloads import GeneratorSpec
+
+SCHEDULERS = ["fcfs_dynamic", "planaria", "dream_full"]
+
+
+class TestRunDifferential:
+    def test_clean_report_on_tiny_scenario(self, tiny_scenario, tiny_platform,
+                                           tiny_cost_table):
+        report = run_differential(
+            tiny_scenario, tiny_platform, SCHEDULERS,
+            duration_ms=300.0, seed=0, cost_table=tiny_cost_table,
+        )
+        assert report.ok
+        assert not report.harness_errors
+        assert set(report.runs) == set(SCHEDULERS)
+        assert "OK" in report.describe()
+
+    def test_arrivals_identical_across_schedulers(self, tiny_scenario, tiny_platform,
+                                                  tiny_cost_table):
+        report = run_differential(
+            tiny_scenario, tiny_platform, SCHEDULERS,
+            duration_ms=300.0, seed=0, cost_table=tiny_cost_table,
+        )
+        arrival_sets = {run.arrivals for run in report.runs.values()}
+        assert len(arrival_sets) == 1
+        assert next(iter(arrival_sets)), "head frames must have arrived"
+
+    def test_tampered_arrivals_trip_metamorphic_check(self, tiny_scenario, tiny_platform,
+                                                      tiny_cost_table):
+        report = run_differential(
+            tiny_scenario, tiny_platform, SCHEDULERS[:2],
+            duration_ms=300.0, seed=0, cost_table=tiny_cost_table,
+        )
+        victim = report.runs[SCHEDULERS[1]]
+        report.runs[SCHEDULERS[1]] = SchedulerRun(
+            scheduler=victim.scheduler,
+            result=victim.result,
+            violations=victim.violations,
+            arrivals=victim.arrivals[:-1],  # pretend one arrival went missing
+        )
+        failures = _check_metamorphic(report, tiny_scenario)
+        assert any(f.invariant == "identical_arrivals" for f in failures)
+
+    def test_crashing_scheduler_is_captured_not_raised(self, tiny_scenario, tiny_platform,
+                                                       tiny_cost_table, monkeypatch):
+        def exploding_make_scheduler(name):
+            raise RuntimeError(f"scheduler {name} exploded")
+
+        monkeypatch.setattr(
+            "repro.experiments.differential.make_scheduler", exploding_make_scheduler
+        )
+        report = run_differential(
+            tiny_scenario, tiny_platform, ["fcfs_dynamic"],
+            duration_ms=100.0, cost_table=tiny_cost_table,
+        )
+        assert not report.runs
+        assert "fcfs_dynamic" in report.harness_errors
+        assert "exploded" in report.harness_errors["fcfs_dynamic"]
+        assert "harness error" in report.describe()
+
+
+class TestFuzz:
+    SPEC = GeneratorSpec(seed=13, min_tasks=2, max_tasks=3)
+
+    def test_fuzz_sweep_is_clean(self):
+        fuzz = run_fuzz(
+            self.SPEC, count=2, schedulers=SCHEDULERS, duration_ms=150.0
+        )
+        assert fuzz.ok
+        assert len(fuzz.reports) == 2
+        assert not fuzz.failing and not fuzz.erroneous
+        assert "2 clean" in fuzz.summary()
+
+    def test_fuzz_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            run_fuzz(self.SPEC, count=0)
+
+    def test_artifact_replays_to_same_scenario(self):
+        fuzz = run_fuzz(
+            self.SPEC, count=1, schedulers=SCHEDULERS[:2], duration_ms=150.0
+        )
+        artifact = fuzz.reports[0].to_artifact()
+        assert artifact["generator"] == self.SPEC.to_dict()
+        replayed = replay_artifact(artifact)
+        assert replayed.scenario_name == fuzz.reports[0].scenario_name
+        assert set(replayed.runs) == set(SCHEDULERS[:2])
+        assert replayed.ok
+
+    def test_replay_requires_generator_spec(self):
+        with pytest.raises(ValueError, match="generator spec"):
+            replay_artifact({"scenario_name": "ar_call"})
+
+
+class TestReportShape:
+    def test_failing_report_is_not_ok(self):
+        from repro.sim import Violation
+
+        report = DifferentialReport(
+            scenario_name="gen-0-0", platform="4k_1ws_2os", duration_ms=100.0, seed=0
+        )
+        assert report.ok  # empty reports are vacuously clean
+        report.metamorphic_failures.append(
+            Violation("identical_arrivals", "streams differ")
+        )
+        assert not report.ok
+        fuzz = FuzzResult(spec=GeneratorSpec(), reports=[report])
+        assert fuzz.failing == [report]
+        assert not fuzz.ok
+        payload = report.to_artifact()
+        assert payload["metamorphic_failures"][0]["invariant"] == "identical_arrivals"

@@ -74,6 +74,50 @@ class TestCellJob:
         assert result.scenario_name == custom.name
         assert result.total_frames > 0
 
+    def test_generated_job_is_picklable_and_content_addressed(self):
+        from repro.experiments.jobs import generated_cell_jobs
+        from repro.workloads import GeneratorSpec
+
+        spec = GeneratorSpec(seed=5, max_tasks=3)
+        (job,) = generated_cell_jobs(
+            spec, 1, ["4k_1ws_2os"], ["fcfs_dynamic"], duration_ms=150.0
+        )
+        assert job.cell.key == "gen-5-0/4k_1ws_2os/fcfs_dynamic"
+        assert pickle.loads(pickle.dumps(job)) == job
+        # Another spec (or index) is a different simulation => different key.
+        (other,) = generated_cell_jobs(
+            GeneratorSpec(seed=6, max_tasks=3), 1, ["4k_1ws_2os"], ["fcfs_dynamic"],
+            duration_ms=150.0,
+        )
+        assert other.cache_key() != job.cache_key()
+        # Preset jobs keep their historical content hashes: no generator
+        # fields leak into their to_dict payload.
+        preset = CellJob.create("ar_call", "4k_1ws_2os", "fcfs_dynamic")
+        assert "generator" not in preset.to_dict()
+
+    def test_generated_job_runs_and_is_deterministic(self):
+        from repro.experiments.jobs import generated_cell_jobs
+        from repro.workloads import GeneratorSpec
+
+        spec = GeneratorSpec(seed=5, max_tasks=3)
+        (job,) = generated_cell_jobs(
+            spec, 1, ["4k_1ws_2os"], ["fcfs_dynamic"], duration_ms=150.0
+        )
+        first = job.run()
+        second = job.run()
+        assert first.scenario_name == "gen-5-0"
+        assert first.to_dict() == second.to_dict()
+
+    def test_generated_job_name_mismatch_is_rejected(self):
+        from repro.workloads import GeneratorSpec
+
+        job = CellJob.create(
+            "wrong_name", "4k_1ws_2os", "fcfs_dynamic",
+            generator=GeneratorSpec(seed=5, max_tasks=3), generator_index=0,
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            job.run()
+
     def test_grid_jobs_expands_full_cross_product(self):
         jobs = grid_jobs(["ar_call"], ["4k_1ws_2os", "4k_2ws"], ["fcfs_dynamic"], seed=3)
         assert [job.cell.key for job in jobs] == [

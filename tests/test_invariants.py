@@ -1,0 +1,279 @@
+"""The trace-invariant oracle: clean runs pass, corrupted traces trip.
+
+Each hand-crafted corrupted trace must trip *exactly* its intended
+invariant with a precise message — that precision is what makes oracle
+output actionable when the fuzzer finds a real scheduler bug.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.schedulers import make_scheduler
+from repro.sim import (
+    SimulationEngine,
+    TraceInvariantError,
+    Tracer,
+    TraceRecord,
+    assert_trace_invariants,
+    audit_trace,
+)
+from repro.sim.invariants import INVARIANT_NAMES
+from repro.sim.results import SimulationResult, TaskStats
+
+
+def _rec(
+    time_ms,
+    event,
+    task="vision",
+    rid=1,
+    model="alpha",
+    acc=None,
+    frame=0,
+    pe=None,
+    deadline=100.0,
+):
+    return TraceRecord(
+        time_ms=time_ms,
+        event=event,
+        task_name=task,
+        request_id=rid,
+        model_name=model,
+        acc_id=acc,
+        frame_id=frame,
+        pe_fraction=pe,
+        deadline_ms=deadline,
+    )
+
+
+def _lifecycle(rid=1, task="vision", frame=0, start=0.0, acc=0):
+    """A minimal valid request lifecycle: arrival -> dispatch -> complete."""
+    return [
+        _rec(start, "arrival", task=task, rid=rid, frame=frame),
+        _rec(start + 1, "dispatch", task=task, rid=rid, frame=frame, acc=acc, pe=1.0),
+        _rec(start + 5, "layers_complete", task=task, rid=rid, frame=frame, acc=acc),
+        _rec(start + 5, "complete", task=task, rid=rid, frame=frame, acc=acc),
+    ]
+
+
+def _violated(records, invariant, **kwargs):
+    """Violations of one invariant; asserts no *other* invariant tripped."""
+    violations = audit_trace(records, **kwargs)
+    assert violations, f"expected a {invariant!r} violation, trace passed"
+    others = [v for v in violations if v.invariant != invariant]
+    assert not others, f"unexpected extra violations: {others}"
+    return [v for v in violations if v.invariant == invariant]
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("scheduler", ["fcfs_dynamic", "planaria", "dream_full"])
+    def test_real_runs_pass_all_invariants(self, tiny_scenario, tiny_platform,
+                                           tiny_cost_table, scheduler):
+        tracer = Tracer()
+        engine = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=tiny_platform,
+            scheduler=make_scheduler(scheduler),
+            duration_ms=400.0,
+            seed=0,
+            cost_table=tiny_cost_table,
+            tracer=tracer,
+        )
+        result = engine.run()
+        assert audit_trace(tracer, scenario=tiny_scenario, result=result) == []
+        # and the asserting form does not raise
+        assert_trace_invariants(tracer, scenario=tiny_scenario, result=result)
+
+    def test_hand_built_lifecycle_passes(self):
+        assert audit_trace(_lifecycle()) == []
+
+
+class TestCorruptedTraces:
+    def test_oversubscribed_pe_array(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(0.0, "arrival", rid=2),
+            _rec(1.0, "dispatch", rid=1, acc=0, pe=0.7),
+            _rec(1.0, "dispatch", rid=2, acc=0, pe=0.7),
+        ]
+        (violation,) = _violated(
+            records, "no_pe_oversubscription", invariants=["no_pe_oversubscription"]
+        )
+        assert "oversubscribed" in violation.message
+        assert "1.4" in violation.message
+
+    def test_request_on_two_accelerators_at_once(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(1.0, "dispatch", rid=1, acc=0, pe=0.5),
+            _rec(2.0, "dispatch", rid=1, acc=1, pe=0.5),
+        ]
+        violations = audit_trace(records, invariants=["no_pe_oversubscription"])
+        assert any("already in flight" in v.message for v in violations)
+
+    def test_dispatch_before_arrival(self):
+        records = [
+            _rec(1.0, "dispatch", rid=1, acc=0, pe=1.0),
+            _rec(2.0, "arrival", rid=1),
+        ]
+        violations = audit_trace(records, invariants=["causality"])
+        assert any("before any arrival" in v.message for v in violations)
+
+    def test_orphan_cascade_child(self, tiny_scenario):
+        # 'cascade' depends on 'vision' in the tiny scenario, but no
+        # completion of 'vision' for frame 3 ever happened.
+        records = _lifecycle(rid=1, task="vision", frame=1) + [
+            _rec(10.0, "cascade_arrival", task="cascade", rid=7, model="gamma", frame=3),
+            _rec(12.0, "expired", task="cascade", rid=7, model="gamma", frame=3),
+        ]
+        violations = _violated(
+            records, "cascade_after_parent",
+            scenario=tiny_scenario, invariants=["cascade_after_parent"],
+        )
+        assert "orphan cascade child" in violations[0].message
+        assert "'vision'" in violations[0].message
+
+    def test_cascade_arrival_for_head_task(self, tiny_scenario):
+        records = [
+            _rec(5.0, "cascade_arrival", task="vision", rid=9),
+            _rec(6.0, "expired", task="vision", rid=9),
+        ]
+        violations = audit_trace(
+            records, scenario=tiny_scenario, invariants=["cascade_after_parent"]
+        )
+        assert any("head task" in v.message for v in violations)
+
+    def test_double_finish(self):
+        records = _lifecycle(rid=1) + [_rec(9.0, "dropped", rid=1)]
+        violations = audit_trace(records, invariants=["conservation"])
+        assert any("double finish" in v.message for v in violations)
+
+    def test_leaked_request(self):
+        records = [_rec(0.0, "arrival", rid=1)]
+        violations = audit_trace(records, invariants=["conservation"])
+        assert any("leaked request" in v.message for v in violations)
+
+    def test_terminal_without_arrival(self):
+        records = [_rec(3.0, "dropped", rid=5)]
+        violations = audit_trace(records, invariants=["conservation"])
+        assert any("never arrived" in v.message for v in violations)
+
+    def test_time_travel_within_request(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(5.0, "dispatch", rid=1, acc=0, pe=1.0),
+            _rec(2.0, "layers_complete", rid=1, acc=0),
+        ]
+        violations = audit_trace(records, invariants=["monotonic_progress"])
+        assert any("back in time" in v.message for v in violations)
+
+    def test_event_after_terminal(self):
+        records = _lifecycle(rid=1) + [_rec(9.0, "dispatch", rid=1, acc=0, pe=1.0)]
+        violations = audit_trace(records, invariants=["monotonic_progress"])
+        assert any("after terminal" in v.message for v in violations)
+
+    def test_stats_mismatch(self):
+        records = _lifecycle(rid=1, task="vision")
+        stats = TaskStats(task_name="vision", total_frames=2, completed_frames=2)
+        result = SimulationResult(
+            scenario_name="tiny",
+            platform_name="tiny_het",
+            scheduler_name="fcfs_dynamic",
+            duration_ms=200.0,
+            seed=0,
+            task_stats={"vision": stats},
+            accelerator_stats=(),
+        )
+        violations = _violated(
+            records, "stats_consistency", result=result, invariants=["stats_consistency"]
+        )
+        assert "completed_frames=2 != 1" in violations[0].message
+
+    def test_assert_form_raises_with_all_messages(self):
+        records = [_rec(3.0, "dropped", rid=5)]
+        with pytest.raises(TraceInvariantError) as excinfo:
+            assert_trace_invariants(records, invariants=["conservation"])
+        assert "conservation" in str(excinfo.value)
+        assert excinfo.value.violations
+
+    def test_unknown_invariant_name_rejected(self):
+        with pytest.raises(ValueError):
+            audit_trace([], invariants=["no_such_invariant"])
+
+    def test_registry_covers_all_checkers(self):
+        assert set(INVARIANT_NAMES) == {
+            "no_pe_oversubscription",
+            "causality",
+            "monotonic_progress",
+            "cascade_after_parent",
+            "conservation",
+            "stats_consistency",
+        }
+
+
+class TestTracerCapacity:
+    """Regression: bounded tracers keep the NEWEST records (oldest dropped)
+    and report the truncation, so the oracle can refuse partial traces."""
+
+    def test_keeps_newest_records(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record(float(i), "arrival", "t", i, "m")
+        assert len(tracer) == 4
+        assert [record.request_id for record in tracer.records] == [6, 7, 8, 9]
+        assert tracer.dropped_records == 6
+        assert tracer.truncated
+
+    def test_unbounded_never_truncates(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.record(float(i), "arrival", "t", i, "m")
+        assert len(tracer) == 10
+        assert tracer.dropped_records == 0
+        assert not tracer.truncated
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_oracle_refuses_truncated_trace(self):
+        tracer = Tracer(capacity=2)
+        for i in range(3):
+            tracer.record(float(i), "arrival", "t", i, "m")
+        with pytest.raises(ValueError, match="truncated"):
+            audit_trace(tracer)
+
+    def test_oracle_accepts_bounded_but_untruncated_trace(self):
+        tracer = Tracer(capacity=16)
+        for record in _lifecycle():
+            tracer.record(
+                record.time_ms, record.event, record.task_name, record.request_id,
+                record.model_name, acc_id=record.acc_id, frame_id=record.frame_id,
+                pe_fraction=record.pe_fraction, deadline_ms=record.deadline_ms,
+            )
+        assert audit_trace(tracer) == []
+
+
+class TestStructuredTraceFields:
+    """The engine populates the structured fields the oracle consumes."""
+
+    def test_engine_records_structured_fields(self, tiny_scenario, tiny_platform,
+                                              tiny_cost_table):
+        tracer = Tracer()
+        SimulationEngine(
+            scenario=tiny_scenario,
+            platform=tiny_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=300.0,
+            seed=0,
+            cost_table=tiny_cost_table,
+            tracer=tracer,
+        ).run()
+        events = Counter(record.event for record in tracer)
+        assert events["arrival"] > 0 and events["dispatch"] > 0
+        assert events["complete"] > 0, "terminal completions must be traced"
+        for record in tracer:
+            assert record.frame_id is not None
+            assert record.deadline_ms is not None
+            if record.event == "dispatch":
+                assert record.pe_fraction is not None and 0 < record.pe_fraction <= 1.0
