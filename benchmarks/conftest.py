@@ -29,6 +29,28 @@ def pytest_addoption(parser):
         type=float,
         help="Override the simulated window length used by every figure benchmark.",
     )
+    parser.addoption(
+        "--run-perf",
+        action="store_true",
+        default=False,
+        help="Run the opt-in engine performance microbenchmarks (marker: perf).",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: engine throughput microbenchmarks; skipped unless --run-perf is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-perf"):
+        return
+    skip_perf = pytest.mark.skip(reason="perf microbenchmark; enable with --run-perf")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)
 
 
 @pytest.fixture(scope="session")

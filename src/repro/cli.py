@@ -14,6 +14,13 @@ Subcommands:
 * ``repro bench`` — time the same grid on the serial and process backends,
   assert bit-for-bit parity, and emit a machine-readable ``BENCH_grid.json``
   (cells/sec, wall times, speedup) so perf trajectories persist across PRs.
+* ``repro bench-engine`` — time the simulation hot loop itself: run the
+  Table-3 grid plus generated scenarios across all registered schedulers on
+  both the optimized engine and the retained reference path, assert
+  bit-for-bit result parity, report events/sec, and emit
+  ``BENCH_engine.json``.  ``--quick`` selects the CI-sized basket,
+  ``--profile`` dumps a cProfile capture of the optimized passes, and
+  ``--baseline``/``--max-regression`` gate against a committed baseline.
 * ``repro generate`` — sample randomized scenarios from the model zoo
   (seeded, reproducible), optionally writing the generator spec and running
   the generated grid on any backend/store.
@@ -337,6 +344,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# repro bench-engine
+# --------------------------------------------------------------------- #
+
+
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    from repro.experiments import benchmark as bench_mod
+
+    basket = bench_mod.quick_basket() if args.quick else bench_mod.default_basket()
+    scenarios = _split_names(args.scenarios, basket["scenarios"])
+    platforms = _split_names(args.platforms, basket["platforms"])
+    schedulers = _scheduler_list(args.schedulers, basket["schedulers"])
+    generated = args.generated if args.generated is not None else basket["generated"]
+    duration_ms = args.duration_ms if args.duration_ms is not None else basket["duration_ms"]
+
+    cells = (len(scenarios) * len(platforms) + generated) * len(schedulers)
+    print(
+        f"bench-engine: {cells} cells ({len(scenarios)} scenarios x "
+        f"{len(platforms)} platforms + {generated} generated) x "
+        f"{len(schedulers)} schedulers, {duration_ms:g} ms each, "
+        f"optimized vs reference engine"
+    )
+    payload = bench_mod.run_engine_bench(
+        scenarios=scenarios,
+        platforms=platforms,
+        schedulers=schedulers,
+        generated=generated,
+        duration_ms=duration_ms,
+        seed=args.seed,
+        profile_path=args.profile,
+    )
+    print(bench_mod.describe(payload))
+
+    # Snapshot the baseline BEFORE writing --out: with the default --out the
+    # two paths can be the same file, and the gate must compare against the
+    # committed numbers, not the payload we are about to merge in.
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro: error: cannot read {args.baseline}: {error}", file=sys.stderr)
+            return 2
+
+    # BENCH_engine.json holds one payload per basket label (full / quick /
+    # custom) so the committed baseline can serve both the headline run and
+    # the CI gate; merging preserves the other labels.
+    label = args.label or ("quick" if args.quick else "full")
+    merged: dict = {}
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            if "totals" in existing:
+                merged["full"] = existing
+            else:
+                merged.update(
+                    {k: v for k, v in existing.items() if isinstance(v, dict) and "totals" in v}
+                )
+    merged[label] = payload
+    args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out} (label {label!r})")
+    if args.profile is not None:
+        print(f"wrote cProfile dump {args.profile} (inspect with pstats or snakeviz)")
+
+    if not payload["parity"]:
+        print("error: optimized and reference engines disagree", file=sys.stderr)
+        return 1
+    speedup = payload["totals"]["speedup"]
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if baseline is not None:
+        problems = bench_mod.compare_to_baseline(payload, baseline, args.max_regression)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        matched = next(
+            entry
+            for entry in bench_mod.baseline_entries(baseline)
+            if entry.get("basket") == payload.get("basket")
+        )
+        print(
+            f"baseline check OK (speedup {speedup:.2f}x vs committed "
+            f"{matched['totals']['speedup']:.2f}x, "
+            f"allowed regression {args.max_regression:.0%})"
+        )
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # repro generate / repro fuzz
 # --------------------------------------------------------------------- #
 
@@ -595,6 +698,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the process backend is at least X times faster",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    bench_engine_parser = subparsers.add_parser(
+        "bench-engine",
+        help="time the simulation hot loop (optimized vs reference engine, events/sec)",
+    )
+    bench_engine_parser.add_argument(
+        "--scenarios", action="append", metavar="NAMES",
+        help="comma-separated scenario names (default: the Table-3 grid)",
+    )
+    bench_engine_parser.add_argument(
+        "--platforms", action="append", metavar="NAMES",
+        help="comma-separated platform names (default: 4k_1ws_2os,4k_2ws)",
+    )
+    bench_engine_parser.add_argument(
+        "--schedulers", action="append", metavar="NAMES",
+        help="schedulers to bench ('all' or comma-separated; default: all)",
+    )
+    bench_engine_parser.add_argument(
+        "--generated", type=int, default=None, metavar="N",
+        help="generated scenarios appended to the basket (default: 3; 2 with --quick)",
+    )
+    bench_engine_parser.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="simulated window per cell (default: 2000; 400 with --quick)",
+    )
+    bench_engine_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    bench_engine_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized basket: 2 scenarios x 1 platform + 2 generated at 400 ms",
+    )
+    bench_engine_parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_engine.json"), metavar="PATH",
+        help="machine-readable output file; payloads merge under their basket "
+        "label (default: BENCH_engine.json)",
+    )
+    bench_engine_parser.add_argument(
+        "--label", default=None, metavar="NAME",
+        help="basket label in the output file (default: 'quick' with --quick, else 'full')",
+    )
+    bench_engine_parser.add_argument(
+        "--profile", type=Path, default=None, metavar="PATH",
+        help="dump a cProfile capture of the optimized passes to PATH",
+    )
+    bench_engine_parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail unless the optimized engine is at least X times faster",
+    )
+    bench_engine_parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="committed BENCH_engine.json to gate regressions against",
+    )
+    bench_engine_parser.add_argument(
+        "--max-regression", type=float, default=0.2, metavar="F",
+        help="allowed fractional throughput regression vs --baseline (default: 0.2)",
+    )
+    bench_engine_parser.set_defaults(func=_cmd_bench_engine)
 
     generate_parser = subparsers.add_parser(
         "generate", help="sample randomized scenarios from the model zoo"

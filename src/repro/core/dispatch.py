@@ -43,11 +43,13 @@ class JobDispatchEngine:
         scenario: Scenario,
         map_score_engine: MapScoreEngine,
         enable_supernet_switching: bool = False,
+        fast: bool = True,
     ) -> None:
         self.cost_table = cost_table
         self.scenario = scenario
         self.map_score_engine = map_score_engine
         self.enable_supernet_switching = enable_supernet_switching
+        self.fast = fast
         self._supernets: dict[str, Supernet] = {
             task.name: task.model
             for task in scenario.tasks
@@ -89,9 +91,7 @@ class JobDispatchEngine:
         chosen: Optional[ModelGraph] = None
         for index in range(current_index, len(supernet.variants)):
             variant = supernet.variants[index]
-            expected = inflation * self.cost_table.remaining_average_latency(
-                variant.name, list(range(variant.num_layers))
-            )
+            expected = inflation * self.cost_table.full_average_latency(variant.name)
             chosen = variant
             if expected <= slack:
                 break
@@ -102,6 +102,67 @@ class JobDispatchEngine:
     # ------------------------------------------------------------------ #
     # assignment
     # ------------------------------------------------------------------ #
+    def _score_pairs_fast(
+        self,
+        view: SystemView,
+        pending: list[InferenceRequest],
+        idle: list,
+        resident: dict[int, Optional[str]],
+        alpha: float,
+        beta: float,
+    ) -> list[tuple[float, InferenceRequest, int]]:
+        """MapScore for every (pending, idle) pair, hot-loop form.
+
+        Computes exactly the expressions of
+        :meth:`~repro.core.mapscore.MapScoreEngine.map_score` (Algorithm 1,
+        lines 7-15) — every intermediate value is bit-for-bit identical —
+        but hoists the accelerator-independent terms (urgency, starvation,
+        cross-accelerator sums) out of the inner loop, reads per-layer costs
+        from the cost table's flat arrays, and memoizes context-switch
+        energies per (model, accelerator) within the round.
+        """
+        engine = self.map_score_engine
+        cost_table = self.cost_table
+        now_ms = view.now_ms
+        idle_ids = [acc.acc_id for acc in idle]
+        # Per-(model) row of context-switch energies aligned with idle_ids;
+        # resident models are fixed within the round, so one row serves every
+        # request of the same model.
+        switch_rows: dict[str, list[float]] = {}
+        pair_list: list[tuple[float, InferenceRequest, int]] = []
+        append = pair_list.append
+        for request in pending:
+            position = request.next_position
+            next_layer = request.path[position]
+            model = request.model.name
+            arrays = cost_table.layer_arrays(model)
+            to_go = engine.to_go_ms(request)
+            slack = request.deadline_ms - now_ms
+            urgency = to_go / (slack if slack > 1e-3 else 1e-3)
+            queue_time = now_ms - request.last_progress_ms
+            if queue_time < 0.0:
+                queue_time = 0.0
+            average = arrays.average_latency[next_layer]
+            alpha_starv = alpha * (queue_time / (average if average > 1e-12 else 1e-12))
+            total_latency = arrays.total_latency[next_layer]
+            total_energy = arrays.total_energy[next_layer]
+            acc_row = arrays.acc_rows[next_layer]
+            switch_row = switch_rows.get(model)
+            if switch_row is None:
+                switch_row = [
+                    cost_table.context_switch_energy(model, resident[acc_id], acc_id)
+                    for acc_id in idle_ids
+                ]
+                switch_rows[model] = switch_row
+            for acc_id, switch_energy in zip(idle_ids, switch_row):
+                this_latency, layer_energy = acc_row[acc_id]
+                lat_pref = total_latency / (this_latency if this_latency > 1e-12 else 1e-12)
+                if layer_energy < 1e-12:
+                    layer_energy = 1e-12
+                energy = total_energy / layer_energy - switch_energy / layer_energy
+                append((urgency * lat_pref + alpha_starv + beta * energy, request, acc_id))
+        return pair_list
+
     def build_assignments(
         self, view: SystemView, alpha: float, beta: float
     ) -> list[Assignment]:
@@ -110,7 +171,9 @@ class JobDispatchEngine:
         if not idle:
             return []
         pending = [
-            request for request in view.pending_requests if request.next_layer() is not None
+            request
+            for request in view.pending_requests
+            if request.next_position < len(request.path)
         ]
         if not pending:
             return []
@@ -119,18 +182,21 @@ class JobDispatchEngine:
 
         # Score every (pending request, idle accelerator) pair, then greedily
         # take the globally best remaining pair until accelerators run out.
-        pair_list: list[tuple[float, InferenceRequest, int]] = []
-        for request in pending:
-            for acc in idle:
-                breakdown = self.map_score_engine.map_score(
-                    request,
-                    acc.acc_id,
-                    view.now_ms,
-                    alpha,
-                    beta,
-                    resident.get(acc.acc_id),
-                )
-                pair_list.append((breakdown.total, request, acc.acc_id))
+        if self.fast:
+            pair_list = self._score_pairs_fast(view, pending, idle, resident, alpha, beta)
+        else:
+            pair_list = []
+            for request in pending:
+                for acc in idle:
+                    breakdown = self.map_score_engine.map_score(
+                        request,
+                        acc.acc_id,
+                        view.now_ms,
+                        alpha,
+                        beta,
+                        resident.get(acc.acc_id),
+                    )
+                    pair_list.append((breakdown.total, request, acc.acc_id))
         pair_list.sort(key=lambda item: item[0], reverse=True)
 
         # Backlog pressure for the Supernet-switching decision: how many live

@@ -22,6 +22,7 @@ from repro.core.config import DreamConfig, dream_full
 from repro.core.dispatch import JobDispatchEngine
 from repro.core.frame_drop import FrameDropConfig, SmartFrameDropEngine
 from repro.core.mapscore import MapScoreEngine
+from repro.hardware.cost_table import ReferenceCostTable
 from repro.schedulers.base import Scheduler
 from repro.sim.decisions import SchedulingDecision, SystemView
 from repro.sim.request import InferenceRequest, RequestState
@@ -87,6 +88,10 @@ class DreamScheduler(Scheduler):
             scenario,
             self.map_score_engine,
             enable_supernet_switching=self.config.enable_supernet_switching,
+            # A reference cost table signals the reference simulation mode:
+            # keep the historical per-pair map_score path so benchmark
+            # comparisons measure the pre-optimization cost profile.
+            fast=not isinstance(cost_table, ReferenceCostTable),
         )
 
     def _engines(self):
@@ -127,11 +132,9 @@ class DreamScheduler(Scheduler):
 
         # Adaptivity engine: detect workload changes and advance the online
         # parameter search (Section 4.4).  This never blocks dispatching.
-        active_tasks = [
-            task.name
-            for task in view.scenario.tasks
-            if view.queue_depths.get(task.name, 0) > 0
-        ]
+        # queue_depths is keyed in scenario task order, so iterating it
+        # directly yields the same task list as scanning scenario.tasks.
+        active_tasks = [name for name, depth in view.queue_depths.items() if depth > 0]
         if active_tasks:
             adaptivity.notify_workload(active_tasks)
         adaptivity.step(view.now_ms)

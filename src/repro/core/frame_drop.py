@@ -86,22 +86,32 @@ class SmartFrameDropEngine:
         self._windows: dict[str, Deque[bool]] = defaultdict(
             lambda: deque(maxlen=self.config.window_frames)
         )
+        # Incremental per-task drop count within the window (== sum(window)).
+        self._window_drops: dict[str, int] = defaultdict(int)
         self.total_drops = 0
         # minimum_to_go only changes when a request makes progress.
         self._to_go_cache: dict[int, tuple[int, float]] = {}
+        # Chain-tail membership is static per scenario (Condition 3).
+        self._chain_tail: dict[str, bool] = {
+            task.name: scenario.is_chain_tail(task.name) for task in scenario.tasks
+        }
 
     # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
     def record_outcome(self, task_name: str, dropped: bool) -> None:
         """Record a finished frame so the per-task drop budget stays bounded."""
-        self._windows[task_name].append(dropped)
+        window = self._windows[task_name]
+        if len(window) == window.maxlen and window[0]:
+            self._window_drops[task_name] -= 1
+        window.append(dropped)
         if dropped:
+            self._window_drops[task_name] += 1
             self.total_drops += 1
 
     def drops_in_window(self, task_name: str) -> int:
         """Number of drops of this task within the sliding window."""
-        return sum(1 for dropped in self._windows[task_name] if dropped)
+        return self._window_drops[task_name]
 
     def drop_budget_available(self, task_name: str) -> bool:
         """Condition 4: the task is below its maximum drop rate."""
@@ -133,7 +143,11 @@ class SmartFrameDropEngine:
 
     def is_chain_tail(self, request: InferenceRequest) -> bool:
         """Condition 3: no other model depends on this request's task."""
-        return self.scenario.is_chain_tail(request.task_name)
+        tail = self._chain_tail.get(request.task_name)
+        if tail is None:
+            tail = self.scenario.is_chain_tail(request.task_name)
+            self._chain_tail[request.task_name] = tail
+        return tail
 
     # ------------------------------------------------------------------ #
     # the drop decision
@@ -155,11 +169,18 @@ class SmartFrameDropEngine:
             The request to drop, or ``None`` when no frame satisfies all
             four conditions.
         """
-        pending = list(pending)
-        running = list(running)
-        expected_violations = sum(
-            1 for request in pending + running if self.expects_violation(request, now_ms)
-        )
+        # Single pass: count expected violations (Condition 2 input) while
+        # collecting the pending violators, so expects_violation runs once
+        # per request instead of twice.
+        expected_violations = 0
+        flagged: list[InferenceRequest] = []
+        for request in pending:
+            if self.expects_violation(request, now_ms):      # Condition 1
+                expected_violations += 1
+                flagged.append(request)
+        for request in running:
+            if self.expects_violation(request, now_ms):
+                expected_violations += 1
         # Condition 2: dropping only helps when more than one live inference
         # is in trouble; a single late model cannot hurt the others.
         if expected_violations < 2:
@@ -167,9 +188,8 @@ class SmartFrameDropEngine:
 
         candidates = [
             request
-            for request in pending
-            if self.expects_violation(request, now_ms)      # Condition 1
-            and self.is_chain_tail(request)                  # Condition 3
+            for request in flagged
+            if self.is_chain_tail(request)                   # Condition 3
             and self.drop_budget_available(request.task_name)  # Condition 4
         ]
         if not candidates:

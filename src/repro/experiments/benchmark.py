@@ -1,0 +1,320 @@
+"""Engine-throughput benchmark: events/sec, with reference-parity checks.
+
+``repro bench-engine`` (and :func:`run_engine_bench` behind it) measures the
+simulation hot loop itself, complementing ``repro bench`` which measures
+process-pool scaling.  Every cell of a basket — the Table-3 preset grid
+plus a fixed set of generated scenarios, across all registered schedulers —
+is simulated twice:
+
+* once on the optimized engine (``mode="fast"``: incremental request pool,
+  cached system views, flat-array costing), and
+* once on the retained reference path (``mode="reference"``: the
+  pre-optimization scan-based pool, per-call cost aggregation and view
+  construction),
+
+and the two :class:`~repro.sim.results.SimulationResult`\\ s are asserted
+bit-for-bit identical.  Throughput is reported as simulation events
+processed per wall-clock second; the speedup is the ratio of the two.
+
+The resulting payload is written to ``BENCH_engine.json`` so the engine's
+performance trajectory persists across PRs; CI re-runs a quick basket and
+compares against the committed baseline (see :func:`compare_to_baseline`).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.experiments.jobs import generated_context, shared_context
+from repro.schedulers import make_scheduler
+from repro.sim import SimulationEngine
+from repro.workloads import GeneratorSpec
+
+#: Default simulated window: the engine's own default, which is also the
+#: regime the paper evaluates (queues saturate, so the benchmark measures
+#: the loaded steady state rather than the idle ramp-up).
+DEFAULT_DURATION_MS = 2000.0
+
+
+def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: float,
+              seed: int, mode: str) -> tuple[dict, int, float]:
+    """One simulation; returns (result dict, events processed, wall seconds)."""
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler(scheduler_name),
+        duration_ms=duration_ms,
+        seed=seed,
+        cost_table=cost_table,
+        mode=mode,
+    )
+    started = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - started
+    return result.to_dict(), engine.events_processed, elapsed
+
+
+def run_engine_bench(
+    scenarios: Sequence[str],
+    platforms: Sequence[str],
+    schedulers: Sequence[str],
+    generated: int = 3,
+    generator_spec: Optional[GeneratorSpec] = None,
+    generated_platform: Optional[str] = None,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    seed: int = 0,
+    profile_path: Optional[Path] = None,
+) -> dict:
+    """Benchmark fast vs reference engine over a basket of cells.
+
+    Args:
+        scenarios: preset scenario names (the Table-3 grid by default).
+        platforms: platform presets crossed with the preset scenarios.
+        schedulers: scheduler names applied to every scenario.
+        generated: number of :class:`ScenarioGenerator` scenarios appended
+            to the basket (run on ``generated_platform``).
+        generator_spec: spec for the generated scenarios (defaults to
+            ``GeneratorSpec()`` — the CLI's default generator).
+        generated_platform: platform for generated cells (defaults to the
+            first entry of ``platforms``).
+        duration_ms: simulated window per cell.
+        seed: simulation seed shared by every cell.
+        profile_path: when set, the optimized passes run under cProfile and
+            the stats dump is written here.
+
+    Returns:
+        JSON-serializable payload (see the module docstring); ``parity`` is
+        False if any cell's results diverged between the two engines.
+    """
+    spec = generator_spec or GeneratorSpec()
+    generated_platform = generated_platform or (platforms[0] if platforms else "4k_1ws_2os")
+
+    contexts: list[tuple[str, str, object, object, object]] = []
+    for scenario_name in scenarios:
+        for platform_name in platforms:
+            scenario, platform, cost_table = shared_context(scenario_name, platform_name, 0.5)
+            contexts.append((scenario.name, platform_name, scenario, platform, cost_table))
+    for index in range(generated):
+        scenario, platform, cost_table = generated_context(spec, index, generated_platform)
+        contexts.append((scenario.name, generated_platform, scenario, platform, cost_table))
+
+    profiler = cProfile.Profile() if profile_path is not None else None
+
+    cells = []
+    total_events = 0
+    total_fast = 0.0
+    total_reference = 0.0
+    parity = True
+    for scenario_name, platform_name, scenario, platform, cost_table in contexts:
+        for scheduler_name in schedulers:
+            if profiler is not None:
+                profiler.enable()
+            fast_result, fast_events, fast_s = _run_once(
+                scenario, platform, scheduler_name, cost_table, duration_ms, seed, "fast"
+            )
+            if profiler is not None:
+                profiler.disable()
+            ref_result, ref_events, ref_s = _run_once(
+                scenario, platform, scheduler_name, cost_table, duration_ms, seed, "reference"
+            )
+            cell_parity = fast_result == ref_result and fast_events == ref_events
+            parity = parity and cell_parity
+            total_events += fast_events
+            total_fast += fast_s
+            total_reference += ref_s
+            cells.append(
+                {
+                    "scenario": scenario_name,
+                    "platform": platform_name,
+                    "scheduler": scheduler_name,
+                    "events": fast_events,
+                    "fast_wall_s": fast_s,
+                    "reference_wall_s": ref_s,
+                    "fast_events_per_sec": fast_events / fast_s if fast_s > 0 else 0.0,
+                    "reference_events_per_sec": ref_events / ref_s if ref_s > 0 else 0.0,
+                    "speedup": ref_s / fast_s if fast_s > 0 else 0.0,
+                    "parity": cell_parity,
+                }
+            )
+
+    if profiler is not None and profile_path is not None:
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(profile_path))
+
+    fast_eps = total_events / total_fast if total_fast > 0 else 0.0
+    reference_eps = total_events / total_reference if total_reference > 0 else 0.0
+    return {
+        "benchmark": "engine_throughput",
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "machine": platform_mod.platform(),
+        "basket": {
+            "scenarios": list(scenarios),
+            "platforms": list(platforms),
+            "schedulers": list(schedulers),
+            "generated": generated,
+            "generator": spec.to_dict(),
+            "generated_platform": generated_platform,
+            "duration_ms": duration_ms,
+            "seed": seed,
+        },
+        "cells": cells,
+        # cProfile instruments only the optimized passes, so profiled runs
+        # report distorted (pessimistic) fast timings — use them for hotspot
+        # inspection, never as the recorded benchmark.
+        "profiled": profile_path is not None,
+        "totals": {
+            "cells": len(cells),
+            "events": total_events,
+            "fast_wall_s": total_fast,
+            "reference_wall_s": total_reference,
+            "fast_events_per_sec": fast_eps,
+            "reference_events_per_sec": reference_eps,
+            "speedup": fast_eps / reference_eps if reference_eps > 0 else 0.0,
+        },
+        "parity": parity,
+    }
+
+
+def baseline_entries(baseline: dict) -> list[dict]:
+    """All bench payloads stored in a baseline file.
+
+    ``BENCH_engine.json`` is a dict of labeled payloads (``full``,
+    ``quick``, ...) so one committed file covers both the headline Table-3
+    run and the CI-sized basket; a bare single payload is also accepted.
+    """
+    if "totals" in baseline:
+        return [baseline]
+    return [entry for entry in baseline.values() if isinstance(entry, dict) and "totals" in entry]
+
+
+def compare_to_baseline(payload: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Regression messages comparing a fresh payload to a committed baseline.
+
+    The baseline entry with the *same basket* as the fresh run is selected
+    (durations and cell sets change the measured ratios, so cross-basket
+    numbers are not comparable).  The primary comparison is the
+    fast/reference *speedup* — a wall-clock ratio measured within one run,
+    so it transfers across machines of different absolute speed.  Raw
+    events/sec are additionally compared when the recorded machine matches
+    (absolute throughput on a different host says nothing about a code
+    regression).
+
+    Returns a list of human-readable failure messages (empty = no
+    regression beyond ``max_regression``).
+    """
+    match = next(
+        (
+            entry
+            for entry in baseline_entries(baseline)
+            if entry.get("basket") == payload.get("basket")
+        ),
+        None,
+    )
+    if match is None:
+        return [
+            "baseline has no entry with a matching basket; regenerate it with "
+            "the same bench-engine options"
+        ]
+
+    problems: list[str] = []
+    threshold = 1.0 - max_regression
+    current = payload["totals"]
+    base = match["totals"]
+
+    base_speedup = base.get("speedup")
+    if base_speedup:
+        ratio = current["speedup"] / base_speedup
+        if ratio < threshold:
+            problems.append(
+                f"fast/reference speedup regressed: {current['speedup']:.2f}x vs "
+                f"baseline {base_speedup:.2f}x ({(1.0 - ratio) * 100:.0f}% worse, "
+                f"allowed {max_regression * 100:.0f}%)"
+            )
+
+    base_eps = base.get("fast_events_per_sec")
+    if payload.get("machine") == match.get("machine") and base_eps:
+        ratio = current["fast_events_per_sec"] / base_eps
+        if ratio < threshold:
+            problems.append(
+                f"events/sec regressed: {current['fast_events_per_sec']:.0f} vs "
+                f"baseline {base_eps:.0f} ({(1.0 - ratio) * 100:.0f}% worse, "
+                f"allowed {max_regression * 100:.0f}%)"
+            )
+    return problems
+
+
+def speedup_ratio(payload: dict) -> float:
+    """The headline fast-vs-reference speedup of a bench payload."""
+    return payload["totals"]["speedup"]
+
+
+def describe(payload: dict) -> str:
+    """Human-readable summary table of a bench payload."""
+    lines = []
+    totals = payload["totals"]
+    for cell in payload["cells"]:
+        lines.append(
+            f"  {cell['scenario']:>18s}/{cell['platform']:<10s} {cell['scheduler']:<16s} "
+            f"{cell['events']:>6d} ev  fast {cell['fast_wall_s'] * 1000:7.1f} ms  "
+            f"ref {cell['reference_wall_s'] * 1000:8.1f} ms  {cell['speedup']:5.2f}x"
+            f"{'' if cell['parity'] else '  PARITY MISMATCH'}"
+        )
+    lines.append(
+        f"total: {totals['cells']} cells, {totals['events']} events | "
+        f"fast {totals['fast_events_per_sec']:.0f} ev/s "
+        f"({totals['fast_wall_s']:.2f} s) vs reference "
+        f"{totals['reference_events_per_sec']:.0f} ev/s "
+        f"({totals['reference_wall_s']:.2f} s) -> {totals['speedup']:.2f}x"
+    )
+    lines.append(f"parity: {'OK (bit-for-bit)' if payload['parity'] else 'MISMATCH'}")
+    if payload.get("profiled"):
+        lines.append(
+            "note: optimized passes ran under cProfile — timings above are "
+            "distorted; use this run for hotspot inspection only"
+        )
+    return "\n".join(lines)
+
+
+def default_basket() -> dict:
+    """The full Table-3 benchmark basket (used when no options are given)."""
+    from repro.schedulers import scheduler_names
+    from repro.workloads import scenario_names
+
+    return {
+        "scenarios": scenario_names(),
+        "platforms": ["4k_1ws_2os", "4k_2ws"],
+        "schedulers": scheduler_names(),
+        "generated": 3,
+        "duration_ms": DEFAULT_DURATION_MS,
+    }
+
+
+def quick_basket() -> dict:
+    """A CI-sized basket (~seconds instead of minutes)."""
+    from repro.schedulers import scheduler_names
+
+    return {
+        "scenarios": ["ar_call", "vr_gaming"],
+        "platforms": ["4k_1ws_2os"],
+        "schedulers": scheduler_names(),
+        "generated": 2,
+        "duration_ms": 400.0,
+    }
+
+
+__all__ = [
+    "DEFAULT_DURATION_MS",
+    "compare_to_baseline",
+    "default_basket",
+    "describe",
+    "quick_basket",
+    "run_engine_bench",
+    "speedup_ratio",
+]

@@ -17,7 +17,7 @@ rationale).
 from repro.hardware.dataflow import Dataflow
 from repro.hardware.accelerator import Accelerator, ContextSwitchCost
 from repro.hardware.cost_model import AnalyticalCostModel, LayerCost
-from repro.hardware.cost_table import CostTable
+from repro.hardware.cost_table import CostTable, ModelCostSummary, ReferenceCostTable
 from repro.hardware.platform import (
     Platform,
     PLATFORM_PRESETS,
@@ -35,6 +35,8 @@ __all__ = [
     "AnalyticalCostModel",
     "LayerCost",
     "CostTable",
+    "ModelCostSummary",
+    "ReferenceCostTable",
     "Platform",
     "PLATFORM_PRESETS",
     "build_platform",

@@ -79,7 +79,14 @@ class Scheduler(abc.ABC):
 
     @abc.abstractmethod
     def schedule(self, view: SystemView) -> SchedulingDecision:
-        """Decide what to dispatch (and optionally drop) right now."""
+        """Decide what to dispatch (and optionally drop) right now.
+
+        ``view`` is only valid during this call: the engine reuses and
+        refreshes view objects between scheduling points, so do not store
+        the view (or its accelerator views / ``queue_depths``) on the
+        scheduler, and do not mutate anything reachable from it.  Derive
+        any state you need and keep that instead.
+        """
 
     def info(self) -> Mapping[str, object]:
         """Scheduler-specific details attached to the simulation result."""

@@ -19,11 +19,8 @@ Two variants are modelled, matching Section 2.3:
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.schedulers.base import Scheduler
 from repro.sim.decisions import Assignment, SchedulingDecision, SystemView
-from repro.sim.request import InferenceRequest
 
 
 class DynamicFcfsScheduler(Scheduler):
@@ -33,35 +30,27 @@ class DynamicFcfsScheduler(Scheduler):
 
     def schedule(self, view: SystemView) -> SchedulingDecision:
         assignments = []
-        assigned_ids: set[int] = set()
         idle = [acc for acc in view.accelerators if acc.is_idle]
-        pending = [
-            request
-            for request in view.pending_requests
-            if request.remaining_path()
-        ]
+        if not idle:
+            return SchedulingDecision.empty()
+        # ``pending_requests`` is already ordered by (arrival_ms, request_id),
+        # so walking it front-to-back picks exactly the oldest unassigned
+        # request for each idle accelerator.
+        pending = iter(
+            request for request in view.pending_requests if request.remaining_layers
+        )
         for acc in idle:
-            candidate = self._oldest_unassigned(pending, assigned_ids)
+            candidate = next(pending, None)
             if candidate is None:
                 break
             assignments.append(
                 Assignment(
                     request=candidate,
                     acc_id=acc.acc_id,
-                    layer_count=len(candidate.remaining_path()),
+                    layer_count=candidate.remaining_layers,
                 )
             )
-            assigned_ids.add(candidate.request_id)
         return SchedulingDecision.of(assignments)
-
-    @staticmethod
-    def _oldest_unassigned(
-        pending: list[InferenceRequest], assigned_ids: set[int]
-    ) -> Optional[InferenceRequest]:
-        remaining = [request for request in pending if request.request_id not in assigned_ids]
-        if not remaining:
-            return None
-        return min(remaining, key=lambda request: (request.arrival_ms, request.request_id))
 
 
 class StaticFcfsScheduler(Scheduler):
@@ -134,21 +123,25 @@ class StaticFcfsScheduler(Scheduler):
                 continue
             if view.now_ms + 1e-9 < self._reserved_until.get(acc.acc_id, 0.0):
                 continue
-            candidates = [
-                request
-                for request in view.pending_requests
-                if request.request_id not in assigned_ids
-                and request.remaining_path()
-                and self._task_to_acc.get(request.task_name) == acc.acc_id
-            ]
-            if not candidates:
+            # ``pending_requests`` is (arrival_ms, request_id)-ordered, so the
+            # first match is the oldest candidate for this accelerator.
+            request = next(
+                (
+                    candidate
+                    for candidate in view.pending_requests
+                    if candidate.request_id not in assigned_ids
+                    and candidate.remaining_layers
+                    and self._task_to_acc.get(candidate.task_name) == acc.acc_id
+                ),
+                None,
+            )
+            if request is None:
                 continue
-            request = min(candidates, key=lambda r: (r.arrival_ms, r.request_id))
             assignments.append(
                 Assignment(
                     request=request,
                     acc_id=acc.acc_id,
-                    layer_count=len(request.remaining_path()),
+                    layer_count=request.remaining_layers,
                 )
             )
             assigned_ids.add(request.request_id)

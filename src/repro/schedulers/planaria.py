@@ -76,17 +76,20 @@ class PlanariaScheduler(Scheduler):
     # ------------------------------------------------------------------ #
     def schedule(self, view: SystemView) -> SchedulingDecision:
         pending = [
-            request for request in view.pending_requests if request.remaining_path()
+            request for request in view.pending_requests if request.remaining_layers
         ]
         if not pending:
             return SchedulingDecision.empty()
-        pending.sort(key=lambda request: self._slack_score(request, view.now_ms))
-
-        at_risk = [
-            request
+        # Score each request once per round (the score only depends on the
+        # request and ``now``), then reuse it for both the priority sort and
+        # the at-risk filter.
+        scores = {
+            request.request_id: self._slack_score(request, view.now_ms)
             for request in pending
-            if self._slack_score(request, view.now_ms) < 0.0
-        ]
+        }
+        pending.sort(key=lambda request: scores[request.request_id])
+
+        at_risk = [request for request in pending if scores[request.request_id] < 0.0]
 
         assignments: list[Assignment] = []
         assigned_ids: set[int] = set()

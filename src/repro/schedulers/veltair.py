@@ -67,7 +67,7 @@ class VeltairScheduler(Scheduler):
         if not idle:
             return SchedulingDecision.empty()
         pending = [
-            request for request in view.pending_requests if request.remaining_path()
+            request for request in view.pending_requests if request.remaining_layers
         ]
         if not pending:
             return SchedulingDecision.empty()

@@ -27,7 +27,7 @@ Typical usage::
 """
 
 from repro.sim.request import InferenceRequest, RequestState
-from repro.sim.queues import RequestPool
+from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.decisions import Assignment, SchedulingDecision, AcceleratorView, SystemView
 from repro.sim.executor import AcceleratorExecutor, RunningSlot
 from repro.sim.results import TaskStats, AcceleratorStats, SimulationResult
@@ -39,7 +39,7 @@ from repro.sim.invariants import (
     assert_trace_invariants,
     audit_trace,
 )
-from repro.sim.engine import SimulationEngine, run_simulation
+from repro.sim.engine import ENGINE_MODES, SimulationEngine, run_simulation
 
 __all__ = [
     "INVARIANT_NAMES",
@@ -50,6 +50,8 @@ __all__ = [
     "InferenceRequest",
     "RequestState",
     "RequestPool",
+    "ReferenceRequestPool",
+    "ENGINE_MODES",
     "Assignment",
     "SchedulingDecision",
     "AcceleratorView",

@@ -103,6 +103,13 @@ class AcceleratorView:
 class SystemView:
     """Snapshot of everything a scheduler may observe at a scheduling point.
 
+    Lifetime contract: a view (and everything reachable from it — the
+    accelerator views, the request tuples, ``queue_depths``) is valid only
+    for the duration of the ``schedule()`` call it was passed to.  The
+    engine's fast path reuses and refreshes these objects between
+    scheduling points, so schedulers must neither retain them across calls
+    nor mutate them (treat ``queue_depths`` as read-only).
+
     Attributes:
         now_ms: current simulation time.
         platform: the hardware platform.

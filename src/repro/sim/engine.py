@@ -13,6 +13,31 @@ Schedulers must implement the small protocol documented in
 :class:`repro.schedulers.base.Scheduler`; the engine only relies on the
 methods ``bind``, ``on_request_arrival``, ``schedule``,
 ``on_layers_complete``, ``on_request_finished`` and ``info``.
+
+Performance architecture
+------------------------
+Because the scheduler runs at every state change, building its
+:class:`~repro.sim.decisions.SystemView` *is* the simulation hot loop.  In
+the default ``mode="fast"`` the engine therefore keeps everything it needs
+incrementally up to date instead of re-deriving it per dispatch round:
+
+* the :class:`~repro.sim.queues.RequestPool` maintains a sorted pending
+  index, per-task buckets and a deadline min-heap (the engine notifies it
+  on dispatch/progress via ``note_dispatched``/``note_progress``);
+* executors answer capacity queries from incremental caches, and the
+  engine memoizes each accelerator's frozen view keyed on the executor's
+  ``state_version`` (so dispatch rounds that did not touch an accelerator
+  reuse its view object);
+* cost queries hit the :class:`~repro.hardware.cost_table.CostTable`'s
+  precomputed flat arrays.
+
+``mode="reference"`` retains the pre-optimization path — scan-based pool,
+per-call executor aggregation and a scan-based
+:class:`~repro.hardware.cost_table.ReferenceCostTable` — and produces
+bit-for-bit identical :class:`~repro.sim.results.SimulationResult`s and
+traces; ``repro bench-engine`` measures and the parity tests enforce this.
+The engine also counts :attr:`events_processed` and
+:attr:`dispatch_rounds` so throughput can be reported as events/sec.
 """
 
 from __future__ import annotations
@@ -26,7 +51,7 @@ from repro.hardware.cost_table import CostTable
 from repro.hardware.platform import Platform
 from repro.sim.decisions import AcceleratorView, SchedulingDecision, SystemView
 from repro.sim.executor import AcceleratorExecutor
-from repro.sim.queues import RequestPool
+from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.request import InferenceRequest, RequestState
 from repro.sim.results import AcceleratorStats, SimulationResult, TaskStats
 from repro.sim.tracer import Tracer
@@ -42,6 +67,9 @@ _EVENT_COMPLETE = "complete"
 #: Safety bound on scheduler invocations per event, to surface livelocks in
 #: buggy scheduler implementations instead of hanging the simulation.
 _MAX_DISPATCH_ROUNDS = 64
+
+#: Engine implementations selectable via ``SimulationEngine(mode=...)``.
+ENGINE_MODES = ("fast", "reference")
 
 
 class SimulationEngine:
@@ -65,6 +93,9 @@ class SimulationEngine:
         warmup_ms: frames whose sensor frame arrived before this time are
             executed but excluded from the measured statistics.
         tracer: optional :class:`~repro.sim.tracer.Tracer` for per-event records.
+        mode: ``"fast"`` (default) uses the incremental hot path;
+            ``"reference"`` retains the pre-optimization scan-based path.
+            Results are bit-for-bit identical across modes.
     """
 
     def __init__(
@@ -79,11 +110,14 @@ class SimulationEngine:
         jitter_ms: float = 0.5,
         warmup_ms: float = 0.0,
         tracer: Optional[Tracer] = None,
+        mode: str = "fast",
     ) -> None:
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
         if warmup_ms < 0 or warmup_ms >= duration_ms:
             raise ValueError("warmup_ms must be in [0, duration_ms)")
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
         self.scenario = scenario
         self.platform = platform
         self.scheduler = scheduler
@@ -93,21 +127,40 @@ class SimulationEngine:
         self.warmup_ms = warmup_ms
         self.expire_after_periods = expire_after_periods
         self.tracer = tracer
-        self.cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
+        self.mode = mode
+        fast = mode == "fast"
+        self._fast = fast
+        cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
+        self.cost_table = cost_table if fast else cost_table.reference_view()
 
         self._rng = random.Random(seed)
-        self._executors = [AcceleratorExecutor(acc, self.cost_table) for acc in platform]
-        self._pool = RequestPool()
+        self._executors = [
+            AcceleratorExecutor(acc, self.cost_table, fast=fast) for acc in platform
+        ]
+        self._pool = RequestPool() if fast else ReferenceRequestPool()
         self._stats: dict[str, TaskStats] = {
             task.name: TaskStats(task_name=task.name) for task in scenario.tasks
         }
         self._events: list[tuple[float, int, str, object]] = []
         self._event_seq = itertools.count()
         self._now = 0.0
+        self._task_names = [task.name for task in scenario.tasks]
         self._grace_ms_by_task = {
             task.name: (expire_after_periods or 0.0) * task.period_ms
             for task in scenario.tasks
         }
+        self._pool.configure_expiry(
+            self._grace_ms_by_task if expire_after_periods is not None else None
+        )
+        # Cached per-accelerator views, keyed (state_version, busy_until).
+        self._acc_views: list[Optional[AcceleratorView]] = [None] * len(self._executors)
+        self._acc_view_keys: list[tuple[int, float]] = [(-1, 0.0)] * len(self._executors)
+        self._acc_views_tuple: Optional[tuple[AcceleratorView, ...]] = None
+
+        #: Events popped from the event queue (arrivals + completions).
+        self.events_processed: int = 0
+        #: Scheduler consultations (dispatch rounds across all events).
+        self.dispatch_rounds: int = 0
 
     # ------------------------------------------------------------------ #
     # public API
@@ -120,6 +173,7 @@ class SimulationEngine:
         while self._events:
             time_ms, _, kind, payload = heapq.heappop(self._events)
             self._now = time_ms
+            self.events_processed += 1
             if kind == _EVENT_ARRIVAL:
                 self._handle_arrival(payload)
             elif kind == _EVENT_COMPLETE:
@@ -172,6 +226,7 @@ class SimulationEngine:
             self._finalize_request(request)
             self._spawn_cascades(request)
         else:
+            self._pool.note_progress(request)
             self.scheduler.on_layers_complete(request, self._now)
 
     def _spawn_cascades(self, parent: InferenceRequest) -> None:
@@ -200,6 +255,7 @@ class SimulationEngine:
     def _dispatch(self, now: float) -> None:
         self._expire_stale(now)
         for _ in range(_MAX_DISPATCH_ROUNDS):
+            self.dispatch_rounds += 1
             decision = self.scheduler.schedule(self._system_view(now))
             if decision.is_empty:
                 return
@@ -214,7 +270,7 @@ class SimulationEngine:
     def _expire_stale(self, now: float) -> None:
         if self.expire_after_periods is None:
             return
-        for request in self._pool.stale(now, self._grace_ms_by_task):
+        for request in self._pool.collect_stale(now):
             request.mark_expired(now)
             self._trace(request, "expired")
             self._finalize_request(request)
@@ -241,6 +297,7 @@ class SimulationEngine:
                 if request.model_name != old_name:
                     self._trace(request, "variant_switch", detail=f"{old_name} -> {request.model_name}")
             record = executor.start(assignment, now)
+            self._pool.note_dispatched(request)
             self._trace(
                 request,
                 "dispatch",
@@ -256,31 +313,69 @@ class SimulationEngine:
             applied += 1
         return applied
 
-    def _system_view(self, now: float) -> SystemView:
-        accelerators = tuple(
-            AcceleratorView(
+    def _accelerator_view(self, index: int, now: float) -> AcceleratorView:
+        """Fresh frozen view of one executor (reference mode: built per round)."""
+        executor = self._executors[index]
+        return AcceleratorView(
+            acc_id=executor.acc_id,
+            free_fraction=executor.free_fraction,
+            busy_until_ms=executor.busy_until_ms(now),
+            resident_model=executor.resident_model,
+            running_tasks=executor.running_tasks(),
+        )
+
+    def _accelerator_views_fast(self, now: float) -> tuple[AcceleratorView, ...]:
+        """All accelerator views, reusing cached view objects and their tuple.
+
+        A view object is rebuilt only when its executor's ``state_version``
+        moved; if merely the idle-time clock advanced, ``busy_until_ms`` is
+        refreshed in place (in-repo schedulers never retain views across
+        scheduling points, so the mutation of the frozen dataclass is
+        unobservable to them).  The enclosing tuple is reused whenever no
+        view object was replaced.
+        """
+        views = self._acc_views
+        keys = self._acc_view_keys
+        replaced = False
+        for index, executor in enumerate(self._executors):
+            busy = executor.busy_until_ms(now)
+            version = executor.state_version
+            cached = views[index]
+            cached_key = keys[index]
+            if cached is not None and cached_key[0] == version:
+                if cached_key[1] != busy:
+                    object.__setattr__(cached, "busy_until_ms", busy)
+                    keys[index] = (version, busy)
+                continue
+            views[index] = AcceleratorView(
                 acc_id=executor.acc_id,
                 free_fraction=executor.free_fraction,
-                busy_until_ms=executor.busy_until_ms(now),
+                busy_until_ms=busy,
                 resident_model=executor.resident_model,
                 running_tasks=executor.running_tasks(),
             )
-            for executor in self._executors
-        )
-        pending = tuple(
-            sorted(self._pool.pending(), key=lambda request: (request.arrival_ms, request.request_id))
-        )
-        running = tuple(self._pool.running())
-        queue_depths = {task.name: self._pool.queue_depth(task.name) for task in self.scenario.tasks}
+            keys[index] = (version, busy)
+            replaced = True
+        if replaced or self._acc_views_tuple is None:
+            self._acc_views_tuple = tuple(views)
+        return self._acc_views_tuple
+
+    def _system_view(self, now: float) -> SystemView:
+        if self._fast:
+            accelerators = self._accelerator_views_fast(now)
+        else:
+            accelerators = tuple(
+                self._accelerator_view(index, now) for index in range(len(self._executors))
+            )
         return SystemView(
             now_ms=now,
             platform=self.platform,
             cost_table=self.cost_table,
             scenario=self.scenario,
             accelerators=accelerators,
-            pending_requests=pending,
-            running_requests=running,
-            queue_depths=queue_depths,
+            pending_requests=self._pool.pending_snapshot(),
+            running_requests=self._pool.running_snapshot(),
+            queue_depths=self._pool.queue_depths(self._task_names),
         )
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,25 @@ tracks what is running on it, prices context switches between models, and
 supports Planaria-style spatial fission by letting multiple assignments
 share the PE array (each with a ``pe_fraction``), with latency re-derived
 from the cost model's compute/memory breakdown.
+
+Performance architecture
+------------------------
+In fast mode (the default) the executor answers capacity queries from
+incrementally maintained caches instead of re-aggregating its slots on
+every call: ``allocated_fraction`` is a running sum updated on
+``start``/``complete`` (reset to exactly 0.0 whenever the accelerator
+drains, so binary PE fractions never accumulate error), and
+``busy_until_ms`` keeps the running max of slot end times.  ``start()``
+prices layer ranges from the cost table's precomputed flat arrays and
+memoized per-``pe_fraction`` effective-latency tables; a whole-model
+dispatch with no context switch is priced O(1) from prefix sums (which are
+bit-for-bit equal to the sequential accumulation they replace, because the
+range starts at layer 0).  The engine's cached per-accelerator views are
+invalidated via :attr:`state_version`.
+
+``fast=False`` retains the historical implementation — per-call slot
+scans and a per-layer Python pricing loop — for the reference simulation
+mode that ``repro bench-engine`` compares against.
 """
 
 from __future__ import annotations
@@ -50,17 +69,26 @@ class AcceleratorExecutor:
     Args:
         accelerator: the hardware description.
         cost_table: offline latency/energy table for all models in play.
+        fast: use the incremental capacity caches and flat-array pricing
+            (results are bit-for-bit identical either way; ``False`` keeps
+            the historical per-call scans for the reference path).
     """
 
-    def __init__(self, accelerator: Accelerator, cost_table: CostTable) -> None:
+    def __init__(self, accelerator: Accelerator, cost_table: CostTable, fast: bool = True) -> None:
         self.accelerator = accelerator
         self.cost_table = cost_table
+        self.fast = fast
         self.slots: dict[int, RunningSlot] = {}
         self.resident_model: Optional[str] = None
         self.total_energy_mj: float = 0.0
         self.total_busy_pe_ms: float = 0.0
         self.layers_executed: int = 0
         self.context_switches: int = 0
+        #: Bumped on every start/complete; the engine keys its cached
+        #: accelerator views on it.
+        self.state_version: int = 0
+        self._allocated: float = 0.0
+        self._busy_until: float = 0.0
 
     # ------------------------------------------------------------------ #
     # capacity queries
@@ -73,6 +101,8 @@ class AcceleratorExecutor:
     @property
     def allocated_fraction(self) -> float:
         """Sum of PE fractions of all in-flight assignments."""
+        if self.fast:
+            return self._allocated
         return sum(slot.pe_fraction for slot in self.slots.values())
 
     @property
@@ -84,6 +114,8 @@ class AcceleratorExecutor:
         """Latest end time of in-flight work (``now`` when idle)."""
         if not self.slots:
             return now
+        if self.fast:
+            return self._busy_until
         return max(slot.end_ms for slot in self.slots.values())
 
     def running_tasks(self) -> tuple[str, ...]:
@@ -110,6 +142,59 @@ class AcceleratorExecutor:
         overhead = cost.latency_ms - max(cost.compute_ms, cost.memory_ms)
         scaled_compute = cost.compute_ms / pe_fraction
         return max(scaled_compute, cost.memory_ms) + overhead
+
+    def _price_layers(
+        self, request: InferenceRequest, layer_indices: list[int], pe_fraction: float
+    ) -> tuple[float, float, float]:
+        """(latency_ms, energy_mj, worst_case_energy_mj) of a layer range.
+
+        Fast path: flat-array lookups; a full-model dispatch starting at the
+        first path position is priced O(1) from the prefix-sum arrays (a
+        complete path visits layers ``0..n-1`` in order, so the prefix value
+        equals sequential accumulation bit-for-bit).  The reference path
+        keeps the historical per-layer method calls.
+        """
+        model_name = request.model_name
+        acc_id = self.acc_id
+        if not self.fast:
+            duration = 0.0
+            energy = 0.0
+            worst = 0.0
+            for layer_index in layer_indices:
+                duration += self.effective_layer_latency_ms(model_name, layer_index, pe_fraction)
+                energy += self.cost_table.energy(model_name, layer_index, acc_id)
+                worst += self.cost_table.worst_layer_energy(model_name, layer_index)
+            return duration, energy, worst
+
+        arrays = self.cost_table.layer_arrays(model_name)
+        eff, eff_prefix = self.cost_table.effective_latency_table(model_name, acc_id, pe_fraction)
+        count = len(layer_indices)
+        if count == 1:
+            # Layer-granularity dispatch: three O(1) lookups (accumulating
+            # from 0.0 is exact, so this matches the loop bit-for-bit).
+            layer_index = layer_indices[0]
+            return (
+                eff[layer_index],
+                arrays.energy[acc_id][layer_index],
+                arrays.worst_energy[layer_index],
+            )
+        if request.next_position == 0 and count == arrays.num_layers:
+            # Complete path from layer 0: O(1) prefix-sum pricing.
+            return (
+                eff_prefix[count],
+                arrays.energy_prefix[acc_id][count],
+                arrays.worst_energy_prefix[count],
+            )
+        energy_arr = arrays.energy[acc_id]
+        worst_arr = arrays.worst_energy
+        duration = 0.0
+        energy = 0.0
+        worst = 0.0
+        for layer_index in layer_indices:
+            duration += eff[layer_index]
+            energy += energy_arr[layer_index]
+            worst += worst_arr[layer_index]
+        return duration, energy, worst
 
     def start(self, assignment: Assignment, now: float) -> ExecutionRecord:
         """Begin executing an assignment; returns the created slot record.
@@ -145,17 +230,39 @@ class AcceleratorExecutor:
             )
             self.context_switches += 1
 
-        duration = switch_latency
-        energy = switch_energy
-        worst_energy = 0.0
-        for layer_index in layer_indices:
-            duration += self.effective_layer_latency_ms(
-                request.model_name, layer_index, assignment.pe_fraction
+        if switch_latency == 0.0 and switch_energy == 0.0:
+            # Accumulating from 0.0 is exact, so the prefix-sum fast path in
+            # _price_layers stays bit-for-bit with the historical loop that
+            # started from the (zero) switch costs.
+            duration, energy, worst_energy = self._price_layers(
+                request, layer_indices, assignment.pe_fraction
             )
-            energy += self.cost_table.energy(request.model_name, layer_index, self.acc_id)
-            worst_energy += self.cost_table.worst_layer_energy(
-                request.model_name, layer_index
-            )
+        else:
+            duration = switch_latency
+            energy = switch_energy
+            worst_energy = 0.0
+            if self.fast:
+                arrays = self.cost_table.layer_arrays(request.model_name)
+                eff, _ = self.cost_table.effective_latency_table(
+                    request.model_name, self.acc_id, assignment.pe_fraction
+                )
+                energy_arr = arrays.energy[self.acc_id]
+                worst_arr = arrays.worst_energy
+                for layer_index in layer_indices:
+                    duration += eff[layer_index]
+                    energy += energy_arr[layer_index]
+                    worst_energy += worst_arr[layer_index]
+            else:
+                for layer_index in layer_indices:
+                    duration += self.effective_layer_latency_ms(
+                        request.model_name, layer_index, assignment.pe_fraction
+                    )
+                    energy += self.cost_table.energy(
+                        request.model_name, layer_index, self.acc_id
+                    )
+                    worst_energy += self.cost_table.worst_layer_energy(
+                        request.model_name, layer_index
+                    )
 
         slot = RunningSlot(
             slot_id=next(_SLOT_COUNTER),
@@ -168,6 +275,10 @@ class AcceleratorExecutor:
         )
         self.slots[slot.slot_id] = slot
         self.resident_model = request.model_name
+        self.state_version += 1
+        self._allocated += assignment.pe_fraction
+        if slot.end_ms > self._busy_until or len(self.slots) == 1:
+            self._busy_until = slot.end_ms
 
         request.mark_running()
         request.energy_mj += energy
@@ -191,6 +302,15 @@ class AcceleratorExecutor:
             KeyError: if the slot is unknown (already completed).
         """
         slot = self.slots.pop(slot_id)
+        self.state_version += 1
+        if not self.slots:
+            # Draining resets the running sum to exactly 0.0, so incremental
+            # float error can never accumulate across busy periods.
+            self._allocated = 0.0
+        else:
+            self._allocated -= slot.pe_fraction
+            if slot.end_ms >= self._busy_until:
+                self._busy_until = max(s.end_ms for s in self.slots.values())
         slot.request.record_layers(slot.layer_indices, self.acc_id, now)
         return slot
 

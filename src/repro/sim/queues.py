@@ -3,12 +3,41 @@
 The :class:`RequestPool` tracks every live request, grouped by task, and
 answers the queries the engine and schedulers need: which requests are
 schedulable right now, which are stale, and per-task queue depths.
+
+Performance architecture
+------------------------
+The engine consults the pool on *every* dispatch round, so the pool keeps
+incremental indices instead of re-scanning and re-sorting on each query:
+
+* a sorted pending index keyed ``(arrival_ms, request_id)`` (maintained
+  with :mod:`bisect`), so :meth:`pending_sorted` — the order the engine
+  previously obtained by sorting the whole pending scan every round — is a
+  straight materialization;
+* per-task ``dict`` buckets, making the per-task side of :meth:`remove`
+  O(1) (the historical implementation paid a Python-level O(n)
+  ``list.remove`` with per-element equality checks; the sorted pending
+  index still pays a bisect plus a compact C-level tail shift) and
+  :meth:`queue_depth` a ``len()``;
+* a memoized oldest-first view per task, so :meth:`for_task` no longer
+  re-sorts on every call;
+* a running-request index maintained by the engine's
+  :meth:`note_dispatched` / :meth:`note_progress` notifications; and
+* a deadline min-heap keyed ``deadline + grace`` (lazy deletion), so
+  :meth:`collect_stale` touches only requests whose expiry actually came
+  due instead of scanning the whole pool per event.
+
+:class:`ReferenceRequestPool` retains the original scan-everything
+implementation behind the same interface; the reference simulation mode
+uses it, and the regression tests drive both pools through interleaved
+add/remove/expire sequences to prove they stay observationally identical.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left
 from collections import defaultdict
-from typing import Iterator
+from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.sim.request import InferenceRequest, RequestState
 
@@ -17,8 +46,33 @@ class RequestPool:
     """All live (non-terminal) inference requests, grouped by task."""
 
     def __init__(self) -> None:
-        self._by_task: dict[str, list[InferenceRequest]] = defaultdict(list)
+        self._by_task: dict[str, dict[int, InferenceRequest]] = defaultdict(dict)
         self._all: dict[int, InferenceRequest] = {}
+        # Sorted pending index: keys list kept ordered with a parallel,
+        # identically-ordered list of the requests themselves (so snapshots
+        # are a single C-level tuple() call) plus the member-id set.
+        self._pending_keys: list[tuple[float, int]] = []
+        self._pending_values: list[InferenceRequest] = []
+        self._pending_ids: set[int] = set()
+        self._running_map: dict[int, InferenceRequest] = {}
+        # Oldest-first per-task views, invalidated by per-task version bumps.
+        self._task_versions: dict[str, int] = defaultdict(int)
+        self._for_task_cache: dict[str, tuple[int, list[InferenceRequest]]] = {}
+        # Expiry heap: (deadline + grace, request_id), lazily pruned.
+        self._grace_ms_by_task: Optional[Mapping[str, float]] = None
+        self._expiry_heap: list[tuple[float, int]] = []
+        # Snapshot caches for the engine's per-round system view, keyed by
+        # version counters bumped on every relevant mutation.
+        self._pending_version = 0
+        self._pending_snapshot: Optional[tuple[InferenceRequest, ...]] = None
+        self._pending_snapshot_version = -1
+        self._running_version = 0
+        self._running_snapshot: Optional[tuple[InferenceRequest, ...]] = None
+        self._running_snapshot_version = -1
+        self._depth_version = 0
+        self._depth_snapshot: Optional[dict[str, int]] = None
+        self._depth_snapshot_version = -1
+        self._depth_snapshot_names: Optional[tuple[str, ...]] = None
 
     def __len__(self) -> int:
         return len(self._all)
@@ -26,19 +80,70 @@ class RequestPool:
     def __iter__(self) -> Iterator[InferenceRequest]:
         return iter(list(self._all.values()))
 
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
     def add(self, request: InferenceRequest) -> None:
         """Register a newly arrived request."""
         if request.request_id in self._all:
             raise ValueError(f"request {request.request_id} is already in the pool")
         self._all[request.request_id] = request
-        self._by_task[request.task_name].append(request)
+        self._by_task[request.task_name][request.request_id] = request
+        self._task_versions[request.task_name] += 1
+        self._depth_version += 1
+        if request.state is RequestState.PENDING:
+            self._insert_pending(request)
+        if self._grace_ms_by_task is not None and not request.started:
+            grace = self._grace_ms_by_task.get(request.task_name, 0.0)
+            heapq.heappush(self._expiry_heap, (request.deadline_ms + grace, request.request_id))
 
     def remove(self, request: InferenceRequest) -> None:
-        """Remove a terminal request from the pool."""
+        """Remove a terminal request from the pool.
+
+        Dict bookkeeping is O(1); dropping the request from the sorted
+        pending index is an O(log n) bisect plus a C-level tail shift of
+        the keys/values lists (no Python-level scan).
+        """
         self._all.pop(request.request_id, None)
         task_queue = self._by_task.get(request.task_name)
-        if task_queue and request in task_queue:
-            task_queue.remove(request)
+        if task_queue is not None and task_queue.pop(request.request_id, None) is not None:
+            self._task_versions[request.task_name] += 1
+            self._depth_version += 1
+        self._discard_pending(request)
+        if self._running_map.pop(request.request_id, None) is not None:
+            self._running_version += 1
+
+    def _insert_pending(self, request: InferenceRequest) -> None:
+        key = (request.arrival_ms, request.request_id)
+        index = bisect_left(self._pending_keys, key)
+        self._pending_keys.insert(index, key)
+        self._pending_values.insert(index, request)
+        self._pending_ids.add(request.request_id)
+        self._pending_version += 1
+
+    def _discard_pending(self, request: InferenceRequest) -> None:
+        if request.request_id not in self._pending_ids:
+            return
+        self._pending_ids.discard(request.request_id)
+        key = (request.arrival_ms, request.request_id)
+        index = bisect_left(self._pending_keys, key)
+        if index < len(self._pending_keys) and self._pending_keys[index] == key:
+            del self._pending_keys[index]
+            del self._pending_values[index]
+        self._pending_version += 1
+
+    def note_dispatched(self, request: InferenceRequest) -> None:
+        """Engine hook: the request's layers were dispatched (now RUNNING)."""
+        self._discard_pending(request)
+        self._running_map[request.request_id] = request
+        self._running_version += 1
+
+    def note_progress(self, request: InferenceRequest) -> None:
+        """Engine hook: dispatched layers finished; the request is PENDING again."""
+        if self._running_map.pop(request.request_id, None) is not None:
+            self._running_version += 1
+        if request.state is RequestState.PENDING and request.request_id not in self._pending_ids:
+            self._insert_pending(request)
 
     def prune_terminal(self) -> list[InferenceRequest]:
         """Drop every request that reached a terminal state; return them."""
@@ -58,6 +163,29 @@ class RequestPool:
             if request.state is RequestState.PENDING
         ]
 
+    def pending_snapshot(self) -> tuple[InferenceRequest, ...]:
+        """Pending requests ordered by ``(arrival_ms, request_id)``, memoized.
+
+        This is the order the engine's system view exposes to schedulers.
+        The index is maintained incrementally (the engine reports every
+        state transition via :meth:`note_dispatched` / :meth:`note_progress`,
+        and :meth:`remove` covers terminal requests), and the materialized
+        tuple is cached until the next pending-set mutation, so consecutive
+        dispatch rounds share one snapshot object.
+        """
+        if self._pending_snapshot_version == self._pending_version:
+            snapshot = self._pending_snapshot
+            assert snapshot is not None
+            return snapshot
+        snapshot = tuple(self._pending_values)
+        self._pending_snapshot = snapshot
+        self._pending_snapshot_version = self._pending_version
+        return snapshot
+
+    def pending_sorted(self) -> list[InferenceRequest]:
+        """Pending requests ordered by ``(arrival_ms, request_id)``."""
+        return list(self.pending_snapshot())
+
     def running(self) -> list[InferenceRequest]:
         """Requests with layers currently executing."""
         return [
@@ -66,13 +194,99 @@ class RequestPool:
             if request.state is RequestState.RUNNING
         ]
 
+    def running_snapshot(self) -> tuple[InferenceRequest, ...]:
+        """Running requests in ``request_id`` (= pool insertion) order, memoized."""
+        if self._running_snapshot_version == self._running_version:
+            snapshot = self._running_snapshot
+            assert snapshot is not None
+            return snapshot
+        running_map = self._running_map
+        snapshot = tuple(
+            request
+            for request_id in sorted(running_map)
+            if (request := running_map[request_id]).state is RequestState.RUNNING
+        )
+        self._running_snapshot = snapshot
+        self._running_snapshot_version = self._running_version
+        return snapshot
+
+    def running_sorted(self) -> list[InferenceRequest]:
+        """Running requests in ``request_id`` (= pool insertion) order."""
+        return list(self.running_snapshot())
+
     def for_task(self, task_name: str) -> list[InferenceRequest]:
-        """Live requests of one task, oldest first."""
-        return sorted(self._by_task.get(task_name, []), key=lambda r: r.arrival_ms)
+        """Live requests of one task, oldest first (memoized until changed)."""
+        version = self._task_versions[task_name]
+        cached = self._for_task_cache.get(task_name)
+        if cached is not None and cached[0] == version:
+            return list(cached[1])
+        ordered = sorted(
+            self._by_task.get(task_name, {}).values(), key=lambda r: r.arrival_ms
+        )
+        self._for_task_cache[task_name] = (version, ordered)
+        return list(ordered)
 
     def queue_depth(self, task_name: str) -> int:
         """Number of live requests of one task."""
-        return len(self._by_task.get(task_name, []))
+        return len(self._by_task.get(task_name, ()))
+
+    def queue_depths(self, task_names: Sequence[str]) -> dict[str, int]:
+        """Per-task live request counts for the given tasks, memoized.
+
+        The returned dict is shared until the next add/remove (callers — the
+        frozen system views — treat it as read-only).
+        """
+        names = tuple(task_names)
+        if (
+            self._depth_snapshot_version == self._depth_version
+            and self._depth_snapshot_names == names
+        ):
+            snapshot = self._depth_snapshot
+            assert snapshot is not None
+            return snapshot
+        by_task = self._by_task
+        snapshot = {name: len(by_task.get(name, ())) for name in names}
+        self._depth_snapshot = snapshot
+        self._depth_snapshot_version = self._depth_version
+        self._depth_snapshot_names = names
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # expiry
+    # ------------------------------------------------------------------ #
+    def configure_expiry(self, grace_ms_by_task: Optional[Mapping[str, float]]) -> None:
+        """Enable :meth:`collect_stale` with per-task grace periods.
+
+        Must be called before requests are added (the engine configures the
+        pool right after construction); ``None`` disables expiry tracking.
+        """
+        self._grace_ms_by_task = grace_ms_by_task
+
+    def collect_stale(self, now: float) -> list[InferenceRequest]:
+        """Stale requests per the configured grace periods, oldest-id first.
+
+        Pops the expiry heap up to ``now``; entries whose request has since
+        started, finished, or left the pool are discarded (a request that
+        executed at least one layer can never expire, so dropping its entry
+        is permanent and safe).  The surviving batch is returned sorted by
+        ``request_id`` — creation order, matching the order the historical
+        full-pool scan produced.
+        """
+        if self._grace_ms_by_task is None or not self._expiry_heap:
+            return []
+        heap = self._expiry_heap
+        stale: list[InferenceRequest] = []
+        while heap and heap[0][0] < now:
+            _, request_id = heapq.heappop(heap)
+            request = self._all.get(request_id)
+            if (
+                request is not None
+                and request.state is RequestState.PENDING
+                and not request.started
+            ):
+                stale.append(request)
+        stale.sort(key=lambda request: request.request_id)
+        return stale
 
     def stale(self, now: float, grace_ms_by_task: dict[str, float]) -> list[InferenceRequest]:
         """Pending, never-started requests whose deadline passed too long ago.
@@ -81,8 +295,124 @@ class RequestPool:
         engine expires such requests (their frame is useless by then — the
         next frame has already arrived), which bounds queue growth under
         overload for schedulers that have no frame-drop mechanism of their
-        own.
+        own.  This explicit-grace form scans the pool; the engine's hot path
+        uses :meth:`collect_stale`.
         """
+        result = []
+        for request in self._all.values():
+            if request.state is not RequestState.PENDING or request.started:
+                continue
+            grace = grace_ms_by_task.get(request.task_name, 0.0)
+            if now > request.deadline_ms + grace:
+                result.append(request)
+        return result
+
+
+class ReferenceRequestPool:
+    """The pre-optimization pool: every query is a fresh scan or sort.
+
+    Retained verbatim (behind the same interface as :class:`RequestPool`)
+    so the reference simulation mode reproduces the historical cost profile
+    and the regression tests can differential-test the incremental pool
+    against it.
+    """
+
+    def __init__(self) -> None:
+        self._by_task: dict[str, list[InferenceRequest]] = defaultdict(list)
+        self._all: dict[int, InferenceRequest] = {}
+        self._grace_ms_by_task: Optional[Mapping[str, float]] = None
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        return iter(list(self._all.values()))
+
+    def add(self, request: InferenceRequest) -> None:
+        """Register a newly arrived request."""
+        if request.request_id in self._all:
+            raise ValueError(f"request {request.request_id} is already in the pool")
+        self._all[request.request_id] = request
+        self._by_task[request.task_name].append(request)
+
+    def remove(self, request: InferenceRequest) -> None:
+        """Remove a terminal request from the pool (historical O(n) form)."""
+        self._all.pop(request.request_id, None)
+        task_queue = self._by_task.get(request.task_name)
+        if task_queue and request in task_queue:
+            task_queue.remove(request)
+
+    def note_dispatched(self, request: InferenceRequest) -> None:
+        """No-op: the reference pool re-derives state on every query."""
+
+    def note_progress(self, request: InferenceRequest) -> None:
+        """No-op: the reference pool re-derives state on every query."""
+
+    def prune_terminal(self) -> list[InferenceRequest]:
+        """Drop every request that reached a terminal state; return them."""
+        finished = [request for request in self._all.values() if request.is_finished]
+        for request in finished:
+            self.remove(request)
+        return finished
+
+    def pending(self) -> list[InferenceRequest]:
+        """Requests that are schedulable right now (not running, not done)."""
+        return [
+            request
+            for request in self._all.values()
+            if request.state is RequestState.PENDING
+        ]
+
+    def pending_sorted(self) -> list[InferenceRequest]:
+        """Pending requests sorted by ``(arrival_ms, request_id)`` per call."""
+        return sorted(
+            self.pending(), key=lambda request: (request.arrival_ms, request.request_id)
+        )
+
+    def pending_snapshot(self) -> tuple[InferenceRequest, ...]:
+        """Pending requests sorted by ``(arrival_ms, request_id)`` per call."""
+        return tuple(self.pending_sorted())
+
+    def running(self) -> list[InferenceRequest]:
+        """Requests with layers currently executing."""
+        return [
+            request
+            for request in self._all.values()
+            if request.state is RequestState.RUNNING
+        ]
+
+    def running_sorted(self) -> list[InferenceRequest]:
+        """Running requests in pool insertion order (the historical order)."""
+        return self.running()
+
+    def running_snapshot(self) -> tuple[InferenceRequest, ...]:
+        """Running requests in pool insertion order, materialized per call."""
+        return tuple(self.running())
+
+    def for_task(self, task_name: str) -> list[InferenceRequest]:
+        """Live requests of one task, oldest first (re-sorted per call)."""
+        return sorted(self._by_task.get(task_name, []), key=lambda r: r.arrival_ms)
+
+    def queue_depth(self, task_name: str) -> int:
+        """Number of live requests of one task."""
+        return len(self._by_task.get(task_name, ()))
+
+    def queue_depths(self, task_names: Sequence[str]) -> dict[str, int]:
+        """Per-task live request counts for the given tasks."""
+        return {name: self.queue_depth(name) for name in task_names}
+
+    def configure_expiry(self, grace_ms_by_task: Optional[Mapping[str, float]]) -> None:
+        """Store grace periods for :meth:`collect_stale`."""
+        self._grace_ms_by_task = grace_ms_by_task
+
+    def collect_stale(self, now: float) -> list[InferenceRequest]:
+        """Stale requests per the configured grace periods (full scan)."""
+        if self._grace_ms_by_task is None:
+            return []
+        return self.stale(now, dict(self._grace_ms_by_task))
+
+    def stale(self, now: float, grace_ms_by_task: dict[str, float]) -> list[InferenceRequest]:
+        """Pending, never-started requests whose deadline passed too long ago."""
         result = []
         for request in self._all.values():
             if request.state is not RequestState.PENDING or request.started:

@@ -120,6 +120,15 @@ class InferenceRequest:
         """True when the request reached a terminal state."""
         return self.state.is_terminal
 
+    @property
+    def remaining_layers(self) -> int:
+        """Number of layers still to execute (0 when the path is done).
+
+        O(1) — prefer this over ``len(remaining_path())`` (which copies the
+        path tail) in scheduler hot loops.
+        """
+        return len(self.path) - self.next_position
+
     def remaining_path(self) -> list[int]:
         """Layer indices still to execute, in order."""
         return self.path[self.next_position:]

@@ -227,3 +227,122 @@ class TestBench:
         )
         assert code == 1
         assert "below required" in capsys.readouterr().err
+
+
+class TestBenchEngine:
+    _ARGS = [
+        "bench-engine",
+        "--scenarios", "ar_call",
+        "--platforms", "4k_1ws_2os",
+        "--schedulers", "fcfs_dynamic,dream_full",
+        "--generated", "1",
+        "--duration-ms", "150",
+    ]
+
+    def test_bench_engine_emits_labeled_payload(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        code = main(self._ARGS + ["--out", str(out_file), "--label", "test"])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        entry = payload["test"]
+        assert entry["benchmark"] == "engine_throughput"
+        assert entry["parity"] is True
+        # (1 preset + 1 generated scenario) x 2 schedulers.
+        assert entry["totals"]["cells"] == 4
+        assert entry["totals"]["events"] > 0
+        assert entry["totals"]["fast_events_per_sec"] > 0
+        assert entry["totals"]["reference_events_per_sec"] > 0
+        out = capsys.readouterr().out
+        assert "parity: OK (bit-for-bit)" in out
+
+    def test_bench_engine_merges_labels(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        assert main(self._ARGS + ["--out", str(out_file), "--label", "a"]) == 0
+        assert main(self._ARGS + ["--out", str(out_file), "--label", "b"]) == 0
+        payload = json.loads(out_file.read_text())
+        assert set(payload) == {"a", "b"}
+
+    def test_bench_engine_baseline_gate(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        assert main(self._ARGS + ["--out", str(out_file)]) == 0
+
+        # Same basket against its own baseline: no regression possible
+        # beyond noise, so a generous allowance must pass.
+        rerun = tmp_path / "rerun.json"
+        code = main(
+            self._ARGS
+            + ["--out", str(rerun), "--baseline", str(out_file), "--max-regression", "0.9"]
+        )
+        assert code == 0
+
+        # An absurdly fast fabricated baseline must trip the gate.
+        baseline = json.loads(out_file.read_text())
+        entry = baseline["full"]
+        entry["totals"]["speedup"] *= 100.0
+        entry["totals"]["fast_events_per_sec"] *= 100.0
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        code = main(
+            self._ARGS
+            + ["--out", str(rerun), "--baseline", str(doctored), "--max-regression", "0.2"]
+        )
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_bench_engine_baseline_read_before_out_overwrites_it(self, tmp_path, capsys):
+        # --out and --baseline may be the SAME file (both default to
+        # BENCH_engine.json): the gate must compare against the committed
+        # numbers, not the payload it just merged into the file.
+        shared = tmp_path / "BENCH_engine.json"
+        assert main(self._ARGS + ["--out", str(shared)]) == 0
+        payload = json.loads(shared.read_text())
+        payload["full"]["totals"]["speedup"] *= 100.0
+        shared.write_text(json.dumps(payload))
+        code = main(
+            self._ARGS
+            + ["--out", str(shared), "--baseline", str(shared), "--max-regression", "0.2"]
+        )
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_bench_engine_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        code = main(
+            self._ARGS + ["--out", str(tmp_path / "out.json"), "--baseline", str(broken)]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bench_engine_basket_mismatch_fails_cleanly(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        assert main(self._ARGS + ["--out", str(out_file)]) == 0
+        rerun = tmp_path / "rerun.json"
+        code = main(
+            self._ARGS[:-1]
+            + ["100", "--out", str(rerun), "--baseline", str(out_file)]
+        )
+        assert code == 1
+        assert "matching basket" in capsys.readouterr().err
+
+    def test_bench_engine_profile_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        profile_file = tmp_path / "engine.prof"
+        code = main(
+            [
+                "bench-engine",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--generated", "0",
+                "--duration-ms", "150",
+                "--out", str(out_file),
+                "--profile", str(profile_file),
+            ]
+        )
+        assert code == 0
+        assert profile_file.exists()
+        import pstats
+
+        stats = pstats.Stats(str(profile_file))
+        assert stats.total_calls > 0

@@ -83,3 +83,126 @@ class TestContextSwitch:
         acc = tiny_platform[0]
         max_cost = acc.context_switch_cost(acc.sram_bytes, acc.sram_bytes)
         assert tiny_cost_table.context_switch_latency("alpha", "beta", 0) <= max_cost.latency_ms + 1e-9
+
+
+class TestSummarize:
+    """Direct unit coverage of CostTable._summarize (satellite task)."""
+
+    def test_summarize_matches_hand_computation(self, tiny_models, tiny_platform):
+        from repro.hardware import AnalyticalCostModel
+
+        model = tiny_models["alpha"]
+        cost_model = AnalyticalCostModel()
+        rows = [[cost_model.cost(layer, acc) for acc in tiny_platform] for layer in model.layers]
+        summary = CostTable._summarize(model, rows)
+
+        assert summary.total_macs == sum(layer.macs for layer in model.layers)
+        assert summary.best_case_latency_ms == sum(min(c.latency_ms for c in row) for row in rows)
+        assert summary.worst_case_latency_ms == sum(max(c.latency_ms for c in row) for row in rows)
+        assert summary.average_latency_ms == sum(
+            sum(c.latency_ms for c in row) / len(row) for row in rows
+        )
+        assert summary.best_case_energy_mj == sum(min(c.energy_mj for c in row) for row in rows)
+        assert summary.worst_case_energy_mj == sum(max(c.energy_mj for c in row) for row in rows)
+
+    def test_activation_footprint_is_exact_int(self, tiny_models, tiny_platform):
+        from repro.hardware import AnalyticalCostModel
+
+        model = tiny_models["alpha"]
+        cost_model = AnalyticalCostModel()
+        rows = [[cost_model.cost(layer, acc) for acc in tiny_platform] for layer in model.layers]
+        summary = CostTable._summarize(model, rows)
+        expected = max(layer.input_bytes + layer.output_bytes for layer in model.layers)
+        assert summary.activation_footprint_bytes == expected
+        assert isinstance(summary.activation_footprint_bytes, int)
+
+    def test_empty_model_summarizes_to_zero(self):
+        class Empty:
+            name = "empty"
+            layers = ()
+
+        summary = CostTable._summarize(Empty(), [])
+        assert summary.total_macs == 0
+        assert summary.best_case_latency_ms == 0.0
+        assert summary.activation_footprint_bytes == 0
+
+
+class TestReferenceViewEquivalence:
+    """The precomputed flat arrays must agree bit-for-bit with the scans."""
+
+    def test_all_aggregates_identical(self, tiny_cost_table):
+        reference = tiny_cost_table.reference_view()
+        for model in tiny_cost_table.model_names:
+            for layer in range(tiny_cost_table.num_layers(model)):
+                for fn in (
+                    "average_latency",
+                    "total_latency",
+                    "total_energy",
+                    "best_latency",
+                    "worst_layer_energy",
+                    "best_accelerator",
+                ):
+                    assert getattr(tiny_cost_table, fn)(model, layer) == getattr(
+                        reference, fn
+                    )(model, layer), (fn, model, layer)
+                for acc_id in range(tiny_cost_table.num_accelerators):
+                    assert tiny_cost_table.latency(model, layer, acc_id) == reference.latency(
+                        model, layer, acc_id
+                    )
+                    assert tiny_cost_table.energy(model, layer, acc_id) == reference.energy(
+                        model, layer, acc_id
+                    )
+
+    def test_remaining_and_full_aggregates_identical(self, tiny_cost_table):
+        reference = tiny_cost_table.reference_view()
+        for model in tiny_cost_table.model_names:
+            layers = list(range(tiny_cost_table.num_layers(model)))
+            sparse = layers[::2]
+            for indices in (layers, sparse, []):
+                assert tiny_cost_table.remaining_average_latency(
+                    model, indices
+                ) == reference.remaining_average_latency(model, indices)
+                assert tiny_cost_table.remaining_best_latency(
+                    model, indices
+                ) == reference.remaining_best_latency(model, indices)
+            assert tiny_cost_table.full_average_latency(model) == reference.full_average_latency(
+                model
+            )
+
+    def test_context_switch_memo_identical(self, tiny_cost_table):
+        reference = tiny_cost_table.reference_view()
+        models = tiny_cost_table.model_names
+        for new in models:
+            for prev in models + [None]:
+                for acc_id in range(tiny_cost_table.num_accelerators):
+                    assert tiny_cost_table.context_switch_energy(
+                        new, prev, acc_id
+                    ) == reference.context_switch_energy(new, prev, acc_id)
+                    assert tiny_cost_table.context_switch_latency(
+                        new, prev, acc_id
+                    ) == reference.context_switch_latency(new, prev, acc_id)
+
+    def test_effective_latency_table_matches_executor_formula(
+        self, tiny_cost_table, tiny_platform
+    ):
+        from repro.sim.executor import AcceleratorExecutor
+
+        executor = AcceleratorExecutor(tiny_platform[0], tiny_cost_table)
+        for fraction in (1.0, 0.5, 0.25):
+            eff, prefix = tiny_cost_table.effective_latency_table("alpha", 0, fraction)
+            assert len(prefix) == len(eff) + 1
+            for layer_index, value in enumerate(eff):
+                assert value == executor.effective_layer_latency_ms(
+                    "alpha", layer_index, fraction
+                )
+            # Memoized: the exact same tuple comes back.
+            again, _ = tiny_cost_table.effective_latency_table("alpha", 0, fraction)
+            assert again is eff
+
+    def test_prefix_sums_match_sequential_accumulation(self, tiny_cost_table):
+        arrays = tiny_cost_table.layer_arrays("alpha")
+        acc = 0.0
+        for k, value in enumerate(arrays.worst_energy):
+            assert arrays.worst_energy_prefix[k] == acc
+            acc += value
+        assert arrays.worst_energy_prefix[len(arrays.worst_energy)] == acc

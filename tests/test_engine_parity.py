@@ -1,0 +1,127 @@
+"""Optimized-vs-reference engine parity: results and traces bit-for-bit.
+
+The fast engine (incremental pool, cached views, flat-array costing) must
+be *observationally indistinguishable* from the retained reference path.
+These tests run generated scenarios across every registered scheduler on
+both engines and compare ``SimulationResult.to_dict()`` and the full event
+traces.  Request ids come from a process-global counter, so traces are
+compared after normalizing ids by order of first appearance (relative
+order — all the engine ever relies on — is preserved by the mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.jobs import generated_context, shared_context
+from repro.schedulers import make_scheduler, scheduler_names
+from repro.sim import SimulationEngine, Tracer
+from repro.workloads import GeneratorSpec
+
+#: Generated scenarios swept by the parity matrix (satellite requirement: >= 10).
+PARITY_SCENARIO_COUNT = 10
+
+_SPEC = GeneratorSpec(seed=7)
+_PLATFORM = "4k_1ws_2os"
+_DURATION_MS = 150.0
+
+
+def _normalize(records):
+    mapping: dict[int, int] = {}
+    return [
+        replace(record, request_id=mapping.setdefault(record.request_id, len(mapping)))
+        for record in records
+    ]
+
+
+def _run(scenario, platform, cost_table, scheduler_name, mode, duration_ms=_DURATION_MS, seed=0):
+    tracer = Tracer()
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler(scheduler_name),
+        duration_ms=duration_ms,
+        seed=seed,
+        cost_table=cost_table,
+        tracer=tracer,
+        mode=mode,
+    )
+    result = engine.run()
+    return result, _normalize(tracer.records), engine.events_processed
+
+
+@pytest.mark.parametrize("index", range(PARITY_SCENARIO_COUNT))
+def test_generated_scenarios_bitwise_parity_across_all_schedulers(index):
+    scenario, platform, cost_table = generated_context(_SPEC, index, _PLATFORM)
+    for scheduler_name in scheduler_names():
+        fast_result, fast_trace, fast_events = _run(
+            scenario, platform, cost_table, scheduler_name, "fast"
+        )
+        ref_result, ref_trace, ref_events = _run(
+            scenario, platform, cost_table, scheduler_name, "reference"
+        )
+        assert fast_result.to_dict() == ref_result.to_dict(), (
+            f"result mismatch: {scenario.name} / {scheduler_name}"
+        )
+        assert fast_trace == ref_trace, f"trace mismatch: {scenario.name} / {scheduler_name}"
+        assert fast_events == ref_events
+
+
+@pytest.mark.parametrize("scheduler_name", scheduler_names())
+def test_preset_scenario_parity(scheduler_name):
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    fast_result, fast_trace, _ = _run(
+        scenario, platform, cost_table, scheduler_name, "fast", duration_ms=300.0
+    )
+    ref_result, ref_trace, _ = _run(
+        scenario, platform, cost_table, scheduler_name, "reference", duration_ms=300.0
+    )
+    assert fast_result.to_dict() == ref_result.to_dict()
+    assert fast_trace == ref_trace
+
+
+def test_reference_mode_uses_reference_components():
+    from repro.hardware.cost_table import ReferenceCostTable
+    from repro.sim.queues import ReferenceRequestPool
+
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler("dream_full"),
+        duration_ms=100.0,
+        cost_table=cost_table,
+        mode="reference",
+    )
+    assert isinstance(engine.cost_table, ReferenceCostTable)
+    assert isinstance(engine._pool, ReferenceRequestPool)
+    assert engine._executors[0].fast is False
+
+
+def test_unknown_mode_rejected():
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    with pytest.raises(ValueError, match="mode"):
+        SimulationEngine(
+            scenario=scenario,
+            platform=platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=100.0,
+            cost_table=cost_table,
+            mode="warp",
+        )
+
+
+def test_engine_counts_events():
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler("fcfs_dynamic"),
+        duration_ms=200.0,
+        cost_table=cost_table,
+    )
+    engine.run()
+    assert engine.events_processed > 0
+    assert engine.dispatch_rounds >= engine.events_processed

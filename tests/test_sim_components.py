@@ -6,7 +6,7 @@ import pytest
 
 from repro.metrics.uxcost import ModelOutcome, compute_uxcost
 from repro.metrics.reporting import format_table, geometric_mean, relative_reduction
-from repro.sim import Assignment, RequestPool
+from repro.sim import Assignment, ReferenceRequestPool, RequestPool
 from repro.sim.executor import AcceleratorExecutor
 from repro.sim.request import InferenceRequest, RequestState
 
@@ -122,6 +122,150 @@ class TestRequestPool:
         pool.add(request)
         assert pool.stale(now=50.0, grace_ms_by_task={"vision": 5.0}) == [request]
         assert pool.stale(now=11.0, grace_ms_by_task={"vision": 5.0}) == []
+
+
+class TestRequestPoolIncremental:
+    """The incremental pool must stay observationally identical to the
+    retained reference pool under interleaved add/remove/dispatch/expire."""
+
+    @staticmethod
+    def _pools():
+        fast, reference = RequestPool(), ReferenceRequestPool()
+        grace = {"vision": 5.0, "heavy": 10.0, "cascade": 0.0, "context": 2.0}
+        fast.configure_expiry(grace)
+        reference.configure_expiry(grace)
+        return fast, reference
+
+    @staticmethod
+    def _assert_same(fast, reference, task_names):
+        assert len(fast) == len(reference)
+        assert fast.pending_sorted() == reference.pending_sorted()
+        assert tuple(fast.pending_snapshot()) == tuple(reference.pending_snapshot())
+        assert sorted(r.request_id for r in fast.running()) == sorted(
+            r.request_id for r in reference.running()
+        )
+        assert fast.queue_depths(task_names) == reference.queue_depths(task_names)
+        for name in task_names:
+            assert [r.request_id for r in fast.for_task(name)] == [
+                r.request_id for r in reference.for_task(name)
+            ]
+
+    def test_interleaved_operations_match_reference(self, tiny_scenario):
+        rng = random.Random(42)
+        fast, reference = self._pools()
+        task_names = [task.name for task in tiny_scenario.tasks]
+        live: list[InferenceRequest] = []
+        now = 0.0
+        for step in range(400):
+            now += rng.uniform(0.0, 3.0)
+            op = rng.random()
+            if op < 0.45 or not live:
+                task = rng.choice(task_names)
+                request = _request(
+                    tiny_scenario,
+                    task=task,
+                    arrival=now,
+                    deadline=now + rng.uniform(1.0, 40.0),
+                    rng_seed=step,
+                )
+                fast.add(request)
+                reference.add(request)
+                live.append(request)
+            elif op < 0.6:
+                request = rng.choice(live)
+                if request.state is RequestState.PENDING:
+                    request.mark_running()
+                    fast.note_dispatched(request)
+                    reference.note_dispatched(request)
+            elif op < 0.75:
+                request = rng.choice(live)
+                if request.state is RequestState.RUNNING:
+                    request.record_layers([request.next_layer()], acc_id=0, completion_ms=now)
+                    fast.note_progress(request)
+                    reference.note_progress(request)
+                    if request.is_finished:
+                        fast.remove(request)
+                        reference.remove(request)
+                        live.remove(request)
+            elif op < 0.9:
+                request = rng.choice(live)
+                if not request.is_finished and request.state is not RequestState.RUNNING:
+                    request.mark_dropped(now)
+                fast.remove(request)
+                reference.remove(request)
+                live.remove(request)
+            else:
+                fast_stale = fast.collect_stale(now)
+                ref_stale = reference.collect_stale(now)
+                assert [r.request_id for r in fast_stale] == [
+                    r.request_id for r in ref_stale
+                ]
+                for request in fast_stale:
+                    request.mark_expired(now)
+                    fast.remove(request)
+                    reference.remove(request)
+                    live.remove(request)
+            self._assert_same(fast, reference, task_names)
+
+    def test_remove_is_constant_time_bookkeeping(self, tiny_scenario):
+        pool = RequestPool()
+        requests = [
+            _request(tiny_scenario, arrival=float(i), deadline=float(i) + 50.0, rng_seed=i)
+            for i in range(50)
+        ]
+        for request in requests:
+            pool.add(request)
+        # Remove from the middle, front and back; indices must stay coherent.
+        for request in (requests[25], requests[0], requests[-1]):
+            pool.remove(request)
+        survivors = pool.pending_sorted()
+        assert len(survivors) == 47
+        assert [r.request_id for r in survivors] == sorted(r.request_id for r in survivors)
+        assert pool.queue_depth("vision") == 47
+
+    def test_remove_absent_request_is_noop(self, tiny_scenario):
+        pool = RequestPool()
+        request = _request(tiny_scenario)
+        pool.remove(request)  # never added: must not raise or corrupt
+        pool.add(request)
+        assert len(pool) == 1
+
+    def test_collect_stale_skips_started_requests(self, tiny_scenario):
+        pool = RequestPool()
+        pool.configure_expiry({"vision": 0.0})
+        request = _request(tiny_scenario, deadline=10.0)
+        pool.add(request)
+        request.mark_running()
+        pool.note_dispatched(request)
+        request.record_layers([request.next_layer()], acc_id=0, completion_ms=5.0)
+        pool.note_progress(request)
+        # Started requests can never expire, even long past the deadline.
+        assert pool.collect_stale(now=1000.0) == []
+
+    def test_collect_stale_orders_by_request_id(self, tiny_scenario):
+        pool = RequestPool()
+        pool.configure_expiry({"vision": 0.0, "heavy": 0.0})
+        # Older request expires later than the newer one: the batch must
+        # still come back in creation (request_id) order, matching the
+        # reference pool's scan order.
+        older = _request(tiny_scenario, task="vision", arrival=0.0, deadline=100.0)
+        newer = _request(tiny_scenario, task="heavy", arrival=1.0, deadline=50.0)
+        pool.add(older)
+        pool.add(newer)
+        stale = pool.collect_stale(now=200.0)
+        assert [r.request_id for r in stale] == [older.request_id, newer.request_id]
+
+    def test_snapshots_are_reused_until_mutation(self, tiny_scenario):
+        pool = RequestPool()
+        request = _request(tiny_scenario)
+        pool.add(request)
+        first = pool.pending_snapshot()
+        assert pool.pending_snapshot() is first
+        other = _request(tiny_scenario, arrival=1.0)
+        pool.add(other)
+        second = pool.pending_snapshot()
+        assert second is not first
+        assert [r.request_id for r in second] == [request.request_id, other.request_id]
 
 
 class TestExecutor:
