@@ -23,11 +23,15 @@ Subcommands:
   ``--baseline``/``--max-regression`` gate against a committed baseline.
 * ``repro generate`` — sample randomized scenarios from the model zoo
   (seeded, reproducible), optionally writing the generator spec and running
-  the generated grid on any backend/store.
+  the generated grid on any backend/store.  ``--traffic`` samples
+  non-periodic arrival processes (Poisson, bursty, load-scaled) per head
+  task; ``--latency`` (also on ``repro grid``) prints the streamed
+  per-task latency quantiles.
 * ``repro fuzz`` — cross-scheduler differential testing: run every
   requested scheduler on each generated scenario, audit the trace-invariant
   oracle and the metamorphic cross-scheduler properties, and write failing
-  scenario specs as replayable artifacts.  Exit codes: 0 = clean,
+  scenario specs as replayable artifacts.  ``--traffic`` extends the sweep
+  to non-periodic arrival processes.  Exit codes: 0 = clean,
   1 = harness error (a scheduler/engine crashed), 2 = usage error,
   3 = invariant or metamorphic violation.  ``--replay <spec.json>``
   deterministically re-runs a stored artifact.
@@ -60,7 +64,12 @@ from repro.experiments.store import ResultStore
 from repro.hardware.platform import all_platform_names
 from repro.metrics.reporting import format_table
 from repro.schedulers import scheduler_names
-from repro.workloads import GeneratorSpec, ScenarioGenerator, scenario_names
+from repro.workloads import (
+    GeneratorSpec,
+    ScenarioGenerator,
+    arrival_process_names,
+    scenario_names,
+)
 
 #: ``repro fuzz`` exit code for invariant/metamorphic violations (a harness
 #: error exits 1 and a usage error exits 2, so the three are distinguishable
@@ -133,6 +142,8 @@ def _execute_and_report(jobs, args: argparse.Namespace) -> tuple[GridResult, flo
 
     Shared by ``repro grid`` and ``repro generate --run`` so both
     subcommands report identically (table format, throughput, store stats).
+    With ``--latency`` a per-task table of the streamed latency quantiles
+    (P² estimates of p50/p95/p99) is printed as well.
     """
     store = _make_store(args)
     started = time.perf_counter()
@@ -147,10 +158,37 @@ def _execute_and_report(jobs, args: argparse.Namespace) -> tuple[GridResult, flo
         for scheduler, uxcost in sorted(by_scheduler.items())
     ]
     print(format_table(["scenario/platform", "scheduler", "UXCost"], rows))
+    if getattr(args, "latency", False):
+        print()
+        print(_latency_table(grid))
     print(f"done: {len(jobs)} cells in {elapsed:.2f} s ({len(jobs) / elapsed:.2f} cells/s)")
     if store is not None:
         print(f"store: {store.stats()}")
     return grid, elapsed
+
+
+def _latency_table(grid: GridResult) -> str:
+    """Per-task completed-frame latency quantiles across every grid cell."""
+    rows = []
+    for cell, result in sorted(grid.results.items(), key=lambda item: item[0].key):
+        for task_name, stats in sorted(result.task_stats.items()):
+            rows.append(
+                [
+                    cell.key,
+                    task_name,
+                    stats.completed_frames,
+                    stats.mean_latency_ms,
+                    stats.latency_quantile_ms("p50"),
+                    stats.latency_quantile_ms("p95"),
+                    stats.latency_quantile_ms("p99"),
+                    stats.latency_max_ms,
+                ]
+            )
+    return format_table(
+        ["cell", "task", "done", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"],
+        rows,
+        float_format="{:.2f}",
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -163,6 +201,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("platforms: ", ", ".join(all_platform_names()))
     print("schedulers:", ", ".join(scheduler_names()))
     print("backends:  ", ", ".join(backend_names()))
+    print("traffic:   ", ", ".join(arrival_process_names()))
     print("figures:   ", ", ".join(sorted(figures_mod.ALL_FIGURES)))
     return 0
 
@@ -467,6 +506,16 @@ def _add_generator_options(parser: argparse.ArgumentParser) -> None:
         "--no-resolution-sweep", action="store_true",
         help="use each model's canonical input size instead of sweeping",
     )
+    parser.add_argument(
+        "--traffic", action="append", metavar="NAMES",
+        help="traffic models sampled per generated head task ('all' or "
+        "comma-separated from: " + ", ".join(arrival_process_names()) + "; "
+        "default: periodic only)",
+    )
+
+
+def _traffic_models(values: Optional[Sequence[str]]) -> tuple[str, ...]:
+    return tuple(_expand_registry(values, ["periodic"], arrival_process_names))
 
 
 def _generator_spec(args: argparse.Namespace) -> GeneratorSpec:
@@ -477,14 +526,22 @@ def _generator_spec(args: argparse.Namespace) -> GeneratorSpec:
         max_cascade_depth=args.max_cascade_depth,
         chain_probability=args.chain_probability,
         resolution_sweep=not args.no_resolution_sweep,
+        traffic_models=_traffic_models(args.traffic),
     )
 
 
-def _scheduler_list(values: Optional[Sequence[str]], default: Sequence[str]) -> list[str]:
+def _expand_registry(
+    values: Optional[Sequence[str]], default: Sequence[str], registry_names
+) -> list[str]:
+    """Expand name options, with ``all`` meaning every registered name."""
     names = _split_names(values, default)
     if "all" in names:
-        return scheduler_names()
+        return list(registry_names())
     return names
+
+
+def _scheduler_list(values: Optional[Sequence[str]], default: Sequence[str]) -> list[str]:
+    return _expand_registry(values, default, scheduler_names)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -644,6 +701,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="PATH",
         help="write the full grid result (uxcost table + per-cell stats) as JSON",
     )
+    grid_parser.add_argument(
+        "--latency", action="store_true",
+        help="also print per-task streamed latency quantiles (p50/p95/p99)",
+    )
     _add_execution_options(grid_parser)
     grid_parser.set_defaults(func=_cmd_grid)
 
@@ -785,6 +846,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated window per cell for --run (default: 400)",
     )
     generate_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    generate_parser.add_argument(
+        "--latency", action="store_true",
+        help="with --run: also print per-task streamed latency quantiles",
+    )
     _add_execution_options(generate_parser)
     generate_parser.set_defaults(func=_cmd_generate)
 

@@ -334,6 +334,15 @@ def run_phased_workload(
     ``seed + i`` while the scheduler instance (and therefore DREAM's tuned
     (alpha, beta)) carries over the usage-scenario change — exactly the
     adaptation the paper studies.
+
+    Phase-boundary semantics: each phase is an independent
+    :class:`~repro.sim.SimulationEngine` run, so requests still in flight
+    when a phase's window ends are **discarded at the boundary** (they are
+    finalized as unfinished in that phase's result and are *not* carried
+    into the next phase) — only scheduler state crosses phases, work does
+    not.  This models the runtime flushing its queues on a usage-scenario
+    switch; a request that should survive a boundary would have to be
+    re-issued by its (still-present) task in the next phase.
     """
     return PhasedJob.create(
         workload=workload,

@@ -38,7 +38,9 @@ from repro.workloads.generator import GeneratorSpec, ScenarioGenerator
 
 #: Bump when simulation semantics change in a way that invalidates cached
 #: results (also combined with ``repro.__version__`` in the cache key).
-CACHE_FORMAT_VERSION = 1
+#: 2: results gained streamed latency quantiles — older cached payloads
+#: load fine but would silently lack the new per-task data.
+CACHE_FORMAT_VERSION = 2
 
 #: Engine kwargs must stay JSON-scalar so jobs remain picklable and
 #: content-addressable.
@@ -248,6 +250,10 @@ class PhasedJob:
     (alpha, beta) — carries over the usage-scenario change.  Phase ``i``
     runs with seed ``seed + i``; both facts are part of the job contract,
     making the determinism of phased runs explicit rather than incidental.
+
+    Only scheduler state crosses a phase boundary: requests still in
+    flight when a phase ends are finalized as unfinished in that phase's
+    result and discarded — nothing is re-queued into the next phase.
     """
 
     workload: PhasedWorkload

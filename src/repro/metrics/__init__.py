@@ -1,6 +1,7 @@
 """Evaluation metrics: UXCost (Algorithm 2) and reporting helpers."""
 
 from repro.metrics.uxcost import ModelOutcome, UXCostBreakdown, compute_uxcost
+from repro.metrics.quantiles import P2Quantile, StreamingQuantiles
 from repro.metrics.reporting import (
     geometric_mean,
     relative_reduction,
@@ -10,6 +11,8 @@ from repro.metrics.reporting import (
 
 __all__ = [
     "ModelOutcome",
+    "P2Quantile",
+    "StreamingQuantiles",
     "UXCostBreakdown",
     "compute_uxcost",
     "geometric_mean",

@@ -1,13 +1,31 @@
 """The discrete-event simulation engine.
 
-The engine owns the event loop: periodic frame arrivals become inference
-requests, a pluggable scheduler decides which layers run where, accelerator
+The engine owns the event loop: frame arrivals become inference requests,
+a pluggable scheduler decides which layers run where, accelerator
 executors model execution and context-switch costs, and cascaded requests
 are spawned when control dependencies fire.  The scheduler is consulted at
 every state change (request arrival, layer completion), mirroring the
 paper's description that scheduling decisions are made "each time a new
 scheduling decision needs to be made in the job assignment and dispatch
 engine".
+
+Streaming arrivals
+------------------
+Frames are *streamed*, not materialized: each head task owns a lazy
+:class:`~repro.workloads.traffic.ArrivalProcess` iterator (periodic +
+uniform jitter unless the :class:`~repro.workloads.scenario.TaskSpec`
+selects another traffic model) and the event heap holds at most ONE
+pending arrival per head task at any time — popping a task's arrival pulls
+the next frame from its iterator.  Heap occupancy is therefore O(head
+tasks + in-flight executor slots) instead of O(duration x fps), which is
+what makes hour-long, million-frame windows feasible
+(:attr:`peak_event_heap` records the high-water mark).  Event ordering is
+identical to the historical materialize-everything path: heap entries are
+keyed ``(time, kind priority, tie key)`` where arrivals precede
+completions at equal times (arrivals used to be pushed first and ties
+break on push order) and simultaneous arrivals order by task name (the
+materialized path sorted frames by ``(arrival_ms, task_name)``), so
+results are bit-for-bit unchanged.
 
 Schedulers must implement the small protocol documented in
 :class:`repro.schedulers.base.Scheduler`; the engine only relies on the
@@ -45,24 +63,33 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Optional, TYPE_CHECKING
+from dataclasses import replace
+from typing import Iterator, Optional, TYPE_CHECKING
 
 from repro.hardware.cost_table import CostTable
 from repro.hardware.platform import Platform
+from repro.metrics.quantiles import StreamingQuantiles
 from repro.sim.decisions import AcceleratorView, SchedulingDecision, SystemView
 from repro.sim.executor import AcceleratorExecutor
 from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.request import InferenceRequest, RequestState
 from repro.sim.results import AcceleratorStats, SimulationResult, TaskStats
 from repro.sim.tracer import Tracer
-from repro.workloads.frames import generate_frames
+from repro.workloads.frames import head_arrival_plan, task_frame_stream
 from repro.workloads.scenario import Scenario
+from repro.workloads.traffic import Frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.schedulers.base import Scheduler
 
 _EVENT_ARRIVAL = "arrival"
 _EVENT_COMPLETE = "complete"
+
+#: Heap-entry kind priorities.  At equal times arrivals must precede
+#: completions: the materialized path pushed every arrival before the run
+#: started, so arrivals always carried smaller tie-break sequence numbers.
+_PRIO_ARRIVAL = 0
+_PRIO_COMPLETE = 1
 
 #: Safety bound on scheduler invocations per event, to surface livelocks in
 #: buggy scheduler implementations instead of hanging the simulation.
@@ -89,7 +116,8 @@ class SimulationEngine:
         expire_after_periods: grace (in task periods) after the deadline
             before a never-started request is abandoned; ``None`` disables
             expiry entirely.
-        jitter_ms: uniform frame arrival jitter.
+        jitter_ms: uniform frame arrival jitter for tasks whose traffic
+            model does not override it (see ``TaskSpec.traffic``).
         warmup_ms: frames whose sensor frame arrived before this time are
             executed but excluded from the measured statistics.
         tracer: optional :class:`~repro.sim.tracer.Tracer` for per-event records.
@@ -141,7 +169,10 @@ class SimulationEngine:
         self._stats: dict[str, TaskStats] = {
             task.name: TaskStats(task_name=task.name) for task in scenario.tasks
         }
-        self._events: list[tuple[float, int, str, object]] = []
+        # Heap entries: (time_ms, kind priority, tie key, kind, payload)
+        # where the tie key is (task_name, frame_id) for arrivals and a
+        # monotone sequence number for completions.
+        self._events: list[tuple[float, int, object, str, object]] = []
         self._event_seq = itertools.count()
         self._now = 0.0
         self._task_names = [task.name for task in scenario.tasks]
@@ -152,6 +183,13 @@ class SimulationEngine:
         self._pool.configure_expiry(
             self._grace_ms_by_task if expire_after_periods is not None else None
         )
+        # Streaming arrival state: one lazy frame iterator per head task,
+        # at most one pending arrival event each (O(tasks) heap occupancy).
+        self._arrival_iters: dict[str, Iterator[Frame]] = {}
+        self._last_arrival_ms: dict[str, float] = {}
+        self._latency_quantiles = {
+            task.name: StreamingQuantiles() for task in scenario.tasks
+        }
         # Cached per-accelerator views, keyed (state_version, busy_until).
         self._acc_views: list[Optional[AcceleratorView]] = [None] * len(self._executors)
         self._acc_view_keys: list[tuple[int, float]] = [(-1, 0.0)] * len(self._executors)
@@ -161,6 +199,9 @@ class SimulationEngine:
         self.events_processed: int = 0
         #: Scheduler consultations (dispatch rounds across all events).
         self.dispatch_rounds: int = 0
+        #: High-water mark of the event heap — O(head tasks + in-flight
+        #: slots) under streaming arrivals, never O(total frames).
+        self.peak_event_heap: int = 0
 
     # ------------------------------------------------------------------ #
     # public API
@@ -168,10 +209,10 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the measured result."""
         self.scheduler.bind(self.platform, self.cost_table, self.scenario, random.Random(self.seed + 1))
-        self._schedule_frame_arrivals()
+        self._start_arrival_streams()
 
         while self._events:
-            time_ms, _, kind, payload = heapq.heappop(self._events)
+            time_ms, _prio, _key, kind, payload = heapq.heappop(self._events)
             self._now = time_ms
             self.events_processed += 1
             if kind == _EVENT_ARRIVAL:
@@ -188,20 +229,65 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     # event handling
     # ------------------------------------------------------------------ #
-    def _push_event(self, time_ms: float, kind: str, payload: object) -> None:
-        heapq.heappush(self._events, (time_ms, next(self._event_seq), kind, payload))
+    def _heap_push(self, entry: tuple[float, int, object, str, object]) -> None:
+        heapq.heappush(self._events, entry)
+        if len(self._events) > self.peak_event_heap:
+            self.peak_event_heap = len(self._events)
 
-    def _schedule_frame_arrivals(self) -> None:
-        frames = generate_frames(
-            self.scenario,
-            duration_ms=self.duration_ms,
-            jitter_ms=self.jitter_ms,
-            seed=self.seed,
+    def _push_event(self, time_ms: float, kind: str, payload: object) -> None:
+        """Push a completion-class event (tie-broken by push order)."""
+        self._heap_push((time_ms, _PRIO_COMPLETE, next(self._event_seq), kind, payload))
+
+    def _start_arrival_streams(self) -> None:
+        """Create each head task's lazy frame iterator and prime one frame."""
+        for task, offset_ms in head_arrival_plan(self.scenario):
+            self._arrival_iters[task.name] = iter(
+                task_frame_stream(
+                    task,
+                    offset_ms=offset_ms,
+                    end_ms=self.duration_ms,
+                    seed=self.seed,
+                    default_jitter_ms=self.jitter_ms,
+                )
+            )
+            self._push_next_arrival(task.name)
+
+    def _push_next_arrival(self, task_name: str) -> None:
+        """Pull one frame from a task's arrival stream onto the event heap.
+
+        Arrival entries are keyed ``(time, _PRIO_ARRIVAL, (task, frame))``
+        so simultaneous arrivals order by task name regardless of push
+        order — exactly the materialized path's ``(arrival_ms, task_name)``
+        sort.  Arrival times must be non-decreasing per task (every bundled
+        :class:`~repro.workloads.traffic.ArrivalProcess` guarantees it for
+        sane jitter settings); an out-of-order frame is clamped to the
+        previous arrival so simulated time never runs backwards.
+        """
+        iterator = self._arrival_iters.get(task_name)
+        if iterator is None:
+            return
+        frame = next(iterator, None)
+        if frame is None:
+            del self._arrival_iters[task_name]
+            return
+        last = self._last_arrival_ms.get(task_name)
+        if last is not None and frame.arrival_ms < last:
+            frame = replace(
+                frame, arrival_ms=last, deadline_ms=max(frame.deadline_ms, last)
+            )
+        self._last_arrival_ms[task_name] = frame.arrival_ms
+        self._heap_push(
+            (
+                frame.arrival_ms,
+                _PRIO_ARRIVAL,
+                (frame.task_name, frame.frame_id),
+                _EVENT_ARRIVAL,
+                frame,
+            )
         )
-        for frame in frames:
-            self._push_event(frame.arrival_ms, _EVENT_ARRIVAL, frame)
 
     def _handle_arrival(self, frame) -> None:
+        self._push_next_arrival(frame.task_name)
         task = self.scenario.task(frame.task_name)
         request = InferenceRequest(
             task_name=task.name,
@@ -271,7 +357,13 @@ class SimulationEngine:
         if self.expire_after_periods is None:
             return
         for request in self._pool.collect_stale(now):
-            request.mark_expired(now)
+            # Expiry is only *detected* at event times, but the request
+            # became useless at deadline + grace — stamp that true instant
+            # (min() guards the degenerate grace-crosses-now case) rather
+            # than whatever event happened to run next.  The trace record
+            # keeps the detection time so trace time stays monotonic.
+            grace_ms = self._grace_ms_by_task.get(request.task_name, 0.0)
+            request.mark_expired(min(now, request.deadline_ms + grace_ms))
             self._trace(request, "expired")
             self._finalize_request(request)
 
@@ -400,9 +492,15 @@ class SimulationEngine:
         if request.state is RequestState.COMPLETED:
             stats.completed_frames += 1
             stats.variant_counts[request.model_name] += 1
-            latency = request.latency_ms or 0.0
+            # A COMPLETED request always has a completion time; the check is
+            # explicit (`is not None`, not falsy-or) because a legitimate
+            # 0.0 ms latency is a real sample, not a missing one.
+            latency = request.latency_ms
+            if latency is None:  # pragma: no cover - defensive
+                latency = 0.0
             stats.latency_sum_ms += latency
             stats.latency_max_ms = max(stats.latency_max_ms, latency)
+            self._latency_quantiles[request.task_name].add(latency)
         elif request.state is RequestState.DROPPED:
             stats.dropped_frames += 1
         elif request.state is RequestState.EXPIRED:
@@ -428,6 +526,10 @@ class SimulationEngine:
             self._pool.remove(request)
 
     def _build_result(self) -> SimulationResult:
+        for task_name, stats in self._stats.items():
+            estimator = self._latency_quantiles[task_name]
+            summary = estimator.summary()
+            stats.latency_quantiles = dict(summary) if summary else None
         accelerator_stats = tuple(
             AcceleratorStats(
                 acc_id=executor.acc_id,

@@ -11,14 +11,23 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.metrics.uxcost import ModelOutcome, UXCostBreakdown, compute_uxcost
 
 
 @dataclass
 class TaskStats:
-    """Accumulated outcome of one task over the measurement window."""
+    """Accumulated outcome of one task over the measurement window.
+
+    ``latency_quantiles`` holds the bounded-memory streaming estimates
+    (P² algorithm, see :mod:`repro.metrics.quantiles`) of the completed-
+    frame latency distribution as ``{"count": n, "p50": ..., "p95": ...,
+    "p99": ...}``, or ``None`` when no measured frame completed.  Unlike
+    ``latency_sum_ms`` these are estimates (exact below five samples), but
+    they are deterministic functions of the completion stream, so they
+    round-trip and compare bit-for-bit.
+    """
 
     task_name: str
     total_frames: int = 0
@@ -32,6 +41,7 @@ class TaskStats:
     latency_sum_ms: float = 0.0
     latency_max_ms: float = 0.0
     variant_counts: Counter = field(default_factory=Counter)
+    latency_quantiles: Optional[dict] = None
 
     @property
     def violation_rate(self) -> float:
@@ -61,6 +71,12 @@ class TaskStats:
             return 0.0
         return self.latency_sum_ms / self.completed_frames
 
+    def latency_quantile_ms(self, name: str) -> float:
+        """One streamed latency quantile (e.g. ``"p95"``), 0.0 when absent."""
+        if not self.latency_quantiles:
+            return 0.0
+        return float(self.latency_quantiles.get(name, 0.0))
+
     def to_outcome(self) -> ModelOutcome:
         """Convert to the UXCost input record (Algorithm 2 per-model terms)."""
         return ModelOutcome(
@@ -86,11 +102,14 @@ class TaskStats:
             "latency_sum_ms": self.latency_sum_ms,
             "latency_max_ms": self.latency_max_ms,
             "variant_counts": dict(self.variant_counts),
+            "latency_quantiles": (
+                dict(self.latency_quantiles) if self.latency_quantiles else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TaskStats":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output (pre-quantile payloads load too)."""
         payload = dict(data)
         payload["variant_counts"] = Counter(payload.get("variant_counts", {}))
         return cls(**payload)
@@ -250,12 +269,19 @@ class SimulationResult:
             f"energy factor {breakdown.overall_normalized_energy:.4f})",
         ]
         for task_name, stats in sorted(self.task_stats.items()):
+            quantiles = ""
+            if stats.latency_quantiles:
+                quantiles = (
+                    f" p50/p95/p99={stats.latency_quantile_ms('p50'):.2f}/"
+                    f"{stats.latency_quantile_ms('p95'):.2f}/"
+                    f"{stats.latency_quantile_ms('p99'):.2f} ms"
+                )
             lines.append(
                 f"  {task_name}: frames={stats.total_frames} "
                 f"violations={stats.violated_frames} ({stats.violation_rate:.1%}) "
                 f"drops={stats.dropped_frames} "
                 f"norm_energy={stats.normalized_energy:.3f} "
-                f"mean_latency={stats.mean_latency_ms:.2f} ms"
+                f"mean_latency={stats.mean_latency_ms:.2f} ms{quantiles}"
             )
         for acc in self.accelerator_stats:
             lines.append(

@@ -16,7 +16,18 @@ The five scenarios evaluated in the paper are available from
 """
 
 from repro.workloads.scenario import TaskSpec, Scenario
-from repro.workloads.frames import Frame, FrameSource, generate_frames
+from repro.workloads.traffic import (
+    ARRIVAL_PROCESSES,
+    ArrivalProcess,
+    BurstyArrival,
+    LoadScaledArrival,
+    PeriodicArrival,
+    PoissonArrival,
+    arrival_process_from_dict,
+    arrival_process_names,
+    make_arrival_process,
+)
+from repro.workloads.frames import Frame, FrameSource, generate_frames, head_arrival_plan
 from repro.workloads.scenarios import (
     SCENARIO_BUILDERS,
     build_scenario,
@@ -42,9 +53,19 @@ __all__ = [
     "generate_scenarios",
     "TaskSpec",
     "Scenario",
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcess",
+    "BurstyArrival",
+    "LoadScaledArrival",
+    "PeriodicArrival",
+    "PoissonArrival",
+    "arrival_process_from_dict",
+    "arrival_process_names",
+    "make_arrival_process",
     "Frame",
     "FrameSource",
     "generate_frames",
+    "head_arrival_plan",
     "SCENARIO_BUILDERS",
     "build_scenario",
     "build_vr_gaming",

@@ -1,42 +1,56 @@
-"""Periodic frame generation for pipeline-head tasks.
+"""Frame generation for pipeline-head tasks (materialized form).
 
-Real-time tasks consume periodically streamed sensor data: a task with an
-``fps`` target receives one frame every ``1000 / fps`` milliseconds, and
+Real-time tasks consume streamed sensor data: a task with an ``fps``
+target nominally receives one frame every ``1000 / fps`` milliseconds, and
 each frame must complete within one period (its deadline).  The simulator
 turns each :class:`Frame` into an inference request on arrival; downstream
 (cascaded) tasks do not appear here — their requests are spawned by the
 simulator when the upstream inference completes and the control dependency
 fires.
+
+The *traffic model* of each head task — strictly periodic with uniform
+jitter by default, or any :class:`~repro.workloads.traffic.ArrivalProcess`
+set on the :class:`~repro.workloads.scenario.TaskSpec` — is defined in
+:mod:`repro.workloads.traffic`; this module provides the materialized
+(all-frames-up-front) view used by tests and offline analysis.  The
+simulation engine itself streams frames lazily (one frame ahead per task)
+from the same processes, and :func:`generate_frames` is the reference the
+streaming path is tested against.
+
+Window-end semantics: the jittered processes bound the *nominal* frame
+time by the window end, so a jittered arrival may land at or slightly past
+``end_ms``.  Such a frame's deadline necessarily exceeds the window, so it
+can never enter the measured statistics; the behaviour is kept (rather
+than clamped) so results are bit-for-bit stable across the streaming
+refactor.  See the :mod:`repro.workloads.traffic` module docstring.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, TYPE_CHECKING
 
-from repro.workloads.scenario import Scenario, TaskSpec
+from repro.workloads.traffic import DEFAULT_PROCESS, Frame, PeriodicArrival
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.scenario import Scenario, TaskSpec
 
-@dataclass(frozen=True)
-class Frame:
-    """One periodic sensor frame for a head task.
-
-    Attributes:
-        task_name: the head task receiving the frame.
-        frame_id: monotonically increasing index per task.
-        arrival_ms: arrival time of the frame.
-        deadline_ms: completion deadline (arrival + one period).
-    """
-
-    task_name: str
-    frame_id: int
-    arrival_ms: float
-    deadline_ms: float
+__all__ = [
+    "Frame",
+    "FrameSource",
+    "generate_frames",
+    "head_arrival_plan",
+    "task_arrival_rng",
+    "task_frame_stream",
+]
 
 
 class FrameSource:
     """Generates the periodic frames of one head task.
+
+    A thin, stateful wrapper over :class:`~repro.workloads.traffic
+    .PeriodicArrival` (the canonical implementation, shared with the
+    engine's streaming path).
 
     Args:
         task: the head task specification.
@@ -49,7 +63,7 @@ class FrameSource:
 
     def __init__(
         self,
-        task: TaskSpec,
+        task: "TaskSpec",
         start_ms: float = 0.0,
         jitter_ms: float = 0.0,
         rng: random.Random | None = None,
@@ -67,67 +81,113 @@ class FrameSource:
         self._rng = rng or random.Random(0)
 
     def frames_until(self, end_ms: float) -> Iterator[Frame]:
-        """Yield all frames arriving in ``[start_ms, end_ms)``."""
-        period = self.task.period_ms
-        frame_id = 0
-        while True:
-            nominal = self.start_ms + frame_id * period
-            if nominal >= end_ms:
-                return
-            jitter = self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms else 0.0
-            arrival = nominal + jitter
-            yield Frame(
-                task_name=self.task.name,
-                frame_id=frame_id,
-                arrival_ms=arrival,
-                deadline_ms=arrival + period,
-            )
-            frame_id += 1
+        """Yield all frames whose *nominal* time lies in ``[start_ms, end_ms)``.
+
+        A jittered arrival may land at or past ``end_ms`` (see the module
+        docstring); its deadline then exceeds the window, so it is never
+        measured.
+        """
+        return PeriodicArrival(jitter_ms=self.jitter_ms).frames(
+            self.task, start_ms=self.start_ms, end_ms=end_ms, rng=self._rng
+        )
 
 
-def generate_frames(
-    scenario: Scenario,
-    duration_ms: float,
-    jitter_ms: float = 0.0,
-    seed: int = 0,
-    start_ms: float = 0.0,
-) -> list[Frame]:
-    """Generate all head-task frames of a scenario for a simulation window.
+def head_arrival_plan(
+    scenario: "Scenario", start_ms: float = 0.0
+) -> list[tuple["TaskSpec", float]]:
+    """(head task, phase offset) pairs shared by both frame-generation paths.
 
     Head tasks are phase-staggered slightly (a fraction of the shortest
     period spread across tasks) so that all pipelines do not fire in the
     same instant at t=0, which would be both unrealistic and adversarial
-    for every scheduler equally.
+    for every scheduler equally.  The engine's streaming arrival sources
+    and the materialized :func:`generate_frames` both derive their offsets
+    here, so the two paths cannot drift apart.
 
-    Args:
-        scenario: the workload scenario.
-        duration_ms: length of the simulated window.
-        jitter_ms: per-frame uniform arrival jitter.
-        seed: seed for the jitter random generator.
-        start_ms: start of the window (frames arrive at or after this time).
-
-    Returns:
-        All frames sorted by arrival time.
+    Raises:
+        ValueError: if the scenario has no head tasks (nothing would ever
+            arrive).
     """
-    if duration_ms <= 0:
-        raise ValueError("duration_ms must be positive")
     heads = scenario.head_tasks
     if not heads:
         raise ValueError(f"scenario {scenario.name!r} has no head tasks")
     shortest_period = min(task.period_ms for task in heads)
     stagger = shortest_period / max(1, len(heads)) * 0.25
+    return [(task, start_ms + index * stagger) for index, task in enumerate(heads)]
+
+
+def task_arrival_rng(seed: int, task_name: str) -> random.Random:
+    """The per-task arrival RNG shared by the streaming and materialized paths.
+
+    Seeded from a string, not ``tuple.__hash__()``: str hashing is salted
+    by PYTHONHASHSEED, which would make arrivals differ between interpreter
+    sessions (``random.Random(str)`` seeds via SHA-512 and is stable).
+    """
+    return random.Random(f"{seed}:{task_name}")
+
+
+def task_frame_stream(
+    task: "TaskSpec",
+    offset_ms: float,
+    end_ms: float,
+    seed: int,
+    default_jitter_ms: float,
+) -> Iterator[Frame]:
+    """One head task's frame iterator — the single stream construction.
+
+    Resolves the task's traffic model (default: periodic + engine jitter),
+    seeds the per-task RNG and opens the frame iterator.  Both the engine's
+    streaming arrival sources and the materialized :func:`generate_frames`
+    build their streams here, so process selection, RNG seeding and window
+    wiring cannot drift apart between the two paths.
+    """
+    process = task.traffic if task.traffic is not None else DEFAULT_PROCESS
+    return process.frames(
+        task,
+        start_ms=offset_ms,
+        end_ms=end_ms,
+        rng=task_arrival_rng(seed, task.name),
+        default_jitter_ms=default_jitter_ms,
+    )
+
+
+def generate_frames(
+    scenario: "Scenario",
+    duration_ms: float,
+    jitter_ms: float = 0.0,
+    seed: int = 0,
+    start_ms: float = 0.0,
+) -> list[Frame]:
+    """Materialize all head-task frames of a scenario for a simulation window.
+
+    Each head task is fed by its own traffic model (``TaskSpec.traffic``,
+    defaulting to periodic + uniform jitter) with a per-task RNG, exactly
+    like the engine's streaming path — this function is the materialized
+    reference for tests.
+
+    Args:
+        scenario: the workload scenario.
+        duration_ms: length of the simulated window.
+        jitter_ms: per-frame uniform arrival jitter (for tasks whose
+            traffic model does not override it).
+        seed: seed for the per-task arrival random generators.
+        start_ms: start of the window (frames arrive at or after this time).
+
+    Returns:
+        All frames sorted by arrival time (ties broken by task name).
+    """
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
     frames: list[Frame] = []
-    for index, task in enumerate(heads):
-        # Seed from a string, not tuple.__hash__(): str hashing is salted by
-        # PYTHONHASHSEED, which made arrivals differ between interpreter
-        # sessions (random.Random(str) seeds via SHA-512 and is stable).
-        rng = random.Random(f"{seed}:{task.name}")
-        source = FrameSource(
-            task,
-            start_ms=start_ms + index * stagger,
-            jitter_ms=jitter_ms,
-            rng=rng,
+    for task, offset_ms in head_arrival_plan(scenario, start_ms):
+        frames.extend(
+            task_frame_stream(
+                task,
+                offset_ms=offset_ms,
+                end_ms=start_ms + duration_ms,
+                seed=seed,
+                default_jitter_ms=jitter_ms,
+            )
         )
-        frames.extend(source.frames_until(start_ms + duration_ms))
     frames.sort(key=lambda frame: (frame.arrival_ms, frame.task_name))
     return frames

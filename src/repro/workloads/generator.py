@@ -27,6 +27,13 @@ from typing import Callable, Iterator, Mapping, Tuple
 
 from repro.models import zoo
 from repro.workloads.scenario import ModelOrSupernet, Scenario, TaskSpec
+from repro.workloads.traffic import arrival_process_names, make_arrival_process
+
+#: Default traffic sampling: the historical periodic-only behaviour.  A
+#: spec whose ``traffic_models`` equals this omits the field from
+#: ``to_dict()`` so pre-traffic content keys, cached results and the
+#: committed bench baselines stay valid.
+DEFAULT_TRAFFIC_MODELS: Tuple[str, ...] = ("periodic",)
 
 
 @dataclass(frozen=True)
@@ -131,6 +138,11 @@ class GeneratorSpec:
         resolution_sweep: when True, per-model input sizes are sampled from
             each zoo entry's deployment choices; when False the canonical
             defaults are used.
+        traffic_models: registry names of the
+            :class:`~repro.workloads.traffic.ArrivalProcess` models sampled
+            (uniformly) for each generated *head* task; the default
+            periodic-only tuple draws nothing and leaves every task on the
+            engine's historical arrival path.
         name_prefix: prefix of generated scenario names.
     """
 
@@ -142,6 +154,7 @@ class GeneratorSpec:
     max_cascade_depth: int = 2
     trigger_probability_range: Tuple[float, float] = (0.3, 1.0)
     resolution_sweep: bool = True
+    traffic_models: Tuple[str, ...] = DEFAULT_TRAFFIC_MODELS
     name_prefix: str = "gen"
 
     def __post_init__(self) -> None:
@@ -162,12 +175,26 @@ class GeneratorSpec:
         low, high = self.trigger_probability_range
         if not 0.0 <= low <= high <= 1.0:
             raise ValueError("trigger_probability_range must satisfy 0 <= low <= high <= 1")
+        if not self.traffic_models:
+            raise ValueError("traffic_models must be non-empty")
+        known = arrival_process_names()
+        for name in self.traffic_models:
+            if name not in known:
+                raise ValueError(
+                    f"unknown traffic model {name!r}; available: {', '.join(known)}"
+                )
         if not self.name_prefix:
             raise ValueError("name_prefix must be non-empty")
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-serializable form (inverse of :meth:`from_dict`).
+
+        ``traffic_models`` is only emitted when it differs from the
+        periodic-only default: the canonical JSON seeds every generation
+        RNG and keys the result cache and bench baskets, so default specs
+        must keep producing the exact pre-traffic scenarios.
+        """
+        payload = {
             "seed": self.seed,
             "min_tasks": self.min_tasks,
             "max_tasks": self.max_tasks,
@@ -178,6 +205,9 @@ class GeneratorSpec:
             "resolution_sweep": self.resolution_sweep,
             "name_prefix": self.name_prefix,
         }
+        if self.traffic_models != DEFAULT_TRAFFIC_MODELS:
+            payload["traffic_models"] = list(self.traffic_models)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "GeneratorSpec":
@@ -186,6 +216,9 @@ class GeneratorSpec:
         payload["fps_choices"] = tuple(payload.get("fps_choices", cls.fps_choices))
         payload["trigger_probability_range"] = tuple(
             payload.get("trigger_probability_range", cls.trigger_probability_range)
+        )
+        payload["traffic_models"] = tuple(
+            payload.get("traffic_models", DEFAULT_TRAFFIC_MODELS)
         )
         return cls(**payload)
 
@@ -221,6 +254,10 @@ class ScenarioGenerator:
         task_count = rng.randint(spec.min_tasks, spec.max_tasks)
         entries = rng.sample(MODEL_POOL, task_count)
 
+        # The default periodic-only tuple must not consume RNG draws:
+        # scenario `index` of a pre-traffic spec has to stay byte-identical.
+        sample_traffic = spec.traffic_models != DEFAULT_TRAFFIC_MODELS
+
         tasks: list[TaskSpec] = []
         depth: dict[str, int] = {}
         for entry in entries:
@@ -247,7 +284,12 @@ class ScenarioGenerator:
                 )
                 depth[entry.key] = depth[parent.name] + 1
             else:
-                task = TaskSpec(entry.key, model, fps=fps)
+                traffic = None
+                if sample_traffic:
+                    kind = rng.choice(spec.traffic_models)
+                    if kind != "periodic":
+                        traffic = make_arrival_process(kind)
+                task = TaskSpec(entry.key, model, fps=fps, traffic=traffic)
                 depth[entry.key] = 0
             tasks.append(task)
 

@@ -12,10 +12,13 @@ which tasks are downstream of which, and which tasks are chain tails
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional, Union
+from typing import Iterator, Mapping, Optional, TYPE_CHECKING, Union
 
 from repro.models.graph import ModelGraph
 from repro.models.supernet import Supernet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.traffic import ArrivalProcess
 
 ModelOrSupernet = Union[ModelGraph, Supernet]
 
@@ -33,6 +36,11 @@ class TaskSpec:
             or ``None`` for a pipeline head that consumes sensor frames.
         trigger_probability: probability that a completed upstream inference
             triggers this task (control dependency); ignored for heads.
+        traffic: optional :class:`~repro.workloads.traffic.ArrivalProcess`
+            describing how this head task's frames arrive; ``None`` means
+            periodic + uniform jitter (the historical default).  Ignored
+            for cascaded tasks, whose requests are spawned by upstream
+            completions rather than by a frame source.
     """
 
     name: str
@@ -40,6 +48,7 @@ class TaskSpec:
     fps: float
     depends_on: Optional[str] = None
     trigger_probability: float = 1.0
+    traffic: Optional["ArrivalProcess"] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -52,6 +61,11 @@ class TaskSpec:
             )
         if self.depends_on == self.name:
             raise ValueError(f"task {self.name!r} cannot depend on itself")
+        if self.traffic is not None and self.depends_on is not None:
+            raise ValueError(
+                f"task {self.name!r}: cascaded tasks have no frame source, so "
+                "they cannot carry a traffic model"
+            )
 
     @property
     def period_ms(self) -> float:
@@ -221,7 +235,8 @@ class Scenario:
         for task in self.tasks:
             dep = f" (after {task.depends_on}, p={task.trigger_probability})" if task.depends_on else ""
             kind = "supernet" if task.is_supernet else "model"
+            traffic = f" traffic={task.traffic.kind}" if task.traffic is not None else ""
             lines.append(
-                f"  - {task.name}: {task.default_model.name} [{kind}] @ {task.fps:g} FPS{dep}"
+                f"  - {task.name}: {task.default_model.name} [{kind}] @ {task.fps:g} FPS{dep}{traffic}"
             )
         return "\n".join(lines)

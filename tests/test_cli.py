@@ -23,7 +23,10 @@ class TestList:
     def test_lists_presets(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for needle in ("ar_call", "4k_1ws_2os", "dream_full", "serial", "figure7"):
+        for needle in (
+            "ar_call", "4k_1ws_2os", "dream_full", "serial", "figure7",
+            "poisson", "bursty", "load_scaled",
+        ):
             assert needle in out
 
 
@@ -59,6 +62,22 @@ class TestGrid:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "'hits': 1" in out
+
+    def test_grid_latency_table(self, capsys):
+        code = main(
+            [
+                "grid",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--duration-ms", "200",
+                "--latency",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p95_ms" in out
+        assert "ar_call/4k_1ws_2os/fcfs_dynamic" in out
 
 
 class TestFigure:
@@ -111,6 +130,37 @@ class TestGenerate:
         assert code == 2
         assert "min_tasks" in capsys.readouterr().err
 
+    def test_generate_with_traffic_models(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        code = main(
+            [
+                "generate", "--count", "3", "--min-tasks", "3", "--max-tasks", "4",
+                "--generator-seed", "11",
+                "--traffic", "poisson,bursty",
+                "--spec-out", str(spec_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic=" in out  # at least one sampled non-periodic head
+        payload = json.loads(spec_path.read_text())
+        assert payload["generator"]["traffic_models"] == ["poisson", "bursty"]
+
+    def test_generate_traffic_all_expands_registry(self, tmp_path):
+        from repro.workloads import arrival_process_names
+
+        spec_path = tmp_path / "spec.json"
+        assert main(
+            ["generate", "--count", "1", "--traffic", "all", "--spec-out", str(spec_path)]
+        ) == 0
+        payload = json.loads(spec_path.read_text())
+        assert payload["generator"]["traffic_models"] == arrival_process_names()
+
+    def test_generate_unknown_traffic_fails_cleanly(self, capsys):
+        code = main(["generate", "--count", "1", "--traffic", "tidal"])
+        assert code == 2
+        assert "unknown traffic model" in capsys.readouterr().err
+
 
 class TestFuzz:
     def test_fuzz_clean_sweep_exits_zero(self, capsys):
@@ -123,6 +173,18 @@ class TestFuzz:
         assert code == 0
         out = capsys.readouterr().out
         assert "1 clean" in out
+
+    def test_fuzz_with_non_periodic_traffic_exits_zero(self, capsys):
+        code = main(
+            [
+                "fuzz", "--seeds", "2", "--min-tasks", "3", "--max-tasks", "4",
+                "--traffic", "poisson,bursty,load_scaled",
+                "--schedulers", "fcfs_dynamic,dream_full", "--duration-ms", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 clean" in out
 
     def test_fuzz_schedulers_all_expands_registry(self, monkeypatch, capsys):
         from repro.experiments.differential import FuzzResult

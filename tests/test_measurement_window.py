@@ -1,0 +1,342 @@
+"""Measurement-window edge cases and timing/accounting bugfix regressions.
+
+Covers the satellite sweep of ISSUE 4:
+
+* expired requests are stamped with their true ``deadline + grace``
+  instant, not the time of whichever event happened to detect them;
+* a legitimate 0.0 ms latency is accounted as a real sample (the
+  ``latency_ms or 0.0`` falsy-zero bug);
+* cascade deadlines are clamped to the spawn time (``max(deadline, now)``);
+* ``warmup_ms`` excludes frames by their *sensor* arrival time;
+* ``_finalize_leftovers`` accounts live-at-drain requests exactly once,
+  and only measured ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers import make_scheduler
+from repro.schedulers.base import Scheduler
+from repro.sim import SimulationEngine, Tracer
+from repro.sim.decisions import SchedulingDecision
+from repro.sim.request import InferenceRequest, RequestState
+from repro.workloads import Scenario, TaskSpec, generate_frames
+
+
+class NullScheduler(Scheduler):
+    """Schedules nothing, ever — requests only expire or drain unfinished."""
+
+    name = "null"
+
+    def schedule(self, view) -> SchedulingDecision:
+        return SchedulingDecision.empty()
+
+
+class RecordingScheduler(Scheduler):
+    """FCFS wrapper that keeps every finished request for inspection."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.inner = make_scheduler("fcfs_dynamic")
+        self.finished: list[tuple[InferenceRequest, float]] = []
+
+    def bind(self, platform, cost_table, scenario, rng) -> None:
+        super().bind(platform, cost_table, scenario, rng)
+        self.inner.bind(platform, cost_table, scenario, rng)
+
+    def on_request_arrival(self, request, now_ms) -> None:
+        self.inner.on_request_arrival(request, now_ms)
+
+    def on_layers_complete(self, request, now_ms) -> None:
+        self.inner.on_layers_complete(request, now_ms)
+
+    def on_request_finished(self, request, now_ms) -> None:
+        self.finished.append((request, now_ms))
+        self.inner.on_request_finished(request, now_ms)
+
+    def schedule(self, view) -> SchedulingDecision:
+        return self.inner.schedule(view)
+
+
+@pytest.fixture()
+def single_head_scenario(tiny_models) -> Scenario:
+    return Scenario(
+        name="single_head",
+        tasks=(TaskSpec("vision", tiny_models["alpha"], fps=10),),
+    )
+
+
+class TestExpiryTimestamps:
+    def test_expired_requests_stamp_their_true_expiry_instant(
+        self, single_head_scenario, het_4k_platform
+    ):
+        """Expiry is detected at the next event, but the stamp must be the
+        request's own ``deadline + grace`` instant."""
+        scheduler = RecordingScheduler()
+        # NullScheduler semantics via a recording wrapper would still
+        # dispatch; instead starve by never scheduling.
+        scheduler.inner = NullScheduler()
+        engine = SimulationEngine(
+            scenario=single_head_scenario,
+            platform=het_4k_platform,
+            scheduler=scheduler,
+            duration_ms=1000.0,
+            expire_after_periods=1.0,
+            jitter_ms=0.5,
+        )
+        engine.run()
+        period = single_head_scenario.task("vision").period_ms
+        expired = [
+            (request, now)
+            for request, now in scheduler.finished
+            if request.state is RequestState.EXPIRED
+        ]
+        assert expired, "starved requests should expire"
+        for request, detected_at in expired:
+            true_expiry = request.deadline_ms + period  # grace = 1 period
+            assert request.last_progress_ms == pytest.approx(true_expiry)
+            # detection can only happen at a later event
+            assert detected_at >= request.last_progress_ms
+
+    def test_expiry_stamp_identical_across_modes(
+        self, single_head_scenario, het_4k_platform
+    ):
+        stamps = {}
+        for mode in ("fast", "reference"):
+            scheduler = RecordingScheduler()
+            scheduler.inner = NullScheduler()
+            SimulationEngine(
+                scenario=single_head_scenario,
+                platform=het_4k_platform,
+                scheduler=scheduler,
+                duration_ms=800.0,
+                mode=mode,
+            ).run()
+            stamps[mode] = [
+                (request.frame_id, request.last_progress_ms)
+                for request, _ in scheduler.finished
+                if request.state is RequestState.EXPIRED
+            ]
+        assert stamps["fast"] == stamps["reference"]
+        assert stamps["fast"]
+
+
+class TestZeroLatencyAccounting:
+    def test_zero_latency_completion_is_a_real_sample(
+        self, single_head_scenario, het_4k_platform
+    ):
+        """A completed request whose latency is exactly 0.0 ms must count
+        into the latency sum, max and quantile stream (regression for the
+        ``latency_ms or 0.0`` falsy-zero check)."""
+        engine = SimulationEngine(
+            scenario=single_head_scenario,
+            platform=het_4k_platform,
+            scheduler=NullScheduler(),
+            duration_ms=1000.0,
+        )
+        task = single_head_scenario.task("vision")
+        request = InferenceRequest(
+            task_name="vision",
+            model=task.default_model,
+            frame_id=0,
+            arrival_ms=10.0,
+            deadline_ms=10.0 + task.period_ms,
+        )
+        request.record_layers(list(request.path), acc_id=0, completion_ms=10.0)
+        assert request.latency_ms == 0.0  # legitimate, not missing
+        engine.scheduler.bind(
+            engine.platform, engine.cost_table, engine.scenario, None
+        )
+        engine._finalize_request(request)
+        stats = engine._stats["vision"]
+        assert stats.completed_frames == 1
+        assert stats.latency_sum_ms == 0.0
+        assert len(engine._latency_quantiles["vision"]) == 1
+        result = engine._build_result()
+        quantiles = result.task_stats["vision"].latency_quantiles
+        assert quantiles == {"count": 1, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestCascadeDeadlineClamping:
+    def test_cascade_deadlines_never_precede_their_spawn_time(self, tiny_models, het_4k_platform):
+        """``max(deadline, now)``: when the parent completes after the
+        child's nominal deadline, the child's deadline is clamped to the
+        spawn instant (a request cannot be born already past-deadline)."""
+        scenario = Scenario(
+            name="late_cascade",
+            tasks=(
+                TaskSpec("parent", tiny_models["beta"], fps=10),
+                # A cascaded task has no frame source — fps only sets its
+                # deadline budget.  0.05 ms is far below the parent's
+                # ~0.1 ms inference latency, so every spawn is late.
+                TaskSpec(
+                    "child",
+                    tiny_models["alpha"],
+                    fps=20000,
+                    depends_on="parent",
+                    trigger_probability=1.0,
+                ),
+            ),
+        )
+        tracer = Tracer()
+        SimulationEngine(
+            scenario=scenario,
+            platform=het_4k_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=1500.0,
+            tracer=tracer,
+        ).run()
+        spawns = [
+            record for record in tracer.records if record.event == "cascade_arrival"
+        ]
+        assert spawns, "cascade children should spawn"
+        clamped = 0
+        child_period = scenario.task("child").period_ms
+        parent_arrivals = {
+            record.frame_id: record.time_ms
+            for record in tracer.records
+            if record.event == "arrival" and record.task_name == "parent"
+        }
+        for record in spawns:
+            assert record.deadline_ms >= record.time_ms
+            nominal = parent_arrivals[record.frame_id] + child_period
+            assert record.deadline_ms == pytest.approx(max(nominal, record.time_ms))
+            if record.time_ms > nominal:
+                clamped += 1
+        assert clamped > 0, "expected at least one clamped (late) cascade deadline"
+
+
+class TestWarmupWindow:
+    def test_warmup_excludes_frames_by_sensor_arrival(
+        self, single_head_scenario, het_4k_platform
+    ):
+        duration, warmup = 1000.0, 300.0
+        engine = SimulationEngine(
+            scenario=single_head_scenario,
+            platform=het_4k_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=duration,
+            warmup_ms=warmup,
+            jitter_ms=0.5,
+        )
+        result = engine.run()
+        frames = generate_frames(
+            single_head_scenario, duration_ms=duration, jitter_ms=0.5, seed=0
+        )
+        expected = [
+            frame
+            for frame in frames
+            if frame.arrival_ms >= warmup and frame.deadline_ms <= duration
+        ]
+        assert result.task_stats["vision"].total_frames == len(expected)
+        assert 0 < len(expected) < len(frames)
+
+    def test_warmup_bounds_validated(self, single_head_scenario, het_4k_platform):
+        for warmup in (-1.0, 1000.0, 1500.0):
+            with pytest.raises(ValueError, match="warmup_ms"):
+                SimulationEngine(
+                    scenario=single_head_scenario,
+                    platform=het_4k_platform,
+                    scheduler=NullScheduler(),
+                    duration_ms=1000.0,
+                    warmup_ms=warmup,
+                )
+
+
+class TestLeftoverAccounting:
+    def test_starved_requests_drain_as_unfinished_violations(
+        self, single_head_scenario, het_4k_platform
+    ):
+        """With expiry disabled and a scheduler that never dispatches,
+        every *measured* frame must drain as exactly one unfinished
+        violation — and unmeasured (deadline past the window) ones as
+        none."""
+        duration = 1000.0
+        engine = SimulationEngine(
+            scenario=single_head_scenario,
+            platform=het_4k_platform,
+            scheduler=NullScheduler(),
+            duration_ms=duration,
+            expire_after_periods=None,
+            jitter_ms=0.5,
+        )
+        result = engine.run()
+        frames = generate_frames(
+            single_head_scenario, duration_ms=duration, jitter_ms=0.5, seed=0
+        )
+        measured = [frame for frame in frames if frame.deadline_ms <= duration]
+        stats = result.task_stats["vision"]
+        assert stats.total_frames == len(measured) < len(frames)
+        assert stats.unfinished_frames == len(measured)
+        assert stats.violated_frames == len(measured)
+        assert stats.completed_frames == 0
+        assert stats.latency_quantiles is None
+
+    def test_terminal_accounting_is_exhaustive(self, tiny_scenario, het_4k_platform):
+        """total == completed + dropped + expired + unfinished per task."""
+        result = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=het_4k_platform,
+            scheduler=make_scheduler("dream_full"),
+            duration_ms=600.0,
+        ).run()
+        for stats in result.task_stats.values():
+            assert stats.total_frames == (
+                stats.completed_frames
+                + stats.dropped_frames
+                + stats.expired_frames
+                + stats.unfinished_frames
+            )
+
+
+class TestQuantileSurfacing:
+    def test_result_round_trips_with_quantiles(self, tiny_scenario, het_4k_platform):
+        from repro.sim import SimulationResult
+
+        result = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=het_4k_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=500.0,
+        ).run()
+        payload = result.to_dict()
+        vision = payload["task_stats"]["vision"]
+        assert vision["latency_quantiles"]["count"] == vision["completed_frames"] > 0
+        assert set(vision["latency_quantiles"]) == {"count", "p50", "p95", "p99"}
+        rebuilt = SimulationResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        stats = rebuilt.task_stats["vision"]
+        assert (
+            stats.latency_quantile_ms("p50")
+            <= stats.latency_quantile_ms("p95")
+            <= stats.latency_quantile_ms("p99")
+            <= stats.latency_max_ms + 1e-9
+        )
+
+    def test_pre_quantile_payloads_still_load(self, tiny_scenario, het_4k_platform):
+        from repro.sim import SimulationResult
+
+        result = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=het_4k_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=300.0,
+        ).run()
+        payload = result.to_dict()
+        for stats in payload["task_stats"].values():
+            stats.pop("latency_quantiles")
+        rebuilt = SimulationResult.from_dict(payload)
+        assert rebuilt.task_stats["vision"].latency_quantiles is None
+        assert rebuilt.task_stats["vision"].latency_quantile_ms("p95") == 0.0
+
+    def test_describe_includes_quantiles(self, tiny_scenario, het_4k_platform):
+        result = SimulationEngine(
+            scenario=tiny_scenario,
+            platform=het_4k_platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=500.0,
+        ).run()
+        assert "p50/p95/p99=" in result.describe()
