@@ -19,8 +19,11 @@ Subcommands:
   both the optimized engine and the retained reference path, assert
   bit-for-bit result parity, report events/sec, and emit
   ``BENCH_engine.json``.  ``--quick`` selects the CI-sized basket,
-  ``--profile`` dumps a cProfile capture of the optimized passes, and
-  ``--baseline``/``--max-regression`` gate against a committed baseline.
+  ``--jobs N`` fans cells out to the process execution backend,
+  ``--profile`` (fixed dump path) / ``--profile-out PATH`` capture a
+  cProfile of the optimized passes, and ``--baseline`` /
+  ``--max-regression`` / ``--max-round-regression`` gate wall-clock and
+  scheduler-invocation regressions against a committed baseline.
 * ``repro generate`` — sample randomized scenarios from the model zoo
   (seeded, reproducible), optionally writing the generator spec and running
   the generated grid on any backend/store.  ``--traffic`` samples
@@ -398,12 +401,17 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     duration_ms = args.duration_ms if args.duration_ms is not None else basket["duration_ms"]
 
     cells = (len(scenarios) * len(platforms) + generated) * len(schedulers)
+    jobs = args.jobs
     print(
         f"bench-engine: {cells} cells ({len(scenarios)} scenarios x "
         f"{len(platforms)} platforms + {generated} generated) x "
         f"{len(schedulers)} schedulers, {duration_ms:g} ms each, "
         f"optimized vs reference engine"
+        + (f", {jobs} parallel jobs" if jobs > 1 else "")
     )
+    # --profile-out takes precedence; bare --profile keeps the historical
+    # fixed dump path for quick interactive use.
+    profile_path = args.profile_out if args.profile_out is not None else args.profile
     payload = bench_mod.run_engine_bench(
         scenarios=scenarios,
         platforms=platforms,
@@ -411,7 +419,9 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         generated=generated,
         duration_ms=duration_ms,
         seed=args.seed,
-        profile_path=args.profile,
+        profile_path=profile_path,
+        jobs=jobs,
+        repeats=args.repeats,
     )
     print(bench_mod.describe(payload))
 
@@ -446,8 +456,8 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     merged[label] = payload
     args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out} (label {label!r})")
-    if args.profile is not None:
-        print(f"wrote cProfile dump {args.profile} (inspect with pstats or snakeviz)")
+    if profile_path is not None:
+        print(f"wrote cProfile dump {profile_path} (inspect with pstats or snakeviz)")
 
     if not payload["parity"]:
         print("error: optimized and reference engines disagree", file=sys.stderr)
@@ -460,7 +470,10 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         )
         return 1
     if baseline is not None:
-        problems = bench_mod.compare_to_baseline(payload, baseline, args.max_regression)
+        problems = bench_mod.compare_to_baseline(
+            payload, baseline, args.max_regression,
+            max_round_regression=args.max_round_regression,
+        )
         for problem in problems:
             print(f"error: {problem}", file=sys.stderr)
         if problems:
@@ -799,8 +812,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="basket label in the output file (default: 'quick' with --quick, else 'full')",
     )
     bench_engine_parser.add_argument(
-        "--profile", type=Path, default=None, metavar="PATH",
-        help="dump a cProfile capture of the optimized passes to PATH",
+        "--jobs", type=int, default=1, metavar="N",
+        help="run cells through the process execution backend with N workers "
+        "(default: 1 = serial; per-cell timings are measured inside each "
+        "worker, so on a single-core container N>1 makes them contend — "
+        "use >1 on multi-core hosts such as the 4-vCPU CI runners)",
+    )
+    bench_engine_parser.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="runs per cell per engine; the minimum wall time is recorded "
+        "(noise-robust — use 2-3 when regenerating a committed baseline; "
+        "default: 1)",
+    )
+    bench_engine_parser.add_argument(
+        "--profile", type=Path, nargs="?", const=Path("bench_engine.prof"),
+        default=None, metavar="PATH",
+        help="dump a cProfile capture of the optimized passes (fixed "
+        "default path bench_engine.prof when no PATH is given; requires "
+        "--jobs 1)",
+    )
+    bench_engine_parser.add_argument(
+        "--profile-out", type=Path, default=None, metavar="PATH",
+        help="explicit path for the cProfile dump (overrides --profile)",
     )
     bench_engine_parser.add_argument(
         "--min-speedup", type=float, default=None, metavar="X",
@@ -813,6 +846,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_engine_parser.add_argument(
         "--max-regression", type=float, default=0.2, metavar="F",
         help="allowed fractional throughput regression vs --baseline (default: 0.2)",
+    )
+    bench_engine_parser.add_argument(
+        "--max-round-regression", type=float, default=0.1, metavar="F",
+        help="allowed fractional growth of the fast engine's schedule() "
+        "call count vs --baseline (deterministic per basket; default: 0.1)",
     )
     bench_engine_parser.set_defaults(func=_cmd_bench_engine)
 

@@ -78,10 +78,15 @@ class SmartFrameDropEngine:
         cost_table: CostTable,
         scenario: Scenario,
         config: Optional[FrameDropConfig] = None,
+        fast: bool = True,
     ) -> None:
         self.cost_table = cost_table
         self.scenario = scenario
         self.config = config or FrameDropConfig()
+        #: Hot-loop form of select_drop (inlined cache + early exits); the
+        #: reference simulation mode disables it to keep the historical
+        #: cost profile.  Selected drops are identical either way.
+        self.fast = fast
         # Sliding window of per-task frame outcomes: True = dropped.
         self._windows: dict[str, Deque[bool]] = defaultdict(
             lambda: deque(maxlen=self.config.window_frames)
@@ -116,6 +121,10 @@ class SmartFrameDropEngine:
     def drop_budget_available(self, task_name: str) -> bool:
         """Condition 4: the task is below its maximum drop rate."""
         return self.drops_in_window(task_name) < self.config.max_drops_per_window
+
+    def forget(self, request_id: int) -> None:
+        """Drop a finished request's cache entry (bounds memory on long runs)."""
+        self._to_go_cache.pop(request_id, None)
 
     # ------------------------------------------------------------------ #
     # per-request predicates
@@ -174,13 +183,43 @@ class SmartFrameDropEngine:
         # per request instead of twice.
         expected_violations = 0
         flagged: list[InferenceRequest] = []
-        for request in pending:
-            if self.expects_violation(request, now_ms):      # Condition 1
-                expected_violations += 1
-                flagged.append(request)
-        for request in running:
-            if self.expects_violation(request, now_ms):
-                expected_violations += 1
+        if self.fast:
+            # Hot-loop form: the minimum_to_go cache is inlined (this loop
+            # runs at every scheduling point over every live request, so
+            # attribute/call overhead dominates it), flagged-empty answers
+            # No immediately (only pending violators can become
+            # candidates), and the running scan — which only feeds the
+            # Condition-2 count — stops at two.  Skipped work is limited to
+            # pure memo warming, so the selected drop is identical.
+            to_go_cache = self._to_go_cache
+            remaining_best = self.cost_table.remaining_best_latency
+            for request in pending:
+                cached = to_go_cache.get(request.request_id)
+                position = request.next_position
+                if cached is not None and cached[0] == position:
+                    to_go = cached[1]
+                else:
+                    to_go = remaining_best(request.model_name, request.remaining_path())
+                    to_go_cache[request.request_id] = (position, to_go)
+                if to_go > request.deadline_ms - now_ms:     # Condition 1
+                    expected_violations += 1
+                    flagged.append(request)
+            if not flagged:
+                return None
+            if expected_violations < 2:
+                for request in running:
+                    if self.expects_violation(request, now_ms):
+                        expected_violations += 1
+                        if expected_violations >= 2:
+                            break
+        else:
+            for request in pending:
+                if self.expects_violation(request, now_ms):  # Condition 1
+                    expected_violations += 1
+                    flagged.append(request)
+            for request in running:
+                if self.expects_violation(request, now_ms):
+                    expected_violations += 1
         # Condition 2: dropping only helps when more than one live inference
         # is in trouble; a single late model cannot hurt the others.
         if expected_violations < 2:

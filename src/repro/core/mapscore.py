@@ -75,6 +75,10 @@ class MapScoreEngine:
         self._to_go_cache[request.request_id] = (request.next_position, value)
         return value
 
+    def forget(self, request_id: int) -> None:
+        """Drop a finished request's cache entry (bounds memory on long runs)."""
+        self._to_go_cache.pop(request_id, None)
+
     def slack_ms(self, request: InferenceRequest, now_ms: float) -> float:
         """Slack: remaining time until the deadline (clamped to stay positive)."""
         return max(_MIN_SLACK_MS, request.deadline_ms - now_ms)

@@ -27,10 +27,12 @@ import cProfile
 import platform as platform_mod
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import __version__
+from repro.experiments.backends import make_backend
 from repro.experiments.jobs import generated_context, shared_context
 from repro.schedulers import make_scheduler
 from repro.sim import SimulationEngine
@@ -43,8 +45,8 @@ DEFAULT_DURATION_MS = 2000.0
 
 
 def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: float,
-              seed: int, mode: str) -> tuple[dict, int, float]:
-    """One simulation; returns (result dict, events processed, wall seconds)."""
+              seed: int, mode: str) -> tuple[dict, SimulationEngine, float]:
+    """One simulation; returns (result dict, the engine, wall seconds)."""
     engine = SimulationEngine(
         scenario=scenario,
         platform=platform,
@@ -57,7 +59,132 @@ def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: 
     started = time.perf_counter()
     result = engine.run()
     elapsed = time.perf_counter() - started
-    return result.to_dict(), engine.events_processed, elapsed
+    return result.to_dict(), engine, elapsed
+
+
+@dataclass(frozen=True)
+class EngineBenchJob:
+    """One picklable bench cell: a (scenario, platform, scheduler) triple
+    timed on both engines.
+
+    Carries preset names and scalars only (like
+    :class:`~repro.experiments.jobs.CellJob`), so ``repro bench-engine
+    --jobs N`` can fan cells out to the existing process backend; each
+    worker resolves its (scenario, platform, cost table) context through
+    the same process-local LRU cache the serial path uses.  The per-cell
+    parity assertion runs inside :meth:`run`, so parallel execution checks
+    exactly what the serial path checks.
+    """
+
+    scenario: Optional[str]
+    platform: str
+    scheduler: str
+    duration_ms: float
+    seed: int
+    generator: Optional[GeneratorSpec] = None
+    generator_index: int = 0
+    repeats: int = 1
+
+    def _context(self):
+        if self.generator is not None:
+            return generated_context(self.generator, self.generator_index, self.platform)
+        return shared_context(self.scenario, self.platform, 0.5)
+
+    def run(self, profiler: Optional[cProfile.Profile] = None) -> dict:
+        """Time the cell on both engines and return its bench record.
+
+        With ``repeats > 1`` each engine runs that many times and the
+        *minimum* wall time is recorded — the standard noise-robust
+        estimator (results are deterministic, so repeats differ only in
+        scheduling noise; the minimum is the run the machine interfered
+        with least).  Both engines get the same treatment, so the
+        fast/reference speedup stays an apples-to-apples ratio.
+        """
+        scenario, platform, cost_table = self._context()
+        repeats = max(1, self.repeats)
+        fast_s = ref_s = float("inf")
+        for _ in range(repeats):
+            if profiler is not None:
+                profiler.enable()
+            fast_result, fast_engine, elapsed = _run_once(
+                scenario, platform, self.scheduler, cost_table,
+                self.duration_ms, self.seed, "fast",
+            )
+            if profiler is not None:
+                profiler.disable()
+            fast_s = min(fast_s, elapsed)
+        for _ in range(repeats):
+            ref_result, ref_engine, elapsed = _run_once(
+                scenario, platform, self.scheduler, cost_table,
+                self.duration_ms, self.seed, "reference",
+            )
+            ref_s = min(ref_s, elapsed)
+        fast_events = fast_engine.events_processed
+        ref_events = ref_engine.events_processed
+        cell_parity = fast_result == ref_result and fast_events == ref_events
+        return {
+            "scenario": scenario.name,
+            "platform": self.platform,
+            "scheduler": self.scheduler,
+            "events": fast_events,
+            "fast_wall_s": fast_s,
+            "reference_wall_s": ref_s,
+            "fast_events_per_sec": fast_events / fast_s if fast_s > 0 else 0.0,
+            "reference_events_per_sec": ref_events / ref_s if ref_s > 0 else 0.0,
+            "speedup": ref_s / fast_s if fast_s > 0 else 0.0,
+            # Scheduler-load counters: dispatch_rounds counts actual
+            # schedule() invocations; the reference engine keeps the exact
+            # per-event dispatch path, so its rounds are the pre-elision
+            # count the fast engine is measured against.
+            "fast_schedule_calls": fast_engine.dispatch_rounds,
+            "fast_dispatches_elided": fast_engine.dispatches_elided,
+            "fast_events_coalesced": fast_engine.events_coalesced,
+            "reference_schedule_calls": ref_engine.dispatch_rounds,
+            "parity": cell_parity,
+        }
+
+
+def bench_jobs(
+    scenarios: Sequence[str],
+    platforms: Sequence[str],
+    schedulers: Sequence[str],
+    generated: int,
+    generator_spec: GeneratorSpec,
+    generated_platform: str,
+    duration_ms: float,
+    seed: int,
+    repeats: int = 1,
+) -> list[EngineBenchJob]:
+    """Expand a bench basket into its ordered list of cell jobs."""
+    jobs: list[EngineBenchJob] = []
+    for scenario_name in scenarios:
+        for platform_name in platforms:
+            for scheduler_name in schedulers:
+                jobs.append(
+                    EngineBenchJob(
+                        scenario=scenario_name,
+                        platform=platform_name,
+                        scheduler=scheduler_name,
+                        duration_ms=duration_ms,
+                        seed=seed,
+                        repeats=repeats,
+                    )
+                )
+    for index in range(generated):
+        for scheduler_name in schedulers:
+            jobs.append(
+                EngineBenchJob(
+                    scenario=None,
+                    platform=generated_platform,
+                    scheduler=scheduler_name,
+                    duration_ms=duration_ms,
+                    seed=seed,
+                    generator=generator_spec,
+                    generator_index=index,
+                    repeats=repeats,
+                )
+            )
+    return jobs
 
 
 def run_engine_bench(
@@ -70,6 +197,8 @@ def run_engine_bench(
     duration_ms: float = DEFAULT_DURATION_MS,
     seed: int = 0,
     profile_path: Optional[Path] = None,
+    jobs: int = 1,
+    repeats: int = 1,
 ) -> dict:
     """Benchmark fast vs reference engine over a basket of cells.
 
@@ -86,69 +215,60 @@ def run_engine_bench(
         duration_ms: simulated window per cell.
         seed: simulation seed shared by every cell.
         profile_path: when set, the optimized passes run under cProfile and
-            the stats dump is written here.
+            the stats dump is written here (requires ``jobs=1``).
+        jobs: run cells through the existing ``process`` execution backend
+            with this pool size (1 = serial, in-process).  Per-cell results,
+            counters and the parity assertion are identical either way; on
+            a multi-core host (CI runners are 4-vCPU) the wall-clock of the
+            *bench itself* shrinks, while per-cell timings — measured
+            inside each worker — remain comparable.  On a single-core
+            container worker timings contend with each other, so keep
+            ``jobs=1`` when the absolute numbers matter.
+        repeats: per-cell runs per engine; the minimum wall time is
+            recorded (results are deterministic, so repeats only sample
+            machine noise).  Use >1 when regenerating a committed
+            baseline.
 
     Returns:
         JSON-serializable payload (see the module docstring); ``parity`` is
         False if any cell's results diverged between the two engines.
+
+    Raises:
+        ValueError: if ``jobs > 1`` is combined with ``profile_path`` (a
+        cProfile capture cannot span pool workers).
     """
     spec = generator_spec or GeneratorSpec()
     generated_platform = generated_platform or (platforms[0] if platforms else "4k_1ws_2os")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (got {jobs})")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1 (got {repeats})")
+    if jobs > 1 and profile_path is not None:
+        raise ValueError("profiling requires jobs=1 (cProfile cannot span pool workers)")
 
-    contexts: list[tuple[str, str, object, object, object]] = []
-    for scenario_name in scenarios:
-        for platform_name in platforms:
-            scenario, platform, cost_table = shared_context(scenario_name, platform_name, 0.5)
-            contexts.append((scenario.name, platform_name, scenario, platform, cost_table))
-    for index in range(generated):
-        scenario, platform, cost_table = generated_context(spec, index, generated_platform)
-        contexts.append((scenario.name, generated_platform, scenario, platform, cost_table))
+    cell_jobs = bench_jobs(
+        scenarios, platforms, schedulers, generated, spec,
+        generated_platform, duration_ms, seed, repeats=repeats,
+    )
 
-    profiler = cProfile.Profile() if profile_path is not None else None
+    if jobs > 1:
+        backend = make_backend("process", workers=jobs)
+        cells = backend.run_jobs(cell_jobs)
+    else:
+        profiler = cProfile.Profile() if profile_path is not None else None
+        cells = [job.run(profiler) for job in cell_jobs]
+        if profiler is not None and profile_path is not None:
+            profile_path.parent.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(profile_path))
 
-    cells = []
-    total_events = 0
-    total_fast = 0.0
-    total_reference = 0.0
-    parity = True
-    for scenario_name, platform_name, scenario, platform, cost_table in contexts:
-        for scheduler_name in schedulers:
-            if profiler is not None:
-                profiler.enable()
-            fast_result, fast_events, fast_s = _run_once(
-                scenario, platform, scheduler_name, cost_table, duration_ms, seed, "fast"
-            )
-            if profiler is not None:
-                profiler.disable()
-            ref_result, ref_events, ref_s = _run_once(
-                scenario, platform, scheduler_name, cost_table, duration_ms, seed, "reference"
-            )
-            cell_parity = fast_result == ref_result and fast_events == ref_events
-            parity = parity and cell_parity
-            total_events += fast_events
-            total_fast += fast_s
-            total_reference += ref_s
-            cells.append(
-                {
-                    "scenario": scenario_name,
-                    "platform": platform_name,
-                    "scheduler": scheduler_name,
-                    "events": fast_events,
-                    "fast_wall_s": fast_s,
-                    "reference_wall_s": ref_s,
-                    "fast_events_per_sec": fast_events / fast_s if fast_s > 0 else 0.0,
-                    "reference_events_per_sec": ref_events / ref_s if ref_s > 0 else 0.0,
-                    "speedup": ref_s / fast_s if fast_s > 0 else 0.0,
-                    "parity": cell_parity,
-                }
-            )
-
-    if profiler is not None and profile_path is not None:
-        profile_path.parent.mkdir(parents=True, exist_ok=True)
-        profiler.dump_stats(str(profile_path))
+    total_events = sum(cell["events"] for cell in cells)
+    total_fast = sum(cell["fast_wall_s"] for cell in cells)
+    total_reference = sum(cell["reference_wall_s"] for cell in cells)
+    parity = all(cell["parity"] for cell in cells)
 
     fast_eps = total_events / total_fast if total_fast > 0 else 0.0
     reference_eps = total_events / total_reference if total_reference > 0 else 0.0
+    schedule_calls = sum(cell["fast_schedule_calls"] for cell in cells)
     return {
         "benchmark": "engine_throughput",
         "repro_version": __version__,
@@ -169,6 +289,8 @@ def run_engine_bench(
         # report distorted (pessimistic) fast timings — use them for hotspot
         # inspection, never as the recorded benchmark.
         "profiled": profile_path is not None,
+        "jobs": jobs,
+        "repeats": repeats,
         "totals": {
             "cells": len(cells),
             "events": total_events,
@@ -177,6 +299,19 @@ def run_engine_bench(
             "fast_events_per_sec": fast_eps,
             "reference_events_per_sec": reference_eps,
             "speedup": fast_eps / reference_eps if reference_eps > 0 else 0.0,
+            # Deterministic scheduler-load counters (identical across
+            # machines for one basket): the quick-basket CI gate fails when
+            # fast_schedule_calls regresses against the committed baseline.
+            "fast_schedule_calls": schedule_calls,
+            "fast_dispatches_elided": sum(
+                cell["fast_dispatches_elided"] for cell in cells
+            ),
+            "fast_events_coalesced": sum(
+                cell["fast_events_coalesced"] for cell in cells
+            ),
+            "reference_schedule_calls": sum(
+                cell["reference_schedule_calls"] for cell in cells
+            ),
         },
         "parity": parity,
     }
@@ -194,7 +329,12 @@ def baseline_entries(baseline: dict) -> list[dict]:
     return [entry for entry in baseline.values() if isinstance(entry, dict) and "totals" in entry]
 
 
-def compare_to_baseline(payload: dict, baseline: dict, max_regression: float) -> list[str]:
+def compare_to_baseline(
+    payload: dict,
+    baseline: dict,
+    max_regression: float,
+    max_round_regression: float = 0.1,
+) -> list[str]:
     """Regression messages comparing a fresh payload to a committed baseline.
 
     The baseline entry with the *same basket* as the fresh run is selected
@@ -206,8 +346,15 @@ def compare_to_baseline(payload: dict, baseline: dict, max_regression: float) ->
     (absolute throughput on a different host says nothing about a code
     regression).
 
+    ``fast_schedule_calls`` — the fast engine's dispatch-round /
+    ``schedule()``-invocation count over the basket — is compared whenever
+    the baseline records it: the count is a deterministic function of the
+    basket (no timing noise), so growing it more than
+    ``max_round_regression`` means dispatch elision regressed even if the
+    wall clock happens to hide it.
+
     Returns a list of human-readable failure messages (empty = no
-    regression beyond ``max_regression``).
+    regression beyond the thresholds).
     """
     match = next(
         (
@@ -247,6 +394,18 @@ def compare_to_baseline(payload: dict, baseline: dict, max_regression: float) ->
                 f"baseline {base_eps:.0f} ({(1.0 - ratio) * 100:.0f}% worse, "
                 f"allowed {max_regression * 100:.0f}%)"
             )
+
+    base_rounds = base.get("fast_schedule_calls")
+    current_rounds = current.get("fast_schedule_calls")
+    if base_rounds and current_rounds is not None:
+        ratio = current_rounds / base_rounds
+        if ratio > 1.0 + max_round_regression:
+            problems.append(
+                f"dispatch rounds / schedule() calls regressed: "
+                f"{current_rounds} vs baseline {base_rounds} "
+                f"({(ratio - 1.0) * 100:.0f}% more, allowed "
+                f"{max_round_regression * 100:.0f}%)"
+            )
     return problems
 
 
@@ -260,10 +419,18 @@ def describe(payload: dict) -> str:
     lines = []
     totals = payload["totals"]
     for cell in payload["cells"]:
+        counters = ""
+        if "fast_schedule_calls" in cell:
+            counters = (
+                f"  sched {cell['fast_schedule_calls']:>6d}"
+                f" (elided {cell['fast_dispatches_elided']}"
+                f", coalesced {cell['fast_events_coalesced']})"
+            )
         lines.append(
             f"  {cell['scenario']:>18s}/{cell['platform']:<10s} {cell['scheduler']:<16s} "
             f"{cell['events']:>6d} ev  fast {cell['fast_wall_s'] * 1000:7.1f} ms  "
             f"ref {cell['reference_wall_s'] * 1000:8.1f} ms  {cell['speedup']:5.2f}x"
+            f"{counters}"
             f"{'' if cell['parity'] else '  PARITY MISMATCH'}"
         )
     lines.append(
@@ -273,6 +440,13 @@ def describe(payload: dict) -> str:
         f"{totals['reference_events_per_sec']:.0f} ev/s "
         f"({totals['reference_wall_s']:.2f} s) -> {totals['speedup']:.2f}x"
     )
+    if "fast_schedule_calls" in totals:
+        lines.append(
+            f"scheduler load: {totals['fast_schedule_calls']} schedule() calls "
+            f"({totals['fast_dispatches_elided']} dispatches elided, "
+            f"{totals['fast_events_coalesced']} events coalesced; reference "
+            f"path made {totals['reference_schedule_calls']})"
+        )
     lines.append(f"parity: {'OK (bit-for-bit)' if payload['parity'] else 'MISMATCH'}")
     if payload.get("profiled"):
         lines.append(
@@ -311,6 +485,8 @@ def quick_basket() -> dict:
 
 __all__ = [
     "DEFAULT_DURATION_MS",
+    "EngineBenchJob",
+    "bench_jobs",
     "compare_to_baseline",
     "default_basket",
     "describe",

@@ -12,7 +12,7 @@ protocol and can be instantiated by name through
   used in Figure 9)
 """
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import Scheduler, WakeHint
 from repro.schedulers.fcfs import DynamicFcfsScheduler, StaticFcfsScheduler
 from repro.schedulers.veltair import VeltairScheduler
 from repro.schedulers.planaria import PlanariaScheduler
@@ -26,6 +26,7 @@ from repro.schedulers.registry import (
 
 __all__ = [
     "Scheduler",
+    "WakeHint",
     "DynamicFcfsScheduler",
     "StaticFcfsScheduler",
     "VeltairScheduler",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import abc
 import random
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.hardware.cost_table import CostTable
@@ -31,6 +32,56 @@ from repro.hardware.platform import Platform
 from repro.sim.decisions import SchedulingDecision, SystemView
 from repro.sim.request import InferenceRequest
 from repro.workloads.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class WakeHint:
+    """A scheduler's promise about provably-inert scheduling points.
+
+    Schedulers are deterministic functions of the :class:`~repro.sim
+    .decisions.SystemView`, so many ``schedule()`` calls are foregone
+    conclusions — e.g. a work-conserving scheduler consulted while every
+    accelerator is saturated.  A wake hint lets the engine *elide* such
+    calls: a scheduling point covered by the hint is guaranteed to
+
+    * return an empty :class:`~repro.sim.decisions.SchedulingDecision`, and
+    * leave the scheduler's decision-relevant state untouched (pure
+      memoization caches — values derived only from a request's identity
+      and progress — are exempt, since cold caches recompute identical
+      values).
+
+    Declaring a hint is optional (:meth:`Scheduler.wake_hint` returns
+    ``None`` by default — always consult) and must be conservative: a hint
+    only needs to name *sufficient* conditions for inertness, never all of
+    them.  The engine re-derives every condition from live pool/executor
+    state at each scheduling point, so elision can never act on stale
+    information; ``repro bench-engine`` and the elision parity tests verify
+    bit-for-bit identical results, traces and stats with elision on vs off.
+
+    Attributes:
+        min_free_fraction: if set, ``schedule()`` is inert whenever at
+            least one request is pending but **no** accelerator has
+            ``free_fraction >= min_free_fraction - 1e-9`` (an accelerator's
+            free fraction only changes through dispatch/completion, never
+            through the mere passage of time, so the engine cannot miss a
+            capacity change).  ``None`` disables capacity-based elision —
+            required for schedulers that may act without capacity, e.g. by
+            dropping frames.
+        elide_when_no_pending: if True, ``schedule()`` is inert whenever
+            the pool holds no pending request at all.
+        same_instant_only: if True, the promises above additionally require
+            that a real ``schedule()`` call already happened at the *same*
+            simulated timestamp with no request arrival, expiry or
+            finalization in between (pool membership unchanged).  This is
+            the contract for schedulers whose per-call bookkeeping is
+            idempotent within one instant but not across instants — e.g.
+            DREAM's online adaptivity step, which may advance its
+            observation window the first time it sees a new timestamp.
+    """
+
+    min_free_fraction: Optional[float] = None
+    elide_when_no_pending: bool = False
+    same_instant_only: bool = False
 
 
 class Scheduler(abc.ABC):
@@ -91,6 +142,17 @@ class Scheduler(abc.ABC):
     def info(self) -> Mapping[str, object]:
         """Scheduler-specific details attached to the simulation result."""
         return {}
+
+    def wake_hint(self) -> Optional[WakeHint]:
+        """Conditions under which ``schedule()`` is a provable no-op.
+
+        Returning ``None`` (the default) is the conservative choice: the
+        engine consults the scheduler at every scheduling point, exactly as
+        if dispatch elision did not exist.  Schedulers that can promise
+        inertness (see :class:`WakeHint`) return a hint instead; the engine
+        queries it once per run, right after :meth:`bind`.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # shared helpers

@@ -19,7 +19,7 @@ Two variants are modelled, matching Section 2.3:
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import Scheduler, WakeHint
 from repro.sim.decisions import Assignment, SchedulingDecision, SystemView
 
 
@@ -27,6 +27,11 @@ class DynamicFcfsScheduler(Scheduler):
     """Model-granularity dynamic FCFS: oldest request, first idle accelerator."""
 
     name = "fcfs_dynamic"
+
+    def wake_hint(self) -> WakeHint:
+        """Pure function of the view: inert without pending work or a fully
+        idle accelerator (assignments are the only thing it ever emits)."""
+        return WakeHint(min_free_fraction=1.0, elide_when_no_pending=True)
 
     def schedule(self, view: SystemView) -> SchedulingDecision:
         assignments = []
@@ -72,6 +77,16 @@ class StaticFcfsScheduler(Scheduler):
         self._task_to_acc: dict[str, int] = {}
         self._reserved_until: dict[int, float] = {}
         self._worst_case_ms: dict[str, float] = {}
+
+    def wake_hint(self) -> WakeHint:
+        """Inert without pending work or an idle accelerator.
+
+        ``_reserved_until`` is internal state, but it is only ever written
+        on the assignment path — a call that finds no idle accelerator (or
+        no pending request) returns empty without touching it, so the hint
+        holds at any instant.
+        """
+        return WakeHint(min_free_fraction=1.0, elide_when_no_pending=True)
 
     def bind(self, platform, cost_table, scenario, rng) -> None:
         super().bind(platform, cost_table, scenario, rng)

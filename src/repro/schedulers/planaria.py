@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import Scheduler, WakeHint
 from repro.sim.decisions import Assignment, SchedulingDecision, SystemView
 from repro.sim.request import InferenceRequest
 
@@ -51,6 +51,21 @@ class PlanariaScheduler(Scheduler):
         self.min_fraction = min_fraction
         # Remaining-work estimates only change when a request makes progress.
         self._remaining_cache: dict[int, tuple[int, float]] = {}
+
+    def on_request_finished(self, request: InferenceRequest, now_ms: float) -> None:
+        """Evict the finished request's remaining-work memo entry."""
+        self._remaining_cache.pop(request.request_id, None)
+
+    def wake_hint(self) -> WakeHint:
+        """Inert without pending work or ``min_fraction`` of free PEs somewhere.
+
+        An accelerator below ``min_fraction`` free is skipped by the
+        assignment loop, so with every accelerator below the threshold the
+        decision is empty; the only state written on that path is the
+        remaining-work memo cache (a pure function of request progress,
+        exempt by the :class:`~repro.schedulers.base.WakeHint` contract).
+        """
+        return WakeHint(min_free_fraction=self.min_fraction, elide_when_no_pending=True)
 
     # ------------------------------------------------------------------ #
     # internal estimates (deliberately dataflow-agnostic)
@@ -82,42 +97,48 @@ class PlanariaScheduler(Scheduler):
             return SchedulingDecision.empty()
         # Score each request once per round (the score only depends on the
         # request and ``now``), then reuse it for both the priority sort and
-        # the at-risk filter.
-        scores = {
-            request.request_id: self._slack_score(request, view.now_ms)
-            for request in pending
-        }
-        pending.sort(key=lambda request: scores[request.request_id])
+        # the at-risk count.  (score, request) pairs sorted on the score
+        # alone replace the historical request-id dict: the sort is stable,
+        # so ties keep the (arrival, request_id) order of the pending
+        # snapshot — exactly what the dict-keyed sort produced.
+        now_ms = view.now_ms
+        slack_score = self._slack_score
+        scored = [(slack_score(request, now_ms), request) for request in pending]
+        scored.sort(key=lambda pair: pair[0])
+        pending = [request for _score, request in scored]
 
-        at_risk = [request for request in pending if scores[request.request_id] < 0.0]
+        # The at-risk count is only consulted by the fission rule, which
+        # requires a fully idle accelerator — computed lazily so saturated
+        # rounds skip the extra O(pending) pass.
+        at_risk_count: Optional[int] = None
 
         assignments: list[Assignment] = []
         assigned_ids: set[int] = set()
 
         # Accelerators ordered by free PE capacity (count-based resource view).
+        platform = view.platform
         accelerators = sorted(
             view.accelerators,
-            key=lambda acc: acc.free_fraction * view.platform[acc.acc_id].num_pes,
+            key=lambda acc: acc.free_fraction * platform[acc.acc_id].num_pes,
             reverse=True,
         )
-        queue = [request for request in pending]
 
         for acc in accelerators:
-            if not queue:
+            if len(assigned_ids) == len(pending):
                 break
             free = acc.free_fraction
             if free < self.min_fraction - 1e-9:
                 continue
-            fission = (
-                acc.is_idle
-                and len(at_risk) >= self.fission_threshold
-                and len(queue) >= 2
-            )
+            fission = False
+            if acc.is_idle and len(pending) >= 2:
+                if at_risk_count is None:
+                    at_risk_count = sum(1 for score, _request in scored if score < 0.0)
+                fission = at_risk_count >= self.fission_threshold
             fractions = (
                 [self.min_fraction, self.min_fraction] if fission else [min(1.0, free)]
             )
             for fraction in fractions:
-                request = self._pick_for_accelerator(acc, queue, assigned_ids)
+                request = self._pick_for_accelerator(acc, pending, assigned_ids)
                 if request is None:
                     break
                 assignments.append(
@@ -144,15 +165,27 @@ class PlanariaScheduler(Scheduler):
         resident on this accelerator is preferred — that avoids pathological
         per-layer ping-pong (and its flush/fetch cost) without changing the
         slack-driven priority order materially.
+
+        ``queue`` is the urgency-sorted pending list; the scan walks it
+        once, looking only at the first ``fission_threshold + 1`` unassigned
+        entries (the "head" the stickiness rule may prefer), so deep queues
+        are never materialized into a per-call candidate list.
         """
-        candidates = [r for r in queue if r.request_id not in assigned_ids]
-        if not candidates:
-            return None
-        head = candidates[: self.fission_threshold + 1]
-        for request in head:
-            if acc.resident_model is not None and request.model_name == acc.resident_model:
+        resident = acc.resident_model
+        head_limit = self.fission_threshold + 1
+        first: Optional[InferenceRequest] = None
+        seen = 0
+        for request in queue:
+            if request.request_id in assigned_ids:
+                continue
+            if first is None:
+                first = request
+            if resident is not None and request.model_name == resident:
                 return request
-        return candidates[0]
+            seen += 1
+            if seen >= head_limit or resident is None:
+                break
+        return first
 
     def info(self):
         return {

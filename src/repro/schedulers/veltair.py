@@ -19,7 +19,7 @@ Two properties matter for the comparison with DREAM:
 from __future__ import annotations
 
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import Scheduler, WakeHint
 from repro.sim.decisions import Assignment, SchedulingDecision, SystemView
 from repro.sim.request import InferenceRequest
 
@@ -43,6 +43,15 @@ class VeltairScheduler(Scheduler):
             raise ValueError("block_latency_ms must be positive")
         self.block_latency_ms = block_latency_ms
         self._next_acc_index = 0
+
+    def wake_hint(self) -> WakeHint:
+        """Inert without pending work or an idle accelerator.
+
+        The round-robin cursor (``_next_acc_index``) only advances after
+        both the idle and the pending check pass — exactly the calls the
+        hint never elides — so the promise holds at any instant.
+        """
+        return WakeHint(min_free_fraction=1.0, elide_when_no_pending=True)
 
     # ------------------------------------------------------------------ #
     # block formation

@@ -57,8 +57,8 @@ class SchedulingDecision:
 
     @staticmethod
     def empty() -> "SchedulingDecision":
-        """A decision that does nothing."""
-        return SchedulingDecision()
+        """A decision that does nothing (a shared immutable instance)."""
+        return _EMPTY_DECISION
 
     @staticmethod
     def of(
@@ -66,12 +66,20 @@ class SchedulingDecision:
         drops: Sequence[InferenceRequest] = (),
     ) -> "SchedulingDecision":
         """Build a decision from (possibly empty) sequences."""
+        if not assignments and not drops:
+            # Empty decisions terminate every dispatch loop, so they are by
+            # far the most-constructed value; share one frozen instance.
+            return _EMPTY_DECISION
         return SchedulingDecision(assignments=tuple(assignments), drops=tuple(drops))
 
     @property
     def is_empty(self) -> bool:
         """True if the decision neither assigns nor drops anything."""
         return not self.assignments and not self.drops
+
+
+#: The shared do-nothing decision returned by ``SchedulingDecision.empty()``.
+_EMPTY_DECISION = SchedulingDecision()
 
 
 @dataclass(frozen=True)

@@ -45,17 +45,46 @@ incrementally up to date instead of re-deriving it per dispatch round:
 * executors answer capacity queries from incremental caches, and the
   engine memoizes each accelerator's frozen view keyed on the executor's
   ``state_version`` (so dispatch rounds that did not touch an accelerator
-  reuse its view object);
+  reuse its view object); the :class:`~repro.sim.decisions.SystemView`
+  itself is memoized the same way and reused — with ``now_ms`` refreshed
+  in place — whenever none of its components changed;
 * cost queries hit the :class:`~repro.hardware.cost_table.CostTable`'s
   precomputed flat arrays.
 
+On top of the cheap-per-call layer, the engine cuts the *number* of
+scheduler consultations so dispatch work is proportional to meaningful
+state changes rather than raw events:
+
+* **dispatch elision** — schedulers are deterministic functions of the
+  system view, so when a scheduler's declared
+  :class:`~repro.schedulers.base.WakeHint` proves that ``schedule()``
+  would return an empty decision and touch no decision-relevant state
+  (e.g. nothing is pending, or work is pending but every accelerator is
+  saturated below the scheduler's declared capacity threshold), the call
+  is skipped entirely and counted in :attr:`dispatches_elided`.  The
+  eligibility predicates are re-derived from live pool/executor state at
+  every scheduling point — an accelerator's free fraction only changes
+  through dispatch and completion (never through the mere passage of
+  time), so a capacity-freeing completion can never be missed.
+* **same-timestamp event coalescing** — when several events carry the
+  same timestamp and the dispatch between them is provably inert (hint
+  eligible *and* no expiry due at this instant), the engine drains them
+  all — in the existing re-keyed heap order, so traces are unchanged —
+  and runs a single dispatch for the instant, counting the extra events
+  in :attr:`events_coalesced`.
+
+Both layers are enabled by default in fast mode and can be forced off
+with ``dispatch_elision=False`` for differential testing.
+
 ``mode="reference"`` retains the pre-optimization path — scan-based pool,
-per-call executor aggregation and a scan-based
-:class:`~repro.hardware.cost_table.ReferenceCostTable` — and produces
+per-call executor aggregation, a scan-based
+:class:`~repro.hardware.cost_table.ReferenceCostTable`, and the exact
+per-event dispatch sequence (no elision, no coalescing) — and produces
 bit-for-bit identical :class:`~repro.sim.results.SimulationResult`s and
 traces; ``repro bench-engine`` measures and the parity tests enforce this.
 The engine also counts :attr:`events_processed` and
-:attr:`dispatch_rounds` so throughput can be reported as events/sec.
+:attr:`dispatch_rounds` (actual ``schedule()`` invocations) so throughput
+and scheduler load can be reported per cell.
 """
 
 from __future__ import annotations
@@ -124,6 +153,12 @@ class SimulationEngine:
         mode: ``"fast"`` (default) uses the incremental hot path;
             ``"reference"`` retains the pre-optimization scan-based path.
             Results are bit-for-bit identical across modes.
+        dispatch_elision: honour scheduler :class:`~repro.schedulers.base
+            .WakeHint`\\ s to skip provably-inert ``schedule()`` calls and
+            coalesce same-timestamp events (fast mode only; the reference
+            mode always keeps the exact per-event dispatch path).  Results
+            are bit-for-bit identical either way — the switch exists so the
+            elision machinery itself is differentially testable.
     """
 
     def __init__(
@@ -139,6 +174,7 @@ class SimulationEngine:
         warmup_ms: float = 0.0,
         tracer: Optional[Tracer] = None,
         mode: str = "fast",
+        dispatch_elision: bool = True,
     ) -> None:
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -158,6 +194,7 @@ class SimulationEngine:
         self.mode = mode
         fast = mode == "fast"
         self._fast = fast
+        self.dispatch_elision = dispatch_elision and fast
         cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
         self.cost_table = cost_table if fast else cost_table.reference_view()
 
@@ -194,11 +231,29 @@ class SimulationEngine:
         self._acc_views: list[Optional[AcceleratorView]] = [None] * len(self._executors)
         self._acc_view_keys: list[tuple[int, float]] = [(-1, 0.0)] * len(self._executors)
         self._acc_views_tuple: Optional[tuple[AcceleratorView, ...]] = None
+        # Memoized SystemView: rebuilt only when one of its component
+        # snapshots is replaced; otherwise reused with now_ms refreshed.
+        self._view: Optional[SystemView] = None
+        # Accelerator-view scan elision: dirty is set on every executor
+        # start/complete; with clean executors that are all busy, the view
+        # tuple cannot have changed (see _accelerator_views_fast).
+        self._execs_dirty = True
+        self._acc_all_busy = False
+        # Wake-hint elision state: the scheduler's hint (resolved in run())
+        # and the (timestamp, pool membership) of the last actual
+        # schedule() call, which gate same-instant-only hints.
+        self._wake_hint = None
+        self._last_schedule_ms: Optional[float] = None
+        self._last_schedule_membership: int = -1
 
         #: Events popped from the event queue (arrivals + completions).
         self.events_processed: int = 0
-        #: Scheduler consultations (dispatch rounds across all events).
+        #: Actual ``schedule()`` invocations (dispatch rounds that ran).
         self.dispatch_rounds: int = 0
+        #: Dispatch rounds skipped because a wake hint proved them inert.
+        self.dispatches_elided: int = 0
+        #: Same-timestamp events drained without an intermediate dispatch.
+        self.events_coalesced: int = 0
         #: High-water mark of the event heap — O(head tasks + in-flight
         #: slots) under streaming arrivals, never O(total frames).
         self.peak_event_heap: int = 0
@@ -209,10 +264,14 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the measured result."""
         self.scheduler.bind(self.platform, self.cost_table, self.scenario, random.Random(self.seed + 1))
+        if self.dispatch_elision:
+            self._wake_hint = self.scheduler.wake_hint()
         self._start_arrival_streams()
 
-        while self._events:
-            time_ms, _prio, _key, kind, payload = heapq.heappop(self._events)
+        events = self._events
+        heappop = heapq.heappop
+        while events:
+            time_ms, _prio, _key, kind, payload = heappop(events)
             self._now = time_ms
             self.events_processed += 1
             if kind == _EVENT_ARRIVAL:
@@ -221,7 +280,28 @@ class SimulationEngine:
                 self._handle_completion(payload)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
-            self._dispatch(self._now)
+            # Same-timestamp coalescing: drain further events at this exact
+            # instant — in heap order, so handler traces are unchanged —
+            # when the dispatch between them is provably inert: the wake
+            # hint proves schedule() empty AND no expiry is due right now.
+            while (
+                events
+                and events[0][0] == time_ms
+                and self._wake_hint is not None
+                and self._provably_empty(self._wake_hint, time_ms)
+                and not self._pool.has_stale(time_ms)
+            ):
+                _t, _prio, _key, kind, payload = heappop(events)
+                self.events_processed += 1
+                self.events_coalesced += 1
+                self.dispatches_elided += 1
+                if kind == _EVENT_ARRIVAL:
+                    self._handle_arrival(payload)
+                elif kind == _EVENT_COMPLETE:
+                    self._handle_completion(payload)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {kind!r}")
+            self._dispatch(time_ms)
 
         self._finalize_leftovers()
         return self._build_result()
@@ -298,17 +378,24 @@ class SimulationEngine:
             rng=self._rng,
         )
         self._pool.add(request)
-        self._trace(request, "arrival")
+        if self.tracer is not None:
+            self._trace(request, "arrival")
         self.scheduler.on_request_arrival(request, self._now)
 
     def _handle_completion(self, payload) -> None:
         acc_id, slot_id = payload
         executor = self._executors[acc_id]
         slot = executor.complete(slot_id, self._now)
+        self._execs_dirty = True
         request = slot.request
-        self._trace(request, "layers_complete", acc_id=acc_id, detail=f"{len(slot.layer_indices)} layers")
+        if self.tracer is not None:
+            self._trace(
+                request, "layers_complete", acc_id=acc_id,
+                detail=f"{len(slot.layer_indices)} layers",
+            )
         if request.state is RequestState.COMPLETED:
-            self._trace(request, "complete", acc_id=acc_id)
+            if self.tracer is not None:
+                self._trace(request, "complete", acc_id=acc_id)
             self._finalize_request(request)
             self._spawn_cascades(request)
         else:
@@ -332,7 +419,8 @@ class SimulationEngine:
                 parent_task=parent.task_name,
             )
             self._pool.add(request)
-            self._trace(request, "cascade_arrival", detail=f"from {parent.task_name}")
+            if self.tracer is not None:
+                self._trace(request, "cascade_arrival", detail=f"from {parent.task_name}")
             self.scheduler.on_request_arrival(request, self._now)
 
     # ------------------------------------------------------------------ #
@@ -340,9 +428,22 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def _dispatch(self, now: float) -> None:
         self._expire_stale(now)
+        hint = self._wake_hint
+        scheduler = self.scheduler
         for _ in range(_MAX_DISPATCH_ROUNDS):
+            if hint is not None and self._provably_empty(hint, now):
+                self.dispatches_elided += 1
+                return
             self.dispatch_rounds += 1
-            decision = self.scheduler.schedule(self._system_view(now))
+            decision = scheduler.schedule(self._system_view(now))
+            if hint is not None:
+                # Record the consultation point for same-instant-only hints:
+                # captured before the decision is applied, so drops and
+                # finalizations performed by _apply_decision bump the
+                # membership version past this snapshot and correctly
+                # re-arm the next round.
+                self._last_schedule_ms = now
+                self._last_schedule_membership = self._pool.membership_version
             if decision.is_empty:
                 return
             applied = self._apply_decision(decision, now)
@@ -352,6 +453,32 @@ class SimulationEngine:
             f"scheduler {type(self.scheduler).__name__} did not converge after "
             f"{_MAX_DISPATCH_ROUNDS} dispatch rounds at t={now:.3f} ms"
         )
+
+    def _provably_empty(self, hint, now: float) -> bool:
+        """Whether the wake hint proves the next ``schedule()`` call inert.
+
+        Every predicate is evaluated against *live* pool/executor state, so
+        elision never acts on stale information: pending-set membership is
+        read off the incremental pool, and an accelerator's free fraction
+        only moves through ``start``/``complete`` (time alone frees no
+        capacity), so a capacity-freeing completion always re-enables
+        consultation at its own event.
+        """
+        if hint.same_instant_only and (
+            self._last_schedule_ms != now
+            or self._last_schedule_membership != self._pool.membership_version
+        ):
+            return False
+        if not self._pool.has_pending:
+            return hint.elide_when_no_pending
+        min_free = hint.min_free_fraction
+        if min_free is None:
+            return False
+        threshold = min_free - 1e-9
+        for executor in self._executors:
+            if executor.free_fraction >= threshold:
+                return False
+        return True
 
     def _expire_stale(self, now: float) -> None:
         if self.expire_after_periods is None:
@@ -389,18 +516,20 @@ class SimulationEngine:
                 if request.model_name != old_name:
                     self._trace(request, "variant_switch", detail=f"{old_name} -> {request.model_name}")
             record = executor.start(assignment, now)
+            self._execs_dirty = True
             self._pool.note_dispatched(request)
-            self._trace(
-                request,
-                "dispatch",
-                acc_id=assignment.acc_id,
-                detail=(
-                    f"{len(record.slot.layer_indices)} layers, "
-                    f"pe_fraction={assignment.pe_fraction:g}, "
-                    f"switch={record.context_switch}"
-                ),
-                pe_fraction=assignment.pe_fraction,
-            )
+            if self.tracer is not None:
+                self._trace(
+                    request,
+                    "dispatch",
+                    acc_id=assignment.acc_id,
+                    detail=(
+                        f"{len(record.slot.layer_indices)} layers, "
+                        f"pe_fraction={assignment.pe_fraction:g}, "
+                        f"switch={record.context_switch}"
+                    ),
+                    pe_fraction=assignment.pe_fraction,
+                )
             self._push_event(record.slot.end_ms, _EVENT_COMPLETE, (assignment.acc_id, record.slot.slot_id))
             applied += 1
         return applied
@@ -424,13 +553,30 @@ class SimulationEngine:
         refreshed in place (in-repo schedulers never retain views across
         scheduling points, so the mutation of the frozen dataclass is
         unobservable to them).  The enclosing tuple is reused whenever no
-        view object was replaced.
+        view object was replaced — and when no executor was touched since
+        the last call *and* every accelerator is busy, the cached tuple is
+        returned without even scanning: a busy executor's ``busy_until_ms``
+        is the static maximum of its slot end times, so no field of any
+        view can have moved (``self._execs_dirty`` is set by the engine on
+        every ``start``/``complete``, the only operations that mutate an
+        executor).
         """
+        if (
+            not self._execs_dirty
+            and self._acc_all_busy
+            and self._acc_views_tuple is not None
+        ):
+            return self._acc_views_tuple
         views = self._acc_views
         keys = self._acc_view_keys
         replaced = False
+        all_busy = True
         for index, executor in enumerate(self._executors):
-            busy = executor.busy_until_ms(now)
+            if executor.slots:
+                busy = executor._busy_until if executor.fast else executor.busy_until_ms(now)
+            else:
+                busy = now
+                all_busy = False
             version = executor.state_version
             cached = views[index]
             cached_key = keys[index]
@@ -448,27 +594,61 @@ class SimulationEngine:
             )
             keys[index] = (version, busy)
             replaced = True
+        self._execs_dirty = False
+        self._acc_all_busy = all_busy
         if replaced or self._acc_views_tuple is None:
             self._acc_views_tuple = tuple(views)
         return self._acc_views_tuple
 
     def _system_view(self, now: float) -> SystemView:
-        if self._fast:
-            accelerators = self._accelerator_views_fast(now)
-        else:
-            accelerators = tuple(
-                self._accelerator_view(index, now) for index in range(len(self._executors))
+        if not self._fast:
+            return SystemView(
+                now_ms=now,
+                platform=self.platform,
+                cost_table=self.cost_table,
+                scenario=self.scenario,
+                accelerators=tuple(
+                    self._accelerator_view(index, now)
+                    for index in range(len(self._executors))
+                ),
+                pending_requests=self._pool.pending_snapshot(),
+                running_requests=self._pool.running_snapshot(),
+                queue_depths=self._pool.queue_depths(self._task_names),
             )
-        return SystemView(
+        # Fast path: every component snapshot is memoized on its own state
+        # version, so the enclosing SystemView can be keyed purely on
+        # component identity — when nothing was replaced, the previous view
+        # object is reused with now_ms refreshed in place (legal under the
+        # documented view lifetime contract: schedulers never retain views
+        # across scheduling points).
+        pool = self._pool
+        accelerators = self._accelerator_views_fast(now)
+        pending = pool.pending_snapshot()
+        running = pool.running_snapshot()
+        depths = pool.queue_depths(self._task_names)
+        view = self._view
+        if (
+            view is not None
+            and view.accelerators is accelerators
+            and view.pending_requests is pending
+            and view.running_requests is running
+            and view.queue_depths is depths
+        ):
+            if view.now_ms != now:
+                object.__setattr__(view, "now_ms", now)
+            return view
+        view = SystemView(
             now_ms=now,
             platform=self.platform,
             cost_table=self.cost_table,
             scenario=self.scenario,
             accelerators=accelerators,
-            pending_requests=self._pool.pending_snapshot(),
-            running_requests=self._pool.running_snapshot(),
-            queue_depths=self._pool.queue_depths(self._task_names),
+            pending_requests=pending,
+            running_requests=running,
+            queue_depths=depths,
         )
+        self._view = view
+        return view
 
     # ------------------------------------------------------------------ #
     # statistics
@@ -552,6 +732,13 @@ class SimulationEngine:
             task_stats=self._stats,
             accelerator_stats=accelerator_stats,
             scheduler_info=self.scheduler.info(),
+            engine_counters={
+                "events_processed": self.events_processed,
+                "dispatch_rounds": self.dispatch_rounds,
+                "dispatches_elided": self.dispatches_elided,
+                "events_coalesced": self.events_coalesced,
+                "peak_event_heap": self.peak_event_heap,
+            },
         )
 
     def _trace(

@@ -19,7 +19,12 @@ memoized per-``pe_fraction`` effective-latency tables; a whole-model
 dispatch with no context switch is priced O(1) from prefix sums (which are
 bit-for-bit equal to the sequential accumulation they replace, because the
 range starts at layer 0).  The engine's cached per-accelerator views are
-invalidated via :attr:`state_version`.
+invalidated via :attr:`state_version` — the monotonic counter bumped on
+every ``start``/``complete``.  The same property anchors the engine's
+dispatch-elision layer: an executor's free fraction can only move through
+those two operations (never through the mere passage of time), so
+capacity-based wake-hint predicates evaluated against live executors are
+always exact.
 
 ``fast=False`` retains the historical implementation — per-call slot
 scans and a per-layer Python pricing loop — for the reference simulation

@@ -24,7 +24,11 @@ incremental indices instead of re-scanning and re-sorting on each query:
   :meth:`note_dispatched` / :meth:`note_progress` notifications; and
 * a deadline min-heap keyed ``deadline + grace`` (lazy deletion), so
   :meth:`collect_stale` touches only requests whose expiry actually came
-  due instead of scanning the whole pool per event.
+  due instead of scanning the whole pool per event; and
+* cheap monotonic version counters (:attr:`state_version`,
+  :attr:`membership_version`) plus O(1) predicates (:attr:`has_pending`,
+  :meth:`has_stale`), which the engine's dispatch-elision layer keys on to
+  prove that a scheduler consultation cannot change the outcome.
 
 :class:`ReferenceRequestPool` retains the original scan-everything
 implementation behind the same interface; the reference simulation mode
@@ -155,6 +159,33 @@ class RequestPool:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    @property
+    def has_pending(self) -> bool:
+        """Whether any request is schedulable right now (O(1))."""
+        return bool(self._pending_values)
+
+    @property
+    def membership_version(self) -> int:
+        """Monotonic counter bumped whenever a request joins or leaves the pool.
+
+        Dispatch/progress transitions of requests already in the pool do
+        *not* bump it — the engine's same-instant elision rule (see
+        :class:`~repro.schedulers.base.WakeHint`) keys on exactly this
+        distinction: arrivals, expirations and finalizations invalidate a
+        stateful scheduler's within-instant quiescence, assignments do not.
+        """
+        return self._depth_version
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter bumped on every observable pool mutation.
+
+        Covers membership changes *and* pending/running transitions; any
+        state a scheduler could observe through the system view is stale
+        once this moves.
+        """
+        return self._pending_version + self._running_version + self._depth_version
+
     def pending(self) -> list[InferenceRequest]:
         """Requests that are schedulable right now (not running, not done)."""
         return [
@@ -262,6 +293,30 @@ class RequestPool:
         """
         self._grace_ms_by_task = grace_ms_by_task
 
+    def has_stale(self, now: float) -> bool:
+        """Whether :meth:`collect_stale` would return anything — a cheap peek.
+
+        Prunes dead entries (started / finished / departed requests) from
+        the top of the expiry heap — exactly the entries
+        :meth:`collect_stale` would discard anyway — so lazy deletion never
+        makes the peek pessimistic.  Used by the engine's event-coalescing
+        layer: an intermediate dispatch can only be skipped when no expiry
+        is due at the current instant.
+        """
+        if self._grace_ms_by_task is None:
+            return False
+        heap = self._expiry_heap
+        while heap and heap[0][0] < now:
+            request = self._all.get(heap[0][1])
+            if (
+                request is not None
+                and request.state is RequestState.PENDING
+                and not request.started
+            ):
+                return True
+            heapq.heappop(heap)
+        return False
+
     def collect_stale(self, now: float) -> list[InferenceRequest]:
         """Stale requests per the configured grace periods, oldest-id first.
 
@@ -355,6 +410,11 @@ class ReferenceRequestPool:
             self.remove(request)
         return finished
 
+    @property
+    def has_pending(self) -> bool:
+        """Whether any request is schedulable right now (full scan)."""
+        return bool(self.pending())
+
     def pending(self) -> list[InferenceRequest]:
         """Requests that are schedulable right now (not running, not done)."""
         return [
@@ -404,6 +464,10 @@ class ReferenceRequestPool:
     def configure_expiry(self, grace_ms_by_task: Optional[Mapping[str, float]]) -> None:
         """Store grace periods for :meth:`collect_stale`."""
         self._grace_ms_by_task = grace_ms_by_task
+
+    def has_stale(self, now: float) -> bool:
+        """Whether :meth:`collect_stale` would return anything (full scan)."""
+        return bool(self.collect_stale(now))
 
     def collect_stale(self, now: float) -> list[InferenceRequest]:
         """Stale requests per the configured grace periods (full scan)."""

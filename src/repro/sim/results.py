@@ -149,7 +149,19 @@ class AcceleratorStats:
 
 @dataclass
 class SimulationResult:
-    """Everything measured during one simulation run."""
+    """Everything measured during one simulation run.
+
+    ``engine_counters`` carries the engine's hot-loop diagnostics
+    (``events_processed``, ``dispatch_rounds``, ``dispatches_elided``,
+    ``events_coalesced``, ``peak_event_heap``).  They describe *how* the
+    engine executed, not what the simulation measured: the fast engine
+    elides provably-inert scheduler consultations while the reference
+    engine never does, so the counters legitimately differ between modes
+    whose measured results are bit-for-bit identical.  They are therefore
+    excluded from equality comparison and from :meth:`to_dict` (parity
+    checks and the content-keyed result store see only measurements);
+    ``repro bench-engine`` reports them per cell instead.
+    """
 
     scenario_name: str
     platform_name: str
@@ -159,6 +171,7 @@ class SimulationResult:
     task_stats: dict[str, TaskStats]
     accelerator_stats: tuple[AcceleratorStats, ...]
     scheduler_info: Mapping[str, object] = field(default_factory=dict)
+    engine_counters: Optional[Mapping[str, int]] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------ #
     # headline metrics

@@ -408,3 +408,135 @@ class TestBenchEngine:
 
         stats = pstats.Stats(str(profile_file))
         assert stats.total_calls > 0
+
+    def test_bench_engine_profile_out_path(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        profile_file = tmp_path / "explicit.prof"
+        code = main(
+            [
+                "bench-engine",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--generated", "0",
+                "--duration-ms", "150",
+                "--out", str(out_file),
+                "--profile-out", str(profile_file),
+            ]
+        )
+        assert code == 0
+        assert profile_file.exists()
+        assert str(profile_file) in capsys.readouterr().out
+        import pstats
+
+        stats = pstats.Stats(str(profile_file))
+        assert stats.total_calls > 0
+
+    def test_bench_engine_profile_out_overrides_profile(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        ignored = tmp_path / "ignored.prof"
+        explicit = tmp_path / "explicit.prof"
+        code = main(
+            [
+                "bench-engine",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--generated", "0",
+                "--duration-ms", "150",
+                "--out", str(out_file),
+                "--profile", str(ignored),
+                "--profile-out", str(explicit),
+            ]
+        )
+        assert code == 0
+        assert explicit.exists()
+        assert not ignored.exists()
+
+    def test_bench_engine_jobs_parallel_matches_serial_counters(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(self._ARGS + ["--out", str(serial_out), "--label", "t"]) == 0
+        assert main(
+            self._ARGS + ["--out", str(parallel_out), "--label", "t", "--jobs", "2"]
+        ) == 0
+        serial = json.loads(serial_out.read_text())["t"]
+        parallel = json.loads(parallel_out.read_text())["t"]
+        assert parallel["parity"] is True
+        assert parallel["jobs"] == 2
+        # Everything deterministic must be identical across backends: cell
+        # order, event counts, and the scheduler-load counters (only the
+        # wall-clock fields may differ).
+        deterministic = (
+            "scenario", "platform", "scheduler", "events",
+            "fast_schedule_calls", "fast_dispatches_elided",
+            "fast_events_coalesced", "reference_schedule_calls", "parity",
+        )
+        assert [
+            {key: cell[key] for key in deterministic} for cell in serial["cells"]
+        ] == [
+            {key: cell[key] for key in deterministic} for cell in parallel["cells"]
+        ]
+        for key in (
+            "events", "fast_schedule_calls", "fast_dispatches_elided",
+            "fast_events_coalesced", "reference_schedule_calls",
+        ):
+            assert serial["totals"][key] == parallel["totals"][key]
+
+    def test_bench_engine_rejects_bad_repeats(self, tmp_path, capsys):
+        code = main(self._ARGS + ["--out", str(tmp_path / "out.json"), "--repeats", "0"])
+        assert code == 2
+        assert "repeats" in capsys.readouterr().err
+
+    def test_bench_engine_repeats_recorded(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        code = main(
+            [
+                "bench-engine",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--generated", "0",
+                "--duration-ms", "150",
+                "--repeats", "2",
+                "--out", str(out_file),
+                "--label", "t",
+            ]
+        )
+        assert code == 0
+        assert json.loads(out_file.read_text())["t"]["repeats"] == 2
+
+    def test_bench_engine_jobs_rejects_profiling(self, tmp_path, capsys):
+        code = main(
+            self._ARGS
+            + [
+                "--out", str(tmp_path / "out.json"),
+                "--jobs", "2",
+                "--profile-out", str(tmp_path / "p.prof"),
+            ]
+        )
+        assert code == 2
+        assert "jobs=1" in capsys.readouterr().err
+
+    def test_bench_engine_round_regression_gate(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        assert main(self._ARGS + ["--out", str(out_file)]) == 0
+        baseline = json.loads(out_file.read_text())
+        entry = baseline["full"]
+        # A fabricated baseline with far fewer schedule() calls: the fresh
+        # run's (identical) count now reads as a >10% regression.
+        entry["totals"]["fast_schedule_calls"] = max(
+            1, entry["totals"]["fast_schedule_calls"] // 2
+        )
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        code = main(
+            self._ARGS
+            + [
+                "--out", str(tmp_path / "rerun.json"),
+                "--baseline", str(doctored),
+                "--max-regression", "0.9",
+            ]
+        )
+        assert code == 1
+        assert "schedule() calls regressed" in capsys.readouterr().err

@@ -1,0 +1,389 @@
+"""Dispatch elision + event coalescing: bit-for-bit parity and effectiveness.
+
+The fast engine may skip ``schedule()`` calls its scheduler's declared
+:class:`~repro.schedulers.base.WakeHint` proves inert, and may coalesce
+same-timestamp events around provably-inert dispatches.  These tests
+differential-run every registered scheduler with elision forced off vs on
+(results ``to_dict()``, full traces and final stats must be identical),
+check that saturated stretches actually elide, exercise coalescing with a
+deliberately colliding traffic model, and pin down the supporting pool
+counter semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import pytest
+
+from repro.experiments.jobs import generated_context, shared_context
+from repro.schedulers import make_scheduler, scheduler_names
+from repro.schedulers.base import WakeHint
+from repro.sim import ReferenceRequestPool, RequestPool, SimulationEngine, Tracer
+from repro.sim.request import InferenceRequest
+from repro.workloads import GeneratorSpec
+from repro.workloads.scenario import Scenario, TaskSpec
+from repro.workloads.traffic import ArrivalProcess, Frame
+from repro.models import zoo
+
+#: Generated scenarios swept by the elision differential (satellite: >= 10),
+#: sampling all four bundled traffic models so stochastic arrivals are
+#: covered, not just periodic sensors.
+ELISION_SCENARIO_COUNT = 10
+
+_SPEC = GeneratorSpec(
+    seed=11, traffic_models=("periodic", "poisson", "bursty", "load_scaled")
+)
+_PLATFORM = "4k_1ws_2os"
+_DURATION_MS = 150.0
+
+
+def _normalize(records):
+    mapping: dict[int, int] = {}
+    return [
+        replace(record, request_id=mapping.setdefault(record.request_id, len(mapping)))
+        for record in records
+    ]
+
+
+def _run(scenario, platform, cost_table, scheduler_name, duration_ms=_DURATION_MS, **kwargs):
+    tracer = Tracer()
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler(scheduler_name),
+        duration_ms=duration_ms,
+        seed=0,
+        cost_table=cost_table,
+        tracer=tracer,
+        **kwargs,
+    )
+    result = engine.run()
+    return result, _normalize(tracer.records), engine
+
+
+# --------------------------------------------------------------------- #
+# differential: elision off vs on
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("index", range(ELISION_SCENARIO_COUNT))
+def test_generated_scenarios_identical_with_elision_off_vs_on(index):
+    scenario, platform, cost_table = generated_context(_SPEC, index, _PLATFORM)
+    for scheduler_name in scheduler_names():
+        off_result, off_trace, off_engine = _run(
+            scenario, platform, cost_table, scheduler_name, dispatch_elision=False
+        )
+        on_result, on_trace, on_engine = _run(
+            scenario, platform, cost_table, scheduler_name, dispatch_elision=True
+        )
+        label = f"{scenario.name} / {scheduler_name}"
+        assert on_result.to_dict() == off_result.to_dict(), f"result mismatch: {label}"
+        assert on_trace == off_trace, f"trace mismatch: {label}"
+        assert on_engine.events_processed == off_engine.events_processed, label
+        # Final stats objects agree field-for-field (to_dict covers the
+        # serialized form; compare the dataclasses too for completeness).
+        assert on_result.task_stats == off_result.task_stats, label
+        assert on_result.accelerator_stats == off_result.accelerator_stats, label
+        # Elision-off keeps the historical per-event dispatch path.
+        assert off_engine.dispatches_elided == 0
+        assert off_engine.events_coalesced == 0
+        # Rounds + elisions must cover at least one dispatch per event.
+        assert (
+            on_engine.dispatch_rounds + on_engine.dispatches_elided
+            >= on_engine.events_processed
+        )
+
+
+def test_preset_scenarios_identical_with_elision_off_vs_on():
+    for scenario_name in ("ar_call", "vr_gaming"):
+        scenario, platform, cost_table = shared_context(scenario_name, _PLATFORM, 0.5)
+        for scheduler_name in scheduler_names():
+            off_result, off_trace, _ = _run(
+                scenario, platform, cost_table, scheduler_name,
+                duration_ms=300.0, dispatch_elision=False,
+            )
+            on_result, on_trace, _ = _run(
+                scenario, platform, cost_table, scheduler_name,
+                duration_ms=300.0, dispatch_elision=True,
+            )
+            assert on_result.to_dict() == off_result.to_dict()
+            assert on_trace == off_trace
+
+
+# --------------------------------------------------------------------- #
+# effectiveness: saturated stretches elide
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("scheduler_name", ["planaria", "dream_fixed", "dream_smartdrop"])
+def test_saturated_cell_elides_dispatches(scheduler_name):
+    """ar_call saturates the platform; schedule() calls must drop >= 2x."""
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    _, _, off_engine = _run(
+        scenario, platform, cost_table, scheduler_name,
+        duration_ms=400.0, dispatch_elision=False,
+    )
+    _, _, on_engine = _run(
+        scenario, platform, cost_table, scheduler_name,
+        duration_ms=400.0, dispatch_elision=True,
+    )
+    assert on_engine.dispatches_elided > 0
+    assert on_engine.dispatch_rounds + on_engine.dispatches_elided == off_engine.dispatch_rounds
+    assert off_engine.dispatch_rounds >= 2 * on_engine.dispatch_rounds * 0.98, (
+        f"expected >=~2x schedule() reduction, got "
+        f"{off_engine.dispatch_rounds} -> {on_engine.dispatch_rounds}"
+    )
+
+
+def test_reference_mode_never_elides():
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    _, _, engine = _run(
+        scenario, platform, cost_table, "planaria", duration_ms=200.0, mode="reference"
+    )
+    assert engine.dispatches_elided == 0
+    assert engine.events_coalesced == 0
+    assert engine.dispatch_rounds >= engine.events_processed
+
+
+# --------------------------------------------------------------------- #
+# same-timestamp event coalescing
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _AlignedArrival(ArrivalProcess):
+    """Strictly periodic frames that ignore the per-task phase offset.
+
+    Head tasks are normally phase-staggered so simultaneous arrivals are
+    rare; this test-only process pins every task to the same grid so the
+    engine sees same-timestamp event groups on every period.
+    """
+
+    kind = "test_aligned"
+    period_ms: float = 10.0
+
+    def frames(self, task, start_ms, end_ms, rng, default_jitter_ms=0.0) -> Iterator[Frame]:
+        index = 0
+        time_ms = 0.0
+        while time_ms < end_ms:
+            yield Frame(
+                task_name=task.name,
+                frame_id=index,
+                arrival_ms=time_ms,
+                deadline_ms=time_ms + task.period_ms,
+            )
+            index += 1
+            time_ms = index * self.period_ms
+
+
+def _aligned_scenario() -> Scenario:
+    process = _AlignedArrival(period_ms=8.0)
+    return Scenario(
+        name="aligned_pair",
+        description="two tasks with deliberately colliding arrivals",
+        tasks=(
+            TaskSpec("det_a", zoo.build_ssd_mobilenet_v2(resolution=512, task="a"), fps=30, traffic=process),
+            TaskSpec("det_b", zoo.build_ssd_mobilenet_v2(resolution=512, task="b"), fps=30, traffic=process),
+        ),
+    )
+
+
+def test_coalescing_drains_simultaneous_events_bit_for_bit():
+    from repro.hardware import CostTable, make_platform
+
+    scenario = _aligned_scenario()
+    platform = make_platform(_PLATFORM)
+    cost_table = CostTable.build(platform, scenario.all_model_graphs())
+
+    results = {}
+    for elide in (False, True):
+        tracer = Tracer()
+        engine = SimulationEngine(
+            scenario=scenario,
+            platform=platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=400.0,
+            seed=0,
+            cost_table=cost_table,
+            tracer=tracer,
+            dispatch_elision=elide,
+        )
+        result = engine.run()
+        results[elide] = (result.to_dict(), _normalize(tracer.records), engine)
+
+    on_engine = results[True][2]
+    assert on_engine.events_coalesced > 0, "aligned arrivals should coalesce"
+    assert results[True][0] == results[False][0]
+    assert results[True][1] == results[False][1]
+    assert results[True][2].events_processed == results[False][2].events_processed
+
+
+# --------------------------------------------------------------------- #
+# wake-hint declarations + counter surface
+# --------------------------------------------------------------------- #
+
+
+def test_bundled_wake_hints_match_scheduler_contracts():
+    assert make_scheduler("fcfs_dynamic").wake_hint() == WakeHint(
+        min_free_fraction=1.0, elide_when_no_pending=True
+    )
+    assert make_scheduler("fcfs_static").wake_hint() == WakeHint(
+        min_free_fraction=1.0, elide_when_no_pending=True
+    )
+    assert make_scheduler("veltair").wake_hint() == WakeHint(
+        min_free_fraction=1.0, elide_when_no_pending=True
+    )
+    planaria = make_scheduler("planaria")
+    assert planaria.wake_hint() == WakeHint(
+        min_free_fraction=planaria.min_fraction, elide_when_no_pending=True
+    )
+    # DREAM's bookkeeping is only idempotent within one instant, and within
+    # that instant no drop can newly appear after a drop-free consultation
+    # (see DreamScheduler.wake_hint), so every variant — SmartDrop
+    # included — keeps the idle-accelerator capacity gate.  The
+    # fixed-parameter baseline has no per-call state at all, so it also
+    # drops the same-instant restriction.
+    assert make_scheduler("dream_fixed").wake_hint() == WakeHint(
+        min_free_fraction=1.0, elide_when_no_pending=True, same_instant_only=False
+    )
+    for name in ("dream_mapscore", "dream_smartdrop", "dream_full"):
+        assert make_scheduler(name).wake_hint() == WakeHint(
+            min_free_fraction=1.0, elide_when_no_pending=True, same_instant_only=True
+        )
+
+
+def test_default_wake_hint_is_conservative():
+    from repro.schedulers.base import Scheduler
+    from repro.sim.decisions import SchedulingDecision
+
+    class Opaque(Scheduler):
+        def schedule(self, view):
+            return SchedulingDecision.empty()
+
+    assert Opaque().wake_hint() is None
+
+
+def test_engine_counters_on_result_but_not_serialized():
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    result, _, engine = _run(scenario, platform, cost_table, "planaria", duration_ms=200.0)
+    counters = result.engine_counters
+    assert counters is not None
+    assert counters["events_processed"] == engine.events_processed
+    assert counters["dispatch_rounds"] == engine.dispatch_rounds
+    assert counters["dispatches_elided"] == engine.dispatches_elided
+    assert counters["events_coalesced"] == engine.events_coalesced
+    assert "engine_counters" not in result.to_dict()
+
+    # Counters are diagnostics, not measurements: equality ignores them, so
+    # fast/reference parity is unaffected by mode-dependent elision counts.
+    ref_result, _, _ = _run(
+        scenario, platform, cost_table, "planaria", duration_ms=200.0, mode="reference"
+    )
+    assert ref_result.engine_counters["dispatches_elided"] == 0
+    assert result == ref_result
+
+
+# --------------------------------------------------------------------- #
+# pool counters backing the elision layer
+# --------------------------------------------------------------------- #
+
+
+def _request(task="t", arrival=0.0, deadline=100.0):
+    return InferenceRequest(
+        task_name=task,
+        model=zoo.build_kws_res8(),
+        frame_id=0,
+        arrival_ms=arrival,
+        deadline_ms=deadline,
+        rng=random.Random(0),
+    )
+
+
+def test_pool_has_pending_and_versions_track_membership():
+    pool = RequestPool()
+    assert not pool.has_pending
+    membership = pool.membership_version
+    state = pool.state_version
+
+    request = _request()
+    pool.add(request)
+    assert pool.has_pending
+    assert pool.membership_version > membership
+    assert pool.state_version > state
+
+    membership = pool.membership_version
+    state = pool.state_version
+    pool.note_dispatched(request)
+    # Dispatch transitions are not membership changes...
+    assert pool.membership_version == membership
+    # ...but they are observable state changes.
+    assert pool.state_version > state
+    assert not pool.has_pending
+
+    pool.remove(request)
+    assert pool.membership_version > membership
+    assert not pool.has_pending
+
+
+def test_reference_pool_exposes_the_same_predicates():
+    pool = ReferenceRequestPool()
+    assert not pool.has_pending
+    request = _request()
+    pool.add(request)
+    assert pool.has_pending
+    pool.remove(request)
+    assert not pool.has_pending
+
+
+@pytest.mark.parametrize("pool_cls", [RequestPool, ReferenceRequestPool])
+def test_has_stale_agrees_with_collect_stale(pool_cls):
+    pool = pool_cls()
+    pool.configure_expiry({"t": 5.0})
+    request = _request(deadline=10.0)
+    pool.add(request)
+    assert not pool.has_stale(10.0)
+    assert not pool.has_stale(15.0)  # deadline + grace not yet strictly passed
+    assert pool.has_stale(15.1)
+    # has_stale must not consume the entry: collect_stale still returns it.
+    assert pool.collect_stale(15.1) == [request]
+
+
+def test_scheduler_memo_caches_stay_bounded_by_live_requests():
+    """Per-request memo entries must be evicted when requests finish.
+
+    Without eviction the caches grow O(total frames ever seen), defeating
+    the streaming engine's bounded-memory promise on long windows.
+    """
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    for scheduler_name in ("dream_full", "planaria"):
+        scheduler = make_scheduler(scheduler_name)
+        engine = SimulationEngine(
+            scenario=scenario,
+            platform=platform,
+            scheduler=scheduler,
+            duration_ms=1000.0,
+            seed=0,
+            cost_table=cost_table,
+        )
+        engine.run()
+        live_bound = len(scenario.tasks) * 4  # only in-flight leftovers remain
+        if scheduler_name == "planaria":
+            assert len(scheduler._remaining_cache) <= live_bound
+        else:
+            assert len(scheduler.dispatch_engine._statics_cache) <= live_bound
+            assert len(scheduler.map_score_engine._to_go_cache) <= live_bound
+            assert len(scheduler.frame_drop_engine._to_go_cache) <= live_bound
+
+
+def test_has_stale_prunes_dead_entries_only():
+    pool = RequestPool()
+    pool.configure_expiry({"t": 5.0})
+    request = _request(deadline=10.0)
+    pool.add(request)
+    pool.note_dispatched(request)  # started requests can never expire
+    request.mark_running()
+    assert not pool.has_stale(20.0)
+    assert pool.collect_stale(20.0) == []

@@ -124,4 +124,20 @@ def test_engine_counts_events():
     )
     engine.run()
     assert engine.events_processed > 0
-    assert engine.dispatch_rounds >= engine.events_processed
+    # Every event triggers a dispatch, but wake-hint elision may satisfy it
+    # without consulting the scheduler; rounds + elisions covers them all.
+    assert engine.dispatch_rounds + engine.dispatches_elided >= engine.events_processed
+    assert engine.dispatch_rounds > 0
+
+    # With elision forced off the historical invariant holds exactly.
+    engine_off = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler("fcfs_dynamic"),
+        duration_ms=200.0,
+        cost_table=cost_table,
+        dispatch_elision=False,
+    )
+    engine_off.run()
+    assert engine_off.dispatches_elided == 0
+    assert engine_off.dispatch_rounds >= engine_off.events_processed
