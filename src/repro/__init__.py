@@ -1,4 +1,4 @@
-"""repro — a reproduction of DREAM (ASPLOS 2024).
+"""repro — a reproduction of DREAM (ASPLOS 2023).
 
 DREAM is a dynamic scheduler for real-time multi-model ML (RTMM) workloads
 on multi-accelerator systems.  This package contains the scheduler, every

@@ -38,6 +38,14 @@ Subcommands:
   1 = harness error (a scheduler/engine crashed), 2 = usage error,
   3 = invariant or metamorphic violation.  ``--replay <spec.json>``
   deterministically re-runs a stored artifact.
+* ``repro fleet run`` / ``repro fleet describe`` — simulate N heterogeneous
+  platforms behind a routing/admission tier (:mod:`repro.fleet`): sessions
+  from user populations are routed by a pluggable policy (round-robin,
+  least-loaded, fair-share), every admitted session runs as one
+  per-platform simulation on the chosen backend, and the fleet invariant
+  oracle audits the admission trace (exit 3 on violation, like ``fuzz``).
+  ``describe`` resolves the spec and prints the admission plan without
+  running any simulation.
 
 Every subcommand is importable and drives the same public harness API the
 tests use; the CLI adds no simulation logic of its own.
@@ -64,13 +72,23 @@ from repro.experiments.harness import (
 )
 from repro.experiments.jobs import generated_cell_jobs, grid_jobs
 from repro.experiments.store import ResultStore
+from repro.fleet import (
+    FleetSimulator,
+    FleetSpec,
+    PlatformSpec,
+    audit_fleet,
+    routing_policy_names,
+    simulate_fleet,
+)
 from repro.hardware.platform import all_platform_names
 from repro.metrics.reporting import format_table
 from repro.schedulers import scheduler_names
 from repro.workloads import (
     GeneratorSpec,
     ScenarioGenerator,
+    UserSpec,
     arrival_process_names,
+    make_arrival_process,
     scenario_names,
 )
 
@@ -665,6 +683,196 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# repro fleet
+# --------------------------------------------------------------------- #
+
+#: Default heterogeneous fleet of ``repro fleet`` when no spec is given:
+#: three platforms mixing accelerator presets and schedulers.
+DEFAULT_FLEET_PLATFORMS = ["4k_2ws", "4k_1ws_2os", "8k_2os"]
+DEFAULT_FLEET_SCHEDULERS = ["fcfs_dynamic", "dream_full", "dream_mapscore"]
+
+
+def _add_fleet_spec_options(parser: argparse.ArgumentParser) -> None:
+    """Options that define a FleetSpec inline (or load one from JSON)."""
+    parser.add_argument(
+        "--spec", type=Path, default=None, metavar="SPEC.json",
+        help="load the full FleetSpec from JSON (other spec options are ignored)",
+    )
+    parser.add_argument(
+        "--platforms", action="append", metavar="NAMES",
+        help="comma-separated platform presets (repeatable; default: "
+        + ",".join(DEFAULT_FLEET_PLATFORMS) + ")",
+    )
+    parser.add_argument(
+        "--schedulers", action="append", metavar="NAMES",
+        help="schedulers paired with --platforms, cycled when shorter "
+        "(default: " + ",".join(DEFAULT_FLEET_SCHEDULERS) + ")",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=2, metavar="N",
+        help="concurrent-session capacity of each platform (default: 2)",
+    )
+    parser.add_argument(
+        "--policy", choices=routing_policy_names(), default="least_loaded",
+        help="routing/admission policy (default: least_loaded)",
+    )
+    parser.add_argument(
+        "--scenarios", action="append", metavar="NAMES",
+        help="comma-separated scenario presets, one user population each "
+        "(default: ar_call,vr_gaming)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=2, metavar="N",
+        help="users per population (default: 2)",
+    )
+    parser.add_argument(
+        "--session-rate", type=float, default=120.0, metavar="R",
+        help="session arrivals per minute per user (default: 120)",
+    )
+    parser.add_argument(
+        "--session-ms", type=float, default=200.0, metavar="MS",
+        help="simulated window of one admitted session (default: 200)",
+    )
+    parser.add_argument(
+        "--traffic", choices=arrival_process_names(), default=None,
+        help="session-arrival process per user (default: periodic, no jitter)",
+    )
+    parser.add_argument(
+        "--duration-ms", type=float, default=1000.0,
+        help="fleet-clock window over which sessions arrive (default: 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fleet master seed")
+    parser.add_argument(
+        "--spec-out", type=Path, default=None, metavar="PATH",
+        help="write the resolved FleetSpec as JSON for replay/sharing",
+    )
+
+
+def _fleet_spec(args: argparse.Namespace) -> FleetSpec:
+    """Resolve the FleetSpec from ``--spec`` or the inline options."""
+    if args.spec is not None:
+        try:
+            payload = json.loads(args.spec.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"cannot read fleet spec {args.spec}: {error}") from error
+        return FleetSpec.from_dict(payload)
+    platforms = _split_names(args.platforms, DEFAULT_FLEET_PLATFORMS)
+    schedulers = _split_names(args.schedulers, DEFAULT_FLEET_SCHEDULERS)
+    traffic = make_arrival_process(args.traffic) if args.traffic else None
+    return FleetSpec(
+        platforms=tuple(
+            PlatformSpec(
+                platform=platform,
+                scheduler=schedulers[index % len(schedulers)],
+                max_sessions=args.max_sessions,
+            )
+            for index, platform in enumerate(platforms)
+        ),
+        users=tuple(
+            UserSpec(
+                name=scenario,
+                users=args.users,
+                scenario=scenario,
+                sessions_per_minute=args.session_rate,
+                session_duration_ms=args.session_ms,
+                traffic=traffic,
+            )
+            for scenario in _split_names(args.scenarios, ["ar_call", "vr_gaming"])
+        ),
+        policy=args.policy,
+        duration_ms=args.duration_ms,
+        seed=args.seed,
+    )
+
+
+def _write_fleet_spec(spec: FleetSpec, args: argparse.Namespace) -> None:
+    if args.spec_out is not None:
+        args.spec_out.parent.mkdir(parents=True, exist_ok=True)
+        args.spec_out.write_text(
+            json.dumps(spec.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.spec_out}")
+
+
+def _cmd_fleet_describe(args: argparse.Namespace) -> int:
+    spec = _fleet_spec(args)
+    _write_fleet_spec(spec, args)
+    print(
+        f"fleet spec: {len(spec.platforms)} platforms, "
+        f"{len(spec.users)} populations ({spec.total_users} users), "
+        f"policy={spec.policy}, {spec.duration_ms:g} ms, seed {spec.seed}"
+    )
+    for index, (platform, label) in enumerate(zip(spec.platforms, spec.platform_labels())):
+        print(
+            f"  platform[{index}] {label}: {platform.platform} + "
+            f"{platform.scheduler}, capacity {platform.max_sessions}"
+        )
+    for population in spec.users:
+        traffic = population.traffic.kind if population.traffic else "periodic"
+        print(
+            f"  population {population.name}: {population.users} users x "
+            f"{population.scenario}, {population.sessions_per_minute:g} "
+            f"sessions/min, {population.session_duration_ms:g} ms each, "
+            f"traffic={traffic}"
+        )
+    plan = FleetSimulator(spec).plan()
+    counts = plan.outcome_counts()
+    print(
+        f"admission plan: {plan.submitted} session requests -> "
+        + ", ".join(f"{outcome}={count}" for outcome, count in sorted(counts.items()))
+    )
+    per_platform = [0] * len(spec.platforms)
+    for job in plan.jobs:
+        per_platform[job.platform_index] += 1
+    for index, label in enumerate(spec.platform_labels()):
+        print(f"  platform[{index}] {label}: {per_platform[index]} sessions")
+    return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    spec = _fleet_spec(args)
+    _write_fleet_spec(spec, args)
+    print(
+        f"running fleet: {len(spec.platforms)} platforms, {spec.total_users} "
+        f"users, policy={spec.policy!r} on backend {args.backend!r} "
+        f"({spec.duration_ms:g} ms, seed {spec.seed})"
+    )
+    store = _make_store(args)
+    started = time.perf_counter()
+    result = simulate_fleet(
+        spec, backend=args.backend, workers=args.workers, store=store
+    )
+    elapsed = time.perf_counter() - started
+    print(result.describe())
+    sessions = max(result.admitted, 1)
+    print(
+        f"done: {result.admitted} session simulations in {elapsed:.2f} s "
+        f"({result.admitted / elapsed:.2f} sessions/s)"
+        if elapsed > 0
+        else f"done: {sessions} session simulations"
+    )
+    if store is not None:
+        print(f"store: {store.stats()}")
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}")
+    if not args.no_oracle:
+        violations = audit_fleet(result)
+        if violations:
+            print(
+                f"repro fleet: {len(violations)} fleet invariant violation(s):",
+                file=sys.stderr,
+            )
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return EXIT_INVARIANT_VIOLATION
+        print("fleet oracle: OK (session conservation, routing, admission, frames)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
 
@@ -922,6 +1130,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run one stored failing-scenario artifact instead of fuzzing",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="simulate a fleet of platforms behind a routing/admission tier",
+    )
+    fleet_subparsers = fleet_parser.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run_parser = fleet_subparsers.add_parser(
+        "run", help="plan admissions, simulate every session, aggregate + audit"
+    )
+    _add_fleet_spec_options(fleet_run_parser)
+    fleet_run_parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the full fleet result (trace, per-user/platform stats) as JSON",
+    )
+    fleet_run_parser.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the fleet invariant oracle (exit 3 on violations otherwise)",
+    )
+    _add_execution_options(fleet_run_parser)
+    fleet_run_parser.set_defaults(func=_cmd_fleet_run)
+
+    fleet_describe_parser = fleet_subparsers.add_parser(
+        "describe", help="show the resolved spec and admission plan (no simulations)"
+    )
+    _add_fleet_spec_options(fleet_describe_parser)
+    fleet_describe_parser.set_defaults(func=_cmd_fleet_describe)
 
     return parser
 

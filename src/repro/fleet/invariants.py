@@ -1,0 +1,312 @@
+"""Fleet-level invariant oracle: correctness properties of admission traces.
+
+The per-engine oracle (:mod:`repro.sim.invariants`) audits one platform's
+event trace; this module audits the tier above it.  Fleet runs have no
+golden numbers either, so correctness is again expressed as closed-world
+properties every correct admission pass must satisfy, checked by replaying
+the :class:`~repro.fleet.simulator.AdmissionRecord` stream:
+
+``session_conservation``
+    Every submitted session reaches *exactly one* outcome (admitted,
+    rejected, or throttled): session ids are dense and unique, outcomes
+    are from the closed vocabulary, and the outcome counts sum back to
+    the number of submissions — nothing leaks, nothing double-finishes.
+
+``no_double_routing``
+    An admitted session maps to exactly one platform and exactly one
+    :class:`~repro.fleet.simulator.FleetJob` (and vice versa — no job
+    without an admission), with matching platform indices; non-admitted
+    sessions carry no platform and spawn no job.
+
+``admission_consistency``
+    The trace is consistent with an honest replay of the admission pass:
+    per-platform occupancy (with slots released at
+    ``admit_ms + duration_ms``) never exceeds ``max_sessions``, each
+    record's ``active_before`` snapshot equals the replayed occupancy,
+    admissions only target platforms with free capacity, and
+    capacity-rejections occur only when *every* platform is full.
+
+``frame_conservation``
+    Fleet aggregates equal the sum of their parts: every admitted session
+    has exactly one :class:`~repro.sim.results.SimulationResult` (and no
+    result exists for a session that was never admitted), and the
+    per-platform / fleet-total frame counters equal the sums over the
+    underlying session results — aggregation cannot drift from the
+    simulations it summarizes.
+
+The oracle reuses :class:`~repro.sim.invariants.Violation` and
+:class:`~repro.sim.invariants.TraceInvariantError`, so fleet checks
+compose with engine checks in test suites and the fuzz harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.fleet.metrics import FleetResult
+from repro.fleet.policies import ADMITTED, REASON_CAPACITY, REJECTED, THROTTLED
+from repro.fleet.simulator import AdmissionRecord, FleetJob, FleetPlan
+from repro.fleet.spec import FleetSpec
+from repro.sim.invariants import TraceInvariantError, Violation
+
+#: The closed vocabulary of admission outcomes.
+_OUTCOMES = (ADMITTED, REJECTED, THROTTLED)
+
+
+def check_session_conservation(records: Sequence[AdmissionRecord]) -> list[Violation]:
+    """Every session has exactly one outcome from the closed vocabulary."""
+    violations: list[Violation] = []
+    seen: set[int] = set()
+    counts = {outcome: 0 for outcome in _OUTCOMES}
+    for record in records:
+        if record.session_id in seen:
+            violations.append(
+                Violation(
+                    "session_conservation",
+                    f"session {record.session_id} decided more than once",
+                    record.time_ms,
+                    record.session_id,
+                )
+            )
+            continue
+        seen.add(record.session_id)
+        if record.outcome not in counts:
+            violations.append(
+                Violation(
+                    "session_conservation",
+                    f"unknown outcome {record.outcome!r}",
+                    record.time_ms,
+                    record.session_id,
+                )
+            )
+        else:
+            counts[record.outcome] += 1
+    if seen and seen != set(range(len(records))):
+        violations.append(
+            Violation(
+                "session_conservation",
+                f"session ids are not dense 0..{len(records) - 1}",
+            )
+        )
+    if sum(counts.values()) != len(seen):
+        violations.append(
+            Violation(
+                "session_conservation",
+                f"outcome counts {counts} do not sum to {len(seen)} submissions",
+            )
+        )
+    return violations
+
+
+def check_no_double_routing(
+    records: Sequence[AdmissionRecord], jobs: Sequence[FleetJob]
+) -> list[Violation]:
+    """Admitted sessions and simulation jobs correspond one-to-one."""
+    violations: list[Violation] = []
+    admitted: dict[int, AdmissionRecord] = {}
+    for record in records:
+        if record.outcome == ADMITTED:
+            if record.platform_index is None:
+                violations.append(
+                    Violation(
+                        "no_double_routing",
+                        "admitted session has no platform",
+                        record.time_ms,
+                        record.session_id,
+                    )
+                )
+            admitted[record.session_id] = record
+        elif record.platform_index is not None:
+            violations.append(
+                Violation(
+                    "no_double_routing",
+                    f"{record.outcome} session routed to platform "
+                    f"{record.platform_index}",
+                    record.time_ms,
+                    record.session_id,
+                )
+            )
+    job_sessions: set[int] = set()
+    for job in jobs:
+        if job.session_id in job_sessions:
+            violations.append(
+                Violation(
+                    "no_double_routing",
+                    f"session {job.session_id} has more than one job",
+                    job.admit_ms,
+                    job.session_id,
+                )
+            )
+            continue
+        job_sessions.add(job.session_id)
+        record = admitted.get(job.session_id)
+        if record is None:
+            violations.append(
+                Violation(
+                    "no_double_routing",
+                    f"job exists for session {job.session_id} that was never admitted",
+                    job.admit_ms,
+                    job.session_id,
+                )
+            )
+        elif record.platform_index != job.platform_index:
+            violations.append(
+                Violation(
+                    "no_double_routing",
+                    f"session {job.session_id} admitted to platform "
+                    f"{record.platform_index} but its job targets "
+                    f"{job.platform_index}",
+                    job.admit_ms,
+                    job.session_id,
+                )
+            )
+    for session_id in sorted(set(admitted) - job_sessions):
+        record = admitted[session_id]
+        violations.append(
+            Violation(
+                "no_double_routing",
+                f"admitted session {session_id} has no simulation job",
+                record.time_ms,
+                session_id,
+            )
+        )
+    return violations
+
+
+def check_admission_consistency(
+    spec: FleetSpec, records: Sequence[AdmissionRecord]
+) -> list[Violation]:
+    """The trace matches an honest occupancy replay of the admission pass."""
+    violations: list[Violation] = []
+    capacities = [platform.max_sessions for platform in spec.platforms]
+    active = [0] * len(capacities)
+    releases: list[tuple[float, int, int]] = []  # (end_ms, session_id, platform)
+    for record in records:
+        while releases and releases[0][0] <= record.time_ms:
+            _, _, index = heapq.heappop(releases)
+            active[index] -= 1
+        if tuple(active) != record.active_before:
+            violations.append(
+                Violation(
+                    "admission_consistency",
+                    f"active_before snapshot {record.active_before} does not match "
+                    f"replayed occupancy {tuple(active)}",
+                    record.time_ms,
+                    record.session_id,
+                )
+            )
+        if record.outcome == ADMITTED and record.platform_index is not None:
+            index = record.platform_index
+            if not 0 <= index < len(capacities):
+                violations.append(
+                    Violation(
+                        "admission_consistency",
+                        f"platform index {index} out of range",
+                        record.time_ms,
+                        record.session_id,
+                    )
+                )
+                continue
+            if active[index] >= capacities[index]:
+                violations.append(
+                    Violation(
+                        "admission_consistency",
+                        f"admission to full platform {index} "
+                        f"({active[index]}/{capacities[index]} active)",
+                        record.time_ms,
+                        record.session_id,
+                    )
+                )
+            active[index] += 1
+            heapq.heappush(
+                releases,
+                (record.time_ms + record.duration_ms, record.session_id, index),
+            )
+        elif record.outcome == REJECTED and record.reason == REASON_CAPACITY:
+            if any(active[i] < capacities[i] for i in range(len(capacities))):
+                violations.append(
+                    Violation(
+                        "admission_consistency",
+                        f"capacity rejection while occupancy {tuple(active)} leaves "
+                        f"free slots (capacities {tuple(capacities)})",
+                        record.time_ms,
+                        record.session_id,
+                    )
+                )
+    return violations
+
+
+def check_frame_conservation(result: FleetResult) -> list[Violation]:
+    """Aggregated frame counters equal the sums over session results."""
+    violations: list[Violation] = []
+    plan = result.plan
+    admitted_ids = {r.session_id for r in plan.records if r.outcome == ADMITTED}
+    result_ids = set(result.session_results)
+    for session_id in sorted(admitted_ids - result_ids):
+        violations.append(
+            Violation(
+                "frame_conservation",
+                f"admitted session {session_id} has no simulation result",
+                request_id=session_id,
+            )
+        )
+    for session_id in sorted(result_ids - admitted_ids):
+        violations.append(
+            Violation(
+                "frame_conservation",
+                f"simulation result for session {session_id} that was never admitted",
+                request_id=session_id,
+            )
+        )
+
+    job_by_session = {job.session_id: job for job in plan.jobs}
+    expected_frames = [0] * len(plan.spec.platforms)
+    for session_id in sorted(result_ids & admitted_ids):
+        job = job_by_session.get(session_id)
+        if job is None:
+            continue  # reported by no_double_routing
+        expected_frames[job.platform_index] += result.session_results[
+            session_id
+        ].total_frames
+    for stats in result.platform_stats:
+        if stats.total_frames != expected_frames[stats.index]:
+            violations.append(
+                Violation(
+                    "frame_conservation",
+                    f"platform {stats.index} reports {stats.total_frames} frames "
+                    f"but its session results sum to "
+                    f"{expected_frames[stats.index]}",
+                )
+            )
+    if result.total_frames != sum(expected_frames):
+        violations.append(
+            Violation(
+                "frame_conservation",
+                f"fleet total {result.total_frames} frames != session sum "
+                f"{sum(expected_frames)}",
+            )
+        )
+    return violations
+
+
+def audit_plan(plan: FleetPlan) -> list[Violation]:
+    """Run every trace-only invariant over an admission plan."""
+    violations = check_session_conservation(plan.records)
+    violations.extend(check_no_double_routing(plan.records, plan.jobs))
+    violations.extend(check_admission_consistency(plan.spec, plan.records))
+    return violations
+
+
+def audit_fleet(result: FleetResult) -> list[Violation]:
+    """Run every fleet invariant over a full fleet result."""
+    violations = audit_plan(result.plan)
+    violations.extend(check_frame_conservation(result))
+    return violations
+
+
+def assert_fleet_invariants(result: FleetResult) -> None:
+    """Raise :class:`TraceInvariantError` if any fleet invariant fails."""
+    violations = audit_fleet(result)
+    if violations:
+        raise TraceInvariantError(violations)

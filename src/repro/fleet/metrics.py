@@ -1,0 +1,328 @@
+"""Fleet-level metric aggregation from per-session simulation results.
+
+The fleet tier never invents new measurements — it *aggregates* the
+per-session :class:`~repro.sim.results.SimulationResult` objects the
+existing engine already produces, attributed through the admission trace:
+
+* :class:`UserStats` — per-user admission accounting (submitted /
+  admitted / rejected / throttled, plus rates) and latency quantiles over
+  the user's completed sessions, estimated with the bounded-memory P²
+  algorithm (:class:`~repro.metrics.quantiles.StreamingQuantiles`).  The
+  quantile stream is fed one sample per (session, task-with-completions)
+  pair — the task's mean completed-frame latency — in session-id order,
+  so the estimate is a deterministic function of the fleet spec.
+* :class:`PlatformStats` — per-platform load: sessions served, peak
+  concurrent sessions (from the admission trace's ``active_before``
+  snapshots), frames, violations, energy and mean accelerator
+  utilization.
+* :class:`FleetResult` — the whole picture: spec echo, admission trace,
+  per-user and per-platform aggregates, fleet totals, and the raw
+  ``session_results`` keyed by session id.  ``to_dict()`` is the parity
+  surface: two runs of one spec must produce byte-identical payloads
+  regardless of execution backend or ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.fleet.policies import ADMITTED, REJECTED, THROTTLED
+from repro.fleet.simulator import AdmissionRecord, FleetPlan
+from repro.metrics.quantiles import StreamingQuantiles
+from repro.sim import SimulationResult
+
+
+@dataclass
+class UserStats:
+    """Admission accounting and latency quantiles of one user."""
+
+    user_id: str
+    population: str
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    throttled: int = 0
+    total_frames: int = 0
+    violated_frames: int = 0
+    latency_quantiles: Optional[dict] = None
+
+    @property
+    def admission_rate(self) -> float:
+        """Admitted over submitted sessions."""
+        return self.admitted / self.submitted if self.submitted else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        """Capacity-rejected over submitted sessions."""
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def throttle_rate(self) -> float:
+        """Fair-share-throttled over submitted sessions."""
+        return self.throttled / self.submitted if self.submitted else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        """Deadline-violated frames over all frames of the user's sessions."""
+        return self.violated_frames / self.total_frames if self.total_frames else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "user_id": self.user_id,
+            "population": self.population,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "throttled": self.throttled,
+            "total_frames": self.total_frames,
+            "violated_frames": self.violated_frames,
+            "latency_quantiles": (
+                dict(self.latency_quantiles) if self.latency_quantiles else None
+            ),
+        }
+
+
+@dataclass
+class PlatformStats:
+    """Aggregated load and outcomes of one fleet platform."""
+
+    index: int
+    name: str
+    platform: str
+    scheduler: str
+    max_sessions: int
+    sessions: int = 0
+    peak_active: int = 0
+    total_frames: int = 0
+    violated_frames: int = 0
+    total_energy_mj: float = 0.0
+    utilization_sum: float = 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean (over sessions) of the session's mean accelerator utilization."""
+        return self.utilization_sum / self.sessions if self.sessions else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        """Deadline-violated frames over all frames served by the platform."""
+        return self.violated_frames / self.total_frames if self.total_frames else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "index": self.index,
+            "name": self.name,
+            "platform": self.platform,
+            "scheduler": self.scheduler,
+            "max_sessions": self.max_sessions,
+            "sessions": self.sessions,
+            "peak_active": self.peak_active,
+            "total_frames": self.total_frames,
+            "violated_frames": self.violated_frames,
+            "total_energy_mj": self.total_energy_mj,
+            "mean_utilization": self.mean_utilization,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced, aggregated and attributable.
+
+    Attributes:
+        plan: the admission pass output (spec, trace, jobs).
+        session_results: per-admitted-session simulation results, keyed by
+            global session id.
+        user_stats: per-user aggregates keyed by user id (sorted).
+        platform_stats: per-platform aggregates, in platform order.
+    """
+
+    plan: FleetPlan
+    session_results: Mapping[int, SimulationResult]
+    user_stats: dict[str, UserStats] = field(default_factory=dict)
+    platform_stats: Tuple[PlatformStats, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # fleet totals
+    # ------------------------------------------------------------------ #
+    @property
+    def records(self) -> Tuple[AdmissionRecord, ...]:
+        """The admission trace."""
+        return self.plan.records
+
+    @property
+    def submitted(self) -> int:
+        """Total session requests across every user."""
+        return len(self.plan.records)
+
+    @property
+    def admitted(self) -> int:
+        """Sessions admitted and simulated."""
+        return sum(1 for r in self.plan.records if r.outcome == ADMITTED)
+
+    @property
+    def rejected(self) -> int:
+        """Sessions rejected for capacity."""
+        return sum(1 for r in self.plan.records if r.outcome == REJECTED)
+
+    @property
+    def throttled(self) -> int:
+        """Sessions throttled by per-user fair share."""
+        return sum(1 for r in self.plan.records if r.outcome == THROTTLED)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected over submitted sessions, fleet-wide."""
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def total_frames(self) -> int:
+        """Frames measured across every admitted session."""
+        return sum(stats.total_frames for stats in self.platform_stats)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form — the backend-parity surface.
+
+        Session results are keyed by stringified session id and emitted in
+        id order; user stats in user-id order; platform stats in platform
+        order.  Nothing in the payload depends on dict iteration order of
+        runtime state, so serial and process backends serialize identically.
+        """
+        return {
+            "spec": self.plan.spec.to_dict(),
+            "totals": {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "throttled": self.throttled,
+            },
+            "records": [record.to_dict() for record in self.plan.records],
+            "users": {
+                user_id: stats.to_dict()
+                for user_id, stats in sorted(self.user_stats.items())
+            },
+            "platforms": [stats.to_dict() for stats in self.platform_stats],
+            "sessions": {
+                str(session_id): self.session_results[session_id].to_dict()
+                for session_id in sorted(self.session_results)
+            },
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        spec = self.plan.spec
+        lines = [
+            f"fleet of {len(spec.platforms)} platforms, {spec.total_users} users, "
+            f"policy={spec.policy} ({spec.duration_ms:.0f} ms, seed {spec.seed})",
+            f"  sessions: submitted={self.submitted} admitted={self.admitted} "
+            f"rejected={self.rejected} throttled={self.throttled} "
+            f"(rejection rate {self.rejection_rate:.1%})",
+        ]
+        for stats in self.platform_stats:
+            lines.append(
+                f"  platform[{stats.index}] {stats.name}: "
+                f"sessions={stats.sessions} peak={stats.peak_active}/{stats.max_sessions} "
+                f"frames={stats.total_frames} violations={stats.violated_frames} "
+                f"({stats.violation_rate:.1%}) "
+                f"util={stats.mean_utilization:.1%} energy={stats.total_energy_mj:.1f} mJ"
+            )
+        for user_id, stats in sorted(self.user_stats.items()):
+            quantiles = ""
+            if stats.latency_quantiles:
+                quantiles = (
+                    f" latency p50/p95/p99="
+                    f"{stats.latency_quantiles.get('p50', 0.0):.2f}/"
+                    f"{stats.latency_quantiles.get('p95', 0.0):.2f}/"
+                    f"{stats.latency_quantiles.get('p99', 0.0):.2f} ms"
+                )
+            lines.append(
+                f"  user {user_id}: submitted={stats.submitted} "
+                f"admitted={stats.admitted} rejected={stats.rejected} "
+                f"throttled={stats.throttled}{quantiles}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate_fleet(
+    plan: FleetPlan,
+    session_results: Mapping[int, SimulationResult],
+) -> FleetResult:
+    """Fold per-session results into per-user/per-platform fleet metrics.
+
+    Deterministic by construction: users are initialized in spec order,
+    the admission trace is consumed in record (= time) order, and session
+    results are folded in session-id order.
+    """
+    spec = plan.spec
+    labels = spec.platform_labels()
+
+    user_stats: dict[str, UserStats] = {}
+    for population in spec.users:
+        for user_id in population.user_ids():
+            user_stats[user_id] = UserStats(user_id=user_id, population=population.name)
+
+    platform_stats = tuple(
+        PlatformStats(
+            index=index,
+            name=labels[index],
+            platform=platform.platform,
+            scheduler=platform.scheduler,
+            max_sessions=platform.max_sessions,
+        )
+        for index, platform in enumerate(spec.platforms)
+    )
+
+    for record in plan.records:
+        stats = user_stats[record.user_id]
+        stats.submitted += 1
+        if record.outcome == ADMITTED:
+            stats.admitted += 1
+            platform = platform_stats[record.platform_index]
+            platform.sessions += 1
+            platform.peak_active = max(
+                platform.peak_active, record.active_before[record.platform_index] + 1
+            )
+        elif record.outcome == REJECTED:
+            stats.rejected += 1
+        elif record.outcome == THROTTLED:
+            stats.throttled += 1
+
+    job_by_session = {job.session_id: job for job in plan.jobs}
+    quantiles: dict[str, StreamingQuantiles] = {}
+    for session_id in sorted(session_results):
+        result = session_results[session_id]
+        job = job_by_session.get(session_id)
+        if job is None:
+            # A result for a session that was never admitted: don't fold it
+            # into any aggregate — the fleet oracle's frame_conservation
+            # check reports it.
+            continue
+        user = user_stats[job.user_id]
+        platform = platform_stats[job.platform_index]
+        stream = quantiles.setdefault(job.user_id, StreamingQuantiles())
+        for task_stats in result.task_stats.values():
+            user.total_frames += task_stats.total_frames
+            user.violated_frames += task_stats.violated_frames
+            platform.total_frames += task_stats.total_frames
+            platform.violated_frames += task_stats.violated_frames
+            if task_stats.completed_frames:
+                stream.add(task_stats.mean_latency_ms)
+        platform.total_energy_mj += result.total_energy_mj
+        if result.accelerator_stats:
+            platform.utilization_sum += sum(
+                acc.utilization for acc in result.accelerator_stats
+            ) / len(result.accelerator_stats)
+
+    for user_id, stream in quantiles.items():
+        summary = stream.summary()
+        if summary is not None:
+            user_stats[user_id].latency_quantiles = dict(summary)
+
+    return FleetResult(
+        plan=plan,
+        session_results=dict(session_results),
+        user_stats=user_stats,
+        platform_stats=platform_stats,
+    )

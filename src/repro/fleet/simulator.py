@@ -1,0 +1,317 @@
+"""The fleet simulator: admission/routing tier over per-platform engines.
+
+A fleet run has two phases with very different cost profiles, split so the
+expensive one shards over the existing execution backends:
+
+1. **Admission pass** (:meth:`FleetSimulator.plan`) — serial and cheap.
+   The user populations are unrolled into a time-ordered session-request
+   stream (:func:`repro.workloads.users.session_requests`); each request
+   is offered to the spec's routing policy against the fleet's
+   instantaneous occupancy (sessions hold a platform slot from admission
+   until ``admit_ms + session_duration_ms``).  The pass emits one
+   :class:`AdmissionRecord` per request — the fleet's event trace, which
+   the invariant oracle (:mod:`repro.fleet.invariants`) replays — and one
+   picklable :class:`FleetJob` per *admitted* session.
+2. **Session simulations** (:meth:`FleetSimulator.run`) — embarrassingly
+   parallel.  Every admitted session is one full per-platform
+   :class:`~repro.sim.engine.SimulationEngine` run, described by the
+   :class:`~repro.experiments.jobs.CellJob` embedded in its
+   :class:`FleetJob` and executed through
+   :func:`repro.experiments.harness.execute_jobs` — so fleet sessions use
+   the same serial/process backends and the same content-addressed
+   :class:`~repro.experiments.store.ResultStore` as grid cells.
+
+Determinism contract (the serial/process parity tests pin this down):
+
+* the admission pass is a pure function of the :class:`FleetSpec` — the
+  request stream is sorted, the policy is consulted in stream order, and
+  slot releases are processed from a heap keyed ``(end_ms, session_id)``;
+* each session's simulation seed is derived arithmetically
+  (``spec.seed * 1_000_003 + session_id`` — never through ``str.__hash__``),
+  so every session is a distinct, reproducible simulation;
+* session results are keyed by ``session_id`` and aggregated in id order,
+  making the full :class:`~repro.fleet.metrics.FleetResult` bit-for-bit
+  identical across backends and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.experiments.harness import execute_jobs
+from repro.experiments.jobs import CellJob
+from repro.fleet.policies import (
+    ADMITTED,
+    FleetLoadView,
+    PlatformLoad,
+    make_routing_policy,
+)
+from repro.fleet.spec import FleetSpec
+from repro.sim import SimulationResult
+from repro.workloads.users import session_requests
+
+#: Multiplier folding the global session id into the per-session seed;
+#: a large prime keeps derived seeds distinct across fleet seeds.
+SESSION_SEED_STRIDE = 1_000_003
+
+
+def session_seed(fleet_seed: int, session_id: int) -> int:
+    """The simulation seed of one admitted session.
+
+    Pure integer arithmetic — unlike ``hash(str)`` it is immune to
+    ``PYTHONHASHSEED`` and identical in every interpreter session.
+    """
+    return fleet_seed * SESSION_SEED_STRIDE + session_id
+
+
+@dataclass(frozen=True)
+class AdmissionRecord:
+    """One admission-tier decision — the fleet trace's unit record.
+
+    Attributes:
+        time_ms: fleet-clock time of the request.
+        session_id: global request id (assigned in stream order).
+        user_id: submitting user (``"<population>/<index>"``).
+        population: the user's population name.
+        scenario: scenario the session runs (if admitted).
+        outcome: ``"admitted"``, ``"rejected"`` or ``"throttled"``.
+        platform_index: target platform for admitted sessions else ``None``.
+        reason: policy-supplied reason for non-admission (``"capacity"``,
+            ``"fair_share"``), empty for admissions.
+        duration_ms: how long the session holds its slot once admitted.
+        active_before: per-platform active-session counts at decision time
+            (before this admission took effect) — the oracle replays the
+            admission pass and checks these snapshots bit-for-bit.
+    """
+
+    time_ms: float
+    session_id: int
+    user_id: str
+    population: str
+    scenario: str
+    outcome: str
+    platform_index: Optional[int]
+    reason: str
+    duration_ms: float
+    active_before: Tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "time_ms": self.time_ms,
+            "session_id": self.session_id,
+            "user_id": self.user_id,
+            "population": self.population,
+            "scenario": self.scenario,
+            "outcome": self.outcome,
+            "platform_index": self.platform_index,
+            "reason": self.reason,
+            "duration_ms": self.duration_ms,
+            "active_before": list(self.active_before),
+        }
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """A picklable description of one admitted session's simulation.
+
+    Wraps the :class:`~repro.experiments.jobs.CellJob` that actually runs
+    the per-platform engine, plus the fleet-level identity (session, user,
+    platform index) the aggregation layer needs.  The simulation outcome
+    is a pure function of the embedded cell, so :meth:`cache_key`
+    delegates to it — sessions describing the identical simulation share
+    one entry in the content-addressed result store.
+    """
+
+    session_id: int
+    user_id: str
+    population: str
+    platform_index: int
+    platform_name: str
+    admit_ms: float
+    cell: CellJob
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (session identity + cell spec)."""
+        return {
+            "session_id": self.session_id,
+            "user_id": self.user_id,
+            "population": self.population,
+            "platform_index": self.platform_index,
+            "platform_name": self.platform_name,
+            "admit_ms": self.admit_ms,
+            "cell": self.cell.to_dict(),
+        }
+
+    def cache_key(self) -> str:
+        """Content key of the simulation — the embedded cell's key."""
+        return self.cell.cache_key()
+
+    def run(self) -> SimulationResult:
+        """Execute the session's platform simulation."""
+        return self.cell.run()
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Output of the admission pass: the fleet trace plus runnable jobs."""
+
+    spec: FleetSpec
+    records: Tuple[AdmissionRecord, ...]
+    jobs: Tuple[FleetJob, ...]
+
+    @property
+    def submitted(self) -> int:
+        """Total session requests offered to the admission tier."""
+        return len(self.records)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """``{outcome: count}`` over every admission record."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+
+class FleetSimulator:
+    """Simulates a fleet of platforms behind a routing/admission tier.
+
+    One instance is bound to one :class:`FleetSpec`.  :meth:`plan` runs
+    the (cheap, serial, deterministic) admission pass; :meth:`run`
+    additionally executes every admitted session's platform simulation on
+    an execution backend and aggregates the fleet-level result.
+    """
+
+    def __init__(self, spec: FleetSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------ #
+    # phase 1: admission/routing
+    # ------------------------------------------------------------------ #
+    def plan(self) -> FleetPlan:
+        """Route every session request; emit the fleet trace and jobs.
+
+        Slot lifecycle: an admitted session occupies its platform from its
+        arrival until ``arrival + session_duration_ms``; a slot ending at
+        exactly time ``t`` is free again for a request arriving at ``t``
+        (releases are drained before each routing decision).
+        """
+        spec = self.spec
+        requests = session_requests(spec.users, spec.duration_ms, spec.seed)
+        policy = make_routing_policy(spec.policy)
+        labels = spec.platform_labels()
+
+        active = [0] * len(spec.platforms)
+        user_active: dict[str, int] = {}
+        # (end_ms, session_id, platform_index, user_id) — session_id breaks
+        # end-time ties deterministically.
+        releases: list[tuple[float, int, int, str]] = []
+
+        records: list[AdmissionRecord] = []
+        jobs: list[FleetJob] = []
+        for session_id, request in enumerate(requests):
+            while releases and releases[0][0] <= request.arrival_ms:
+                _, _, platform_index, user_id = heapq.heappop(releases)
+                active[platform_index] -= 1
+                user_active[user_id] -= 1
+            decision = policy.route(request, self._view(active, user_active))
+            records.append(
+                AdmissionRecord(
+                    time_ms=request.arrival_ms,
+                    session_id=session_id,
+                    user_id=request.user_id,
+                    population=request.population,
+                    scenario=request.scenario,
+                    outcome=decision.outcome,
+                    platform_index=decision.platform_index,
+                    reason=decision.reason,
+                    duration_ms=request.session_duration_ms,
+                    active_before=tuple(active),
+                )
+            )
+            if decision.outcome != ADMITTED:
+                continue
+            index = decision.platform_index
+            active[index] += 1
+            user_active[request.user_id] = user_active.get(request.user_id, 0) + 1
+            heapq.heappush(
+                releases,
+                (
+                    request.arrival_ms + request.session_duration_ms,
+                    session_id,
+                    index,
+                    request.user_id,
+                ),
+            )
+            platform = spec.platforms[index]
+            jobs.append(
+                FleetJob(
+                    session_id=session_id,
+                    user_id=request.user_id,
+                    population=request.population,
+                    platform_index=index,
+                    platform_name=labels[index],
+                    admit_ms=request.arrival_ms,
+                    cell=CellJob.create(
+                        scenario=request.scenario,
+                        platform=platform.platform,
+                        scheduler=platform.scheduler,
+                        duration_ms=request.session_duration_ms,
+                        seed=session_seed(spec.seed, session_id),
+                        cascade_probability=request.cascade_probability,
+                    ),
+                )
+            )
+        return FleetPlan(spec=spec, records=tuple(records), jobs=tuple(jobs))
+
+    def _view(self, active: list[int], user_active: dict[str, int]) -> FleetLoadView:
+        """Immutable load snapshot handed to the routing policy."""
+        spec = self.spec
+        return FleetLoadView(
+            loads=tuple(
+                PlatformLoad(
+                    index=index,
+                    name=platform.name,
+                    max_sessions=platform.max_sessions,
+                    active=active[index],
+                )
+                for index, platform in enumerate(spec.platforms)
+            ),
+            user_active=dict(user_active),
+            total_users=spec.total_users,
+            total_capacity=spec.total_capacity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # phase 2: session simulations + aggregation
+    # ------------------------------------------------------------------ #
+    def run(self, backend=None, workers=None, store=None):
+        """Execute the fleet end to end and aggregate the result.
+
+        Args:
+            backend: execution backend name or instance (``"serial"`` /
+                ``"process"``), defaulting per
+                :func:`repro.experiments.default_execution`.
+            workers: pool size for the process backend.
+            store: optional content-addressed
+                :class:`~repro.experiments.store.ResultStore`; session
+                simulations already persisted are loaded, not re-run.
+
+        Returns:
+            :class:`~repro.fleet.metrics.FleetResult`.
+        """
+        from repro.fleet.metrics import aggregate_fleet
+
+        plan = self.plan()
+        results = execute_jobs(plan.jobs, backend=backend, workers=workers, store=store)
+        session_results = {
+            job.session_id: result for job, result in zip(plan.jobs, results)
+        }
+        return aggregate_fleet(plan, session_results)
+
+
+def simulate_fleet(spec: FleetSpec, backend=None, workers=None, store=None):
+    """One-call convenience wrapper: plan, simulate, aggregate."""
+    return FleetSimulator(spec).run(backend=backend, workers=workers, store=store)

@@ -1,0 +1,179 @@
+"""Declarative fleet descriptions: platforms, user populations, policy.
+
+A :class:`FleetSpec` is the single input of a fleet simulation — N
+heterogeneous platforms (each a :class:`PlatformSpec`: accelerator preset +
+scheduler + session capacity), a set of user populations
+(:class:`~repro.workloads.users.UserSpec`), one routing/admission policy
+name, a window length and a seed.  Like every other job-spec dataclass in
+the repo it is frozen, built only from preset names and scalars, picklable,
+and JSON round-trippable (:meth:`FleetSpec.to_dict` /
+:meth:`FleetSpec.from_dict`), so one spec fully determines a fleet run
+bit-for-bit on any execution backend.
+
+Validation happens eagerly in ``__post_init__`` against the live
+registries (platform presets, scheduler names, routing policies, scenario
+presets), so a malformed spec fails at construction — before any
+simulation budget is spent — with a message naming the alternatives.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.hardware import all_platform_names
+from repro.schedulers import scheduler_names
+from repro.workloads import scenario_names
+from repro.workloads.users import UserSpec
+
+#: Default session capacity of one platform (concurrently active sessions).
+DEFAULT_MAX_SESSIONS = 4
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One platform of the fleet: accelerator preset, scheduler, capacity.
+
+    Attributes:
+        platform: accelerator platform preset name
+            (``repro.hardware.all_platform_names()``).
+        scheduler: scheduler driving this platform
+            (``repro.schedulers.scheduler_names()``).
+        max_sessions: how many sessions may be active on the platform at
+            once — the admission tier's capacity notion; the platform's
+            ``allocated fraction`` is ``active / max_sessions``.
+        name: optional display label; defaults to
+            ``"<platform>+<scheduler>"`` (indices keep duplicates apart).
+    """
+
+    platform: str
+    scheduler: str
+    max_sessions: int = DEFAULT_MAX_SESSIONS
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.platform not in all_platform_names():
+            raise ValueError(
+                f"unknown platform preset {self.platform!r}; "
+                f"available: {', '.join(all_platform_names())}"
+            )
+        if self.scheduler not in scheduler_names():
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"available: {', '.join(scheduler_names())}"
+            )
+        if self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1 (got {self.max_sessions})")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.platform}+{self.scheduler}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "platform": self.platform,
+            "scheduler": self.scheduler,
+            "max_sessions": self.max_sessions,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlatformSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything a fleet simulation needs, by value.
+
+    Attributes:
+        platforms: the fleet's platforms, in routing order (policies that
+            scan break ties by this index).
+        users: the user populations submitting sessions.
+        policy: routing/admission policy name
+            (``repro.fleet.routing_policy_names()``).
+        duration_ms: fleet-clock window over which sessions arrive.
+        seed: master seed; per-user arrival streams and per-session
+            simulation seeds are all derived from it deterministically.
+    """
+
+    platforms: Tuple[PlatformSpec, ...]
+    users: Tuple[UserSpec, ...]
+    policy: str = "round_robin"
+    duration_ms: float = 2000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept lists for ergonomic construction; store tuples (hashable).
+        if not isinstance(self.platforms, tuple):
+            object.__setattr__(self, "platforms", tuple(self.platforms))
+        if not isinstance(self.users, tuple):
+            object.__setattr__(self, "users", tuple(self.users))
+        if not self.platforms:
+            raise ValueError("a fleet needs at least one platform")
+        if not self.users:
+            raise ValueError("a fleet needs at least one user population")
+        population_names = [spec.name for spec in self.users]
+        if len(set(population_names)) != len(population_names):
+            raise ValueError(f"duplicate population names: {population_names}")
+        for spec in self.users:
+            if spec.scenario not in scenario_names():
+                raise ValueError(
+                    f"population {spec.name!r}: unknown scenario {spec.scenario!r}; "
+                    f"available: {', '.join(scenario_names())}"
+                )
+        from repro.fleet.policies import routing_policy_names
+
+        if self.policy not in routing_policy_names():
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; "
+                f"available: {', '.join(routing_policy_names())}"
+            )
+        if self.duration_ms <= 0:
+            raise ValueError(f"duration_ms must be positive (got {self.duration_ms})")
+
+    @property
+    def total_users(self) -> int:
+        """Number of individual users across every population."""
+        return sum(spec.users for spec in self.users)
+
+    @property
+    def total_capacity(self) -> int:
+        """Summed session capacity of every platform."""
+        return sum(spec.max_sessions for spec in self.platforms)
+
+    def platform_labels(self) -> list[str]:
+        """Display labels, disambiguated by index when presets repeat."""
+        labels = [spec.name for spec in self.platforms]
+        seen: dict[str, int] = {}
+        unique = []
+        for label in labels:
+            count = seen.get(label, 0)
+            seen[label] = count + 1
+            unique.append(label if count == 0 else f"{label}#{count}")
+        return unique
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "platforms": [spec.to_dict() for spec in self.platforms],
+            "users": [spec.to_dict() for spec in self.users],
+            "policy": self.policy,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["platforms"] = tuple(
+            PlatformSpec.from_dict(item) for item in payload["platforms"]
+        )
+        payload["users"] = tuple(UserSpec.from_dict(item) for item in payload["users"])
+        return cls(**payload)
+
+    def canonical_key(self) -> str:
+        """Canonical JSON of the spec — stable across processes/sessions."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

@@ -39,6 +39,7 @@ from repro.workloads.scenarios import (
     scenario_names,
 )
 from repro.workloads.dynamicity import WorkloadPhase, PhasedWorkload
+from repro.workloads.users import SessionRequest, UserSpec, session_requests
 from repro.workloads.generator import (
     MODEL_POOL,
     GeneratorSpec,
@@ -76,4 +77,7 @@ __all__ = [
     "scenario_names",
     "WorkloadPhase",
     "PhasedWorkload",
+    "SessionRequest",
+    "UserSpec",
+    "session_requests",
 ]

@@ -1,4 +1,4 @@
-"""The ``repro`` console CLI: grid, figure, bench, list, generate, fuzz."""
+"""The ``repro`` console CLI: grid, figure, bench, list, generate, fuzz, fleet."""
 
 import json
 
@@ -540,3 +540,58 @@ class TestBenchEngine:
         )
         assert code == 1
         assert "schedule() calls regressed" in capsys.readouterr().err
+
+
+class TestFleet:
+    _FAST = [
+        "--duration-ms", "300", "--session-ms", "100",
+        "--scenarios", "ar_call", "--users", "2", "--session-rate", "300",
+    ]
+
+    def test_fleet_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_describe_prints_spec_and_admission_plan(self, capsys):
+        assert main(["fleet", "describe", *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "fleet spec: 3 platforms" in out
+        assert "admission plan:" in out
+        assert "admitted=" in out
+
+    def test_run_writes_json_and_passes_the_oracle(self, tmp_path, capsys):
+        out_file = tmp_path / "fleet.json"
+        code = main(["fleet", "run", *self._FAST, "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet oracle: OK" in out
+        payload = json.loads(out_file.read_text())
+        assert set(payload) == {"spec", "totals", "records", "users",
+                                "platforms", "sessions"}
+        assert payload["totals"]["submitted"] > 0
+        assert payload["totals"]["admitted"] == len(payload["sessions"])
+
+    def test_run_replays_a_written_spec(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["fleet", "run", *self._FAST, "--policy", "fair_share",
+                     "--spec-out", str(spec_file), "--json", str(first)]) == 0
+        assert main(["fleet", "run", "--spec", str(spec_file),
+                     "--json", str(second)]) == 0
+        assert json.loads(first.read_text()) == json.loads(second.read_text())
+
+    def test_run_serial_process_parity(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        process = tmp_path / "process.json"
+        assert main(["fleet", "run", *self._FAST, "--backend", "serial",
+                     "--json", str(serial)]) == 0
+        assert main(["fleet", "run", *self._FAST, "--backend", "process",
+                     "--workers", "2", "--json", str(process)]) == 0
+        assert json.loads(serial.read_text()) == json.loads(process.read_text())
+
+    def test_unreadable_spec_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["fleet", "run", "--spec", str(bad)]) == 2
+        assert "cannot read fleet spec" in capsys.readouterr().err
