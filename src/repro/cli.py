@@ -7,7 +7,10 @@ Subcommands:
 * ``repro grid`` — run a (scenario x platform x scheduler) grid on a chosen
   execution backend, print the paper-style UXCost table, optionally
   persisting results (``--store``) and dumping structured JSON (``--json``).
-  ``--smoke`` selects the small fixed grid CI uses for backend parity.
+  ``--smoke`` selects the small fixed grid CI uses for backend parity;
+  ``--kernel vector`` (also on ``repro generate --run``) evaluates DREAM's
+  scheduling rounds through the NumPy decision kernel (bit-for-bit
+  identical decisions).
 * ``repro figure N`` — regenerate one evaluation figure (or ``all``),
   routed through the selected backend via
   :func:`repro.experiments.harness.default_execution`.
@@ -16,8 +19,9 @@ Subcommands:
   (cells/sec, wall times, speedup) so perf trajectories persist across PRs.
 * ``repro bench-engine`` — time the simulation hot loop itself: run the
   Table-3 grid plus generated scenarios across all registered schedulers on
-  both the optimized engine and the retained reference path, assert
-  bit-for-bit result parity, report events/sec, and emit
+  the optimized engine (scalar and, when numpy is available, the vector
+  decision kernel) and the retained reference path, assert bit-for-bit
+  result parity across all passes, report events/sec, and emit
   ``BENCH_engine.json``.  ``--quick`` selects the CI-sized basket,
   ``--jobs N`` fans cells out to the process execution backend,
   ``--profile`` (fixed dump path) / ``--profile-out PATH`` capture a
@@ -34,7 +38,10 @@ Subcommands:
   requested scheduler on each generated scenario, audit the trace-invariant
   oracle and the metamorphic cross-scheduler properties, and write failing
   scenario specs as replayable artifacts.  ``--traffic`` extends the sweep
-  to non-periodic arrival processes.  Exit codes: 0 = clean,
+  to non-periodic arrival processes; ``--kernels python,vector,reference``
+  (or ``all``) re-runs every scheduler on each decision path and reports
+  any result/trace divergence as a ``kernel_parity`` violation.
+  Exit codes: 0 = clean,
   1 = harness error (a scheduler/engine crashed), 2 = usage error,
   3 = invariant or metamorphic violation.  ``--replay <spec.json>``
   deterministically re-runs a stored artifact.
@@ -63,7 +70,11 @@ from typing import Optional, Sequence
 from repro import __version__
 from repro.experiments import figures as figures_mod
 from repro.experiments.backends import backend_names
-from repro.experiments.differential import replay_artifact, run_fuzz
+from repro.experiments.differential import (
+    KERNEL_AXIS_NAMES,
+    replay_artifact,
+    run_fuzz,
+)
 from repro.experiments.harness import (
     GridResult,
     default_execution,
@@ -81,6 +92,8 @@ from repro.fleet import (
     simulate_fleet,
 )
 from repro.hardware.platform import all_platform_names
+from repro.hardware.vector_view import HAVE_NUMPY
+from repro.sim import ENGINE_KERNELS
 from repro.metrics.reporting import format_table
 from repro.schedulers import scheduler_names
 from repro.workloads import (
@@ -156,6 +169,20 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
 
 def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
     return ResultStore(args.store) if args.store is not None else None
+
+
+def _engine_kernel_kwargs(args: argparse.Namespace) -> dict[str, str]:
+    """Extra engine kwargs for ``--kernel``.
+
+    The default 'python' kernel contributes nothing so default jobs keep
+    their historical content-addressed store keys; 'vector' is validated
+    here (usage error, exit 2) instead of crashing inside a worker.
+    """
+    if args.kernel == "python":
+        return {}
+    if args.kernel == "vector" and not HAVE_NUMPY:
+        raise ValueError("kernel 'vector' requires numpy, which is not installed")
+    return {"kernel": args.kernel}
 
 
 def _execute_and_report(jobs, args: argparse.Namespace) -> tuple[GridResult, float]:
@@ -257,6 +284,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         duration_ms=duration_ms,
         seed=args.seed,
         cascade_probability=args.cascade_probability,
+        **_engine_kernel_kwargs(args),
     )
     grid, elapsed = _execute_and_report(jobs, args)
 
@@ -270,6 +298,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
                 "duration_ms": duration_ms,
                 "seed": args.seed,
                 "cascade_probability": args.cascade_probability,
+                "kernel": args.kernel,
             },
             "backend": args.backend,
             "workers": args.workers,
@@ -575,6 +604,24 @@ def _scheduler_list(values: Optional[Sequence[str]], default: Sequence[str]) -> 
     return _expand_registry(values, default, scheduler_names)
 
 
+def _kernel_list(values: Optional[Sequence[str]]) -> list[str]:
+    """Expand the fuzz ``--kernels`` axis ('all' = every decision path).
+
+    The 'vector' path needs numpy; failing here (usage error, exit 2)
+    beats eight identical per-scheduler harness errors later.
+    """
+    kernels = _expand_registry(values, ["python"], lambda: list(KERNEL_AXIS_NAMES))
+    for kernel in kernels:
+        if kernel not in KERNEL_AXIS_NAMES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from "
+                f"{', '.join(KERNEL_AXIS_NAMES)} (or 'all')"
+            )
+    if "vector" in kernels and not HAVE_NUMPY:
+        raise ValueError("kernel 'vector' requires numpy, which is not installed")
+    return kernels
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     spec = _generator_spec(args)
     generator = ScenarioGenerator(spec)
@@ -596,6 +643,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     jobs = generated_cell_jobs(
         spec, args.count, platforms, schedulers,
         duration_ms=duration_ms, seed=args.seed,
+        **_engine_kernel_kwargs(args),
     )
     print(
         f"running {len(jobs)} generated cells ({args.count} scenarios x "
@@ -612,6 +660,8 @@ def _print_fuzz_report(report) -> None:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     schedulers = _scheduler_list(args.schedulers, scheduler_names())
+    # None = "not given": a replay then honours the artifact's own axis.
+    kernels = _kernel_list(args.kernels) if args.kernels else None
     duration_ms = args.duration_ms if args.duration_ms is not None else 400.0
 
     if args.replay is not None:
@@ -621,7 +671,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"repro: error: cannot read {args.replay}: {error}", file=sys.stderr)
             return 2
         try:
-            report = replay_artifact(artifact, schedulers=args.schedulers and schedulers)
+            report = replay_artifact(
+                artifact, schedulers=args.schedulers and schedulers, kernels=kernels
+            )
         except ValueError:
             # Malformed artifact (e.g. no generator spec): a usage error —
             # main() maps ValueError to exit 2, like other bad inputs.
@@ -639,9 +691,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         # broad except below must only classify engine/scheduler crashes.
         raise ValueError("--seeds must be positive")
     spec = _generator_spec(args)
+    kernels = kernels or ["python"]
+    axis = f" x kernels {'+'.join(kernels)}" if len(kernels) > 1 else ""
     print(
         f"fuzzing {args.seeds} generated scenario(s) (generator seed "
-        f"{spec.seed}) x {len(schedulers)} schedulers on {args.platform} "
+        f"{spec.seed}) x {len(schedulers)} schedulers{axis} on {args.platform} "
         f"({duration_ms:g} ms, sim seed {args.seed})"
     )
     try:
@@ -652,6 +706,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             platform=args.platform,
             duration_ms=duration_ms,
             seed=args.seed,
+            kernels=kernels,
         )
     except Exception as error:  # noqa: BLE001 - harness error, exit 1
         print(f"repro fuzz: harness error: {error}", file=sys.stderr)
@@ -926,6 +981,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency", action="store_true",
         help="also print per-task streamed latency quantiles (p50/p95/p99)",
     )
+    grid_parser.add_argument(
+        "--kernel", choices=ENGINE_KERNELS, default="python",
+        help="decision kernel of the simulation engine; 'vector' evaluates "
+        "large DREAM scheduling rounds through the NumPy kernel, "
+        "bit-for-bit identical to 'python' (default: python)",
+    )
     _add_execution_options(grid_parser)
     grid_parser.set_defaults(func=_cmd_grid)
 
@@ -1096,6 +1157,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency", action="store_true",
         help="with --run: also print per-task streamed latency quantiles",
     )
+    generate_parser.add_argument(
+        "--kernel", choices=ENGINE_KERNELS, default="python",
+        help="decision kernel for --run (see 'repro grid --kernel'; "
+        "default: python)",
+    )
     _add_execution_options(generate_parser)
     generate_parser.set_defaults(func=_cmd_generate)
 
@@ -1111,6 +1177,13 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--schedulers", action="append", metavar="NAMES",
         help="schedulers to differential-test ('all' or comma-separated; default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--kernels", action="append", metavar="NAMES",
+        help="decision paths to cross-check per scheduler: python, vector, "
+        "reference ('all' or comma-separated; the first is the canonical "
+        "run, any divergence on the others is a kernel_parity violation; "
+        "default: python)",
     )
     fuzz_parser.add_argument(
         "--platform", default="4k_1ws_2os",

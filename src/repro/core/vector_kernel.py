@@ -1,0 +1,485 @@
+"""The vectorized decision kernel: DREAM's hot path as pure array math.
+
+After PRs 3/5 the per-*call* cost of every scheduler consultation is O(1),
+but the per-*round* cost is still a Python loop over the pending requests
+(MapScore pair scoring, the SmartDrop to-go/condition scans).  Under the
+deep queues of the loaded Table-3 scenarios those loops dominate the whole
+simulation.  This module re-expresses them as NumPy array programs over
+dense per-request *slot arrays*:
+
+* every live request owns a slot for the lifetime of its stay in the pool
+  (``on_request_arrival`` assigns it, ``on_request_finished`` releases
+  it).  The slot's statics — deadline, last progress, the
+  sequentially-summed to-go values, and the next layer's global index
+  into the :class:`~repro.hardware.vector_view.VectorCostView` arrays —
+  are filled *lazily*: arrival and layer-completion hooks only append the
+  request to a dirty list (so shallow-queue cells, which never reach
+  :data:`VECTOR_MIN_PENDING`, pay one list append per event), and the
+  dirty list is flushed before any round gathers slot rows.  The flush
+  point is provably sufficient: every dirtying event (an arrival, a
+  progress re-insertion) also replaces the pool's pending snapshot tuple,
+  so the identity-keyed round memo *misses* and re-gathers — a memo hit
+  implies no new dirt.  Fills are exact for live requests:
+  ``deadline_ms`` is immutable and ``last_progress_ms`` only ever changes
+  together with ``next_position`` (terminal-state mutations happen after
+  the slot is released), so a filled slot always equals a live re-read;
+* a scheduling round gathers the pending snapshot's slots once (memoized
+  on ``(snapshot identity, now)`` — the pool replaces the snapshot tuple
+  whenever membership *or* progress changes, so identity implies the
+  gathered statics are still valid, and the SmartDrop scan and the
+  MapScore scoring of the same round share the gather) and evaluates the
+  decision for the whole population with array operations.
+
+Bit-for-bit contract
+--------------------
+Results are identical to the scalar fast path (and therefore to the
+reference path), not merely close:
+
+* every array expression applies the *same* elementwise IEEE-754
+  operations, in the same association order, as the scalar expressions in
+  :meth:`~repro.core.dispatch.JobDispatchEngine._score_pairs_fast` /
+  :meth:`~repro.core.frame_drop.SmartFrameDropEngine.select_drop`
+  (elementwise float64 add/sub/mul/div, ``np.where`` selection and
+  ``np.maximum`` are correctly rounded exactly like CPython floats —
+  ``np.maximum(x, c)`` equals the scalar ``x if x > c else c`` floors for
+  every reachable input, since no score input is NaN and the one floor
+  whose operand could in principle be a signed zero, the queue time, is
+  never ``-0.0``: ``now - last_progress`` is ``+0.0`` when equal and both
+  floors map negatives to ``+0.0``.  Nothing here uses ``np.sum``, whose
+  pairwise accumulation would differ — the sequential path sums stay in
+  :meth:`CostTable.remaining_average_latency` / ``remaining_best_latency``
+  and are computed once per slot fill);
+* tie-breaks are explicit and match the scalar iteration order:
+  ``np.argmax`` returns the *first* maximum, exactly like the scalar
+  strict-``>`` running max and ``max(key=...)``; pair ranking uses a
+  *stable* argsort over the request-major/accelerator-minor flattening,
+  exactly like the stable descending sort over the scalar pair list.
+
+The kernel engages only above :data:`VECTOR_MIN_PENDING` pending requests;
+below it the scalar loops win on constant factors.  Both paths produce the
+same decision, so the threshold is a pure performance knob — the parity
+suite and ``repro fuzz --kernels`` enforce exactly that.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.hardware.vector_view import require_numpy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.cost_table import CostTable
+    from repro.sim.request import InferenceRequest
+    from repro.workloads.scenario import Scenario
+
+#: Slack floor shared with the scalar engines (mapscore / frame_drop).
+_MIN_SLACK_MS = 1e-3
+
+#: Minimum pending-population size before the vectorized paths engage;
+#: below it the scalar hot loops are faster (array-op dispatch overhead
+#: exceeds the loop cost; the crossover sits near the ~35 µs constant
+#: cost of a vectorized round over the ~0.4 µs/pair scalar loop).
+#: Decisions are identical either way, so the threshold is a pure
+#: performance knob (tuned on the Table-3 basket).
+VECTOR_MIN_PENDING = 64
+
+#: Initial slot capacity of the per-request arrays.
+_INITIAL_CAPACITY = 64
+
+#: Dirty-list length that triggers an eager flush (bounds the list in
+#: shallow cells where no round ever flushes it; entries whose request
+#: already left the pool are skipped, so the periodic sweep is cheap).
+_MAX_DIRTY = 512
+
+#: Columns of the fused float statics array.
+_F_DEADLINE = 0
+_F_LAST_PROGRESS = 1
+_F_TO_GO_AVG = 2
+_F_TO_GO_BEST = 3
+_F_AVG_NEXT = 4
+_F_TOT_LAT_NEXT = 5
+_F_TOT_ENERGY_NEXT = 6
+_F_COLS = 7
+
+#: Columns of the fused integer statics array.
+_I_GL_IDX = 0
+_I_MODEL = 1
+_I_TASK = 2
+_I_COLS = 3
+
+_slot_of = attrgetter("_vector_slot")
+
+
+class VectorDecisionKernel:
+    """Array-program form of DREAM's per-round decisions.
+
+    One kernel is bound per (cost table, scenario) pair by
+    :meth:`~repro.core.dream.DreamScheduler.bind`; the scheduler's
+    lifecycle hooks feed it request adds/removals, and the dispatch /
+    frame-drop engines call :meth:`best_single`, :meth:`ranked_pairs` and
+    :meth:`select_drop` for large rounds.
+    """
+
+    def __init__(
+        self,
+        cost_table: "CostTable",
+        scenario: "Scenario",
+        max_drops_per_window: int,
+    ) -> None:
+        np = require_numpy()
+        self._np = np
+        self.cost_table = cost_table
+        self.view = cost_table.vector_view()
+        # Pre-sliced row views (plain Python lists), so the hot paths pay
+        # one fancy-index gather instead of a slice plus a gather.
+        view = self.view
+        num_accs = view.latency.shape[0]
+        self._lat_rows = [view.latency[a] for a in range(num_accs)]
+        self._energy_rows = [view.energy[a] for a in range(num_accs)]
+        self._switch_rows = [
+            [view.switch_energy[a, p] for p in range(view.switch_energy.shape[1])]
+            for a in range(num_accs)
+        ]
+
+        self._task_index = {task.name: i for i, task in enumerate(scenario.tasks)}
+        num_tasks = len(self._task_index)
+        chain_tail = np.zeros(num_tasks, dtype=bool)
+        for name, index in self._task_index.items():
+            chain_tail[index] = scenario.is_chain_tail(name)
+        self._chain_tail_by_task = chain_tail
+        # Condition 4 mirror: kept current by SmartFrameDropEngine's
+        # record_outcome via note_budget (True = budget available).
+        self._budget_ok_by_task = np.full(num_tasks, 0 < max_drops_per_window, dtype=bool)
+
+        cap = _INITIAL_CAPACITY
+        self._capacity = cap
+        self._free: list[int] = list(range(cap - 1, -1, -1))
+        self.fdat = np.zeros((cap, _F_COLS), dtype=np.float64)
+        self.idat = np.zeros((cap, _I_COLS), dtype=np.intp)
+        self.valid = np.zeros(cap, dtype=bool)
+        # Requests whose slot statics are stale (arrived or progressed
+        # since the last flush); flushed before every round gather.
+        self._dirty: list["InferenceRequest"] = []
+        self._any_exhausted = False
+
+        # Per-round memo of the pending gather, keyed ``(snapshot identity,
+        # now)``: the pool replaces its snapshot tuples on every membership
+        # or progress change, so tuple identity implies the gathered
+        # statics are current; within one round the SmartDrop scan and the
+        # MapScore scoring share the gather.
+        self._round_snapshot: Optional[tuple] = None
+        self._round_now: float = float("nan")
+        self._round_data: Optional[tuple] = None
+        # The running snapshot memo only needs tuple identity: a running
+        # request's position is constant for the lifetime of the tuple
+        # (progress removes it from the running set, which rebuilds the
+        # snapshot), so validated slots stay valid as long as it lives.
+        self._running_key: Optional[tuple] = None
+        self._running_idx = None
+
+    # ------------------------------------------------------------------ #
+    # request lifecycle (driven by the scheduler hooks)
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        np = self._np
+        old = self._capacity
+        new = old * 2
+        fdat = np.zeros((new, _F_COLS), dtype=np.float64)
+        fdat[:old] = self.fdat
+        self.fdat = fdat
+        idat = np.zeros((new, _I_COLS), dtype=np.intp)
+        idat[:old] = self.idat
+        self.idat = idat
+        valid = np.zeros(new, dtype=bool)
+        valid[:old] = self.valid
+        self.valid = valid
+        self._free.extend(range(new - 1, old - 1, -1))
+        self._capacity = new
+
+    def add(self, request: "InferenceRequest") -> None:
+        """Assign a slot to a newly arrived request (filled lazily on use)."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        request._vector_slot = slot
+        self._dirty.append(request)
+        if len(self._dirty) >= _MAX_DIRTY:
+            self._flush()
+
+    def mark_dirty(self, request: "InferenceRequest") -> None:
+        """Note that a request progressed (its slot is re-derived on next use)."""
+        self._dirty.append(request)
+        if len(self._dirty) >= _MAX_DIRTY:
+            self._flush()
+
+    def remove(self, request: "InferenceRequest") -> None:
+        """Release a finished request's slot.
+
+        A lingering dirty-list entry is fine: the flush skips requests
+        that no longer carry a slot, and a reused slot is re-derived by
+        the new owner's own dirty entry (appended strictly later).
+        """
+        slot = request.__dict__.pop("_vector_slot", None)
+        if slot is None:
+            return
+        self.valid[slot] = False
+        self._free.append(slot)
+
+    def _flush(self) -> None:
+        """Re-derive every dirty live request's slot statics."""
+        fill = self._fill
+        for request in self._dirty:
+            slot = request.__dict__.get("_vector_slot")
+            if slot is not None:
+                fill(request, slot)
+        self._dirty.clear()
+
+    def _fill(self, request: "InferenceRequest", slot: int) -> None:
+        """(Re-)derive a slot's statics at the request's current position.
+
+        Also covers Supernet variant switches by matching the scalar
+        caches' staleness semantics exactly: a switch keeps the position
+        at 0, so both the scalar position-keyed memo entries and this
+        slot serve the pre-switch statics until the next position change
+        — the decisions stay identical because the switched request is
+        dispatched in the same round it switches.
+        """
+        position = request.next_position
+        path = request.path
+        model = request.model_name
+        cost_table = self.cost_table
+        remaining = path[position:]
+        frow = self.fdat[slot]
+        frow[_F_DEADLINE] = request.deadline_ms
+        frow[_F_LAST_PROGRESS] = request.last_progress_ms
+        # Sequential Python sums — the exact values the scalar caches hold.
+        frow[_F_TO_GO_AVG] = cost_table.remaining_average_latency(model, remaining)
+        frow[_F_TO_GO_BEST] = cost_table.remaining_best_latency(model, remaining)
+        irow = self.idat[slot]
+        irow[_I_TASK] = self._task_index[request.task_name]
+        if position < len(path):
+            next_layer = path[position]
+            arrays = cost_table.layer_arrays(model)
+            frow[_F_AVG_NEXT] = arrays.average_latency[next_layer]
+            frow[_F_TOT_LAT_NEXT] = arrays.total_latency[next_layer]
+            frow[_F_TOT_ENERGY_NEXT] = arrays.total_energy[next_layer]
+            irow[_I_GL_IDX] = self.view.layer_offset[model] + next_layer
+            irow[_I_MODEL] = self.view.model_index[model]
+            self.valid[slot] = True
+        else:
+            # Exhausted path: unschedulable (the scalar loops skip it) but
+            # still subject to the SmartDrop scans with to_go == 0.0.
+            self.valid[slot] = False
+            self._any_exhausted = True
+
+    def _gather_slots(self, snapshot: tuple):
+        """Slot indices of a snapshot, flushing pending re-derivations first."""
+        if self._dirty:
+            self._flush()
+        np = self._np
+        return np.fromiter(map(_slot_of, snapshot), dtype=np.intp, count=len(snapshot))
+
+    def note_budget(self, task_name: str, available: bool) -> None:
+        """Condition-4 mirror update (from SmartFrameDropEngine.record_outcome)."""
+        self._budget_ok_by_task[self._task_index[task_name]] = available
+
+    # ------------------------------------------------------------------ #
+    # per-round gathers
+    # ------------------------------------------------------------------ #
+    def _round(self, snapshot: tuple, now_ms: float):
+        """``(idx, F, I, slack)`` for one scheduling round, memoized.
+
+        ``F``/``I`` are the fused statics rows of the snapshot's slots (in
+        snapshot order — the scalar loops' iteration order) and ``slack``
+        is ``deadline - now`` for each.  One gather serves both the
+        SmartDrop scan and the MapScore scoring of the round.
+        """
+        if snapshot is self._round_snapshot and now_ms == self._round_now:
+            return self._round_data
+        idx = self._gather_slots(snapshot)
+        fmat = self.fdat[idx]
+        imat = self.idat[idx]
+        slack = fmat[:, _F_DEADLINE] - now_ms
+        data = (idx, fmat, imat, slack)
+        self._round_snapshot = snapshot
+        self._round_now = now_ms
+        self._round_data = data
+        return data
+
+    def _running_slots(self, snapshot: tuple):
+        if snapshot is self._running_key:
+            return self._running_idx
+        idx = self._gather_slots(snapshot)
+        self._running_key = snapshot
+        self._running_idx = idx
+        return idx
+
+    # ------------------------------------------------------------------ #
+    # MapScore scoring (vector form of dispatch.py's hot loops)
+    # ------------------------------------------------------------------ #
+    def _schedulable(self, snapshot: tuple, now_ms: float):
+        """``(F, I, slack, positions)`` of the schedulable pending requests.
+
+        Positions are ``None`` when every pending request is schedulable
+        (the overwhelmingly common case); otherwise they map filtered rows
+        back to snapshot indices, preserving snapshot order like the
+        scalar path's pending filter.
+        """
+        idx, fmat, imat, slack = self._round(snapshot, now_ms)
+        if not self._any_exhausted:
+            return fmat, imat, slack, None
+        np = self._np
+        keep = np.flatnonzero(self.valid[idx])
+        if keep.size == len(snapshot):
+            return fmat, imat, slack, None
+        return fmat[keep], imat[keep], slack[keep], keep
+
+    def _request_terms(self, fmat, slack, now_ms: float, alpha: float):
+        """Accelerator-independent MapScore terms, per pending request.
+
+        Expressions mirror ``_score_pairs_fast`` exactly:
+        ``urgency = to_go / (slack if slack > 1e-3 else 1e-3)`` and
+        ``alpha_starv = alpha * (queue_time / (average if average > 1e-12
+        else 1e-12))`` with the queue time floored at 0 (``np.maximum``
+        matches the scalar ternaries for every reachable input — see the
+        module docstring).
+        """
+        np = self._np
+        urgency = fmat[:, _F_TO_GO_AVG] / np.maximum(slack, 1e-3)
+        queue_time = np.maximum(now_ms - fmat[:, _F_LAST_PROGRESS], 0.0)
+        alpha_starv = alpha * (queue_time / np.maximum(fmat[:, _F_AVG_NEXT], 1e-12))
+        return urgency, alpha_starv
+
+    def best_single(
+        self,
+        snapshot: tuple,
+        acc_view,
+        now_ms: float,
+        alpha: float,
+        beta: float,
+    ) -> Optional["InferenceRequest"]:
+        """Highest-MapScore schedulable request for ONE idle accelerator.
+
+        ``np.argmax`` keeps the first maximum — the same request the
+        scalar strict-``>`` running max keeps.  The steady-state round (a
+        completion frees one accelerator, the scheduler refills it) lands
+        here, so the expression is written flat: helper calls and
+        repeated slicing cost real time at one call per event.
+        """
+        np = self._np
+        fmat, imat, slack, positions = self._schedulable(snapshot, now_ms)
+        if fmat.shape[0] == 0:
+            return None
+        maximum = np.maximum
+        acc_id = acc_view.acc_id
+        urgency = fmat[:, _F_TO_GO_AVG] / maximum(slack, 1e-3)
+        alpha_starv = alpha * (
+            maximum(now_ms - fmat[:, _F_LAST_PROGRESS], 0.0)
+            / maximum(fmat[:, _F_AVG_NEXT], 1e-12)
+        )
+        gl = imat[:, _I_GL_IDX]
+        lat_pref = fmat[:, _F_TOT_LAT_NEXT] / maximum(self._lat_rows[acc_id][gl], 1e-12)
+        layer_energy = maximum(self._energy_rows[acc_id][gl], 1e-12)
+        switch = self._switch_rows[acc_id][
+            self.view.resident_id(acc_view.resident_model)
+        ][imat[:, _I_MODEL]]
+        energy = fmat[:, _F_TOT_ENERGY_NEXT] / layer_energy - switch / layer_energy
+        scores = urgency * lat_pref + alpha_starv + beta * energy
+        best = int(np.argmax(scores))
+        if positions is not None:
+            best = int(positions[best])
+        return snapshot[best]
+
+    def ranked_pairs(
+        self,
+        snapshot: tuple,
+        idle: Sequence,
+        now_ms: float,
+        alpha: float,
+        beta: float,
+    ):
+        """All (pending, idle) pair scores, ranked for the greedy matcher.
+
+        Returns ``(order, positions, idle_ids)`` — ``order`` iterates flat
+        request-major/accelerator-minor pair indices in descending score
+        order (stable argsort, so ties keep pair-list order exactly like
+        the scalar stable descending sort); ``positions`` maps filtered
+        request rows back to snapshot indices (``None`` = identity).
+        Returns ``None`` when nothing is schedulable.
+        """
+        np = self._np
+        fmat, imat, slack, positions = self._schedulable(snapshot, now_ms)
+        if fmat.shape[0] == 0:
+            return None
+        view = self.view
+        idle_ids = [acc.acc_id for acc in idle]
+        acc_arr = np.array(idle_ids, dtype=np.intp)
+        prev_arr = np.array(
+            [view.resident_id(acc.resident_model) for acc in idle], dtype=np.intp
+        )
+        urgency, alpha_starv = self._request_terms(fmat, slack, now_ms, alpha)
+        gl = imat[:, _I_GL_IDX]
+        # (idle, pending) gathers, transposed to pair-list (pending, idle)
+        # orientation; elementwise ops are association-identical to the
+        # scalar expressions regardless of layout.
+        this_latency = view.latency[acc_arr[:, None], gl[None, :]].T
+        layer_energy = view.energy[acc_arr[:, None], gl[None, :]].T
+        switch = view.switch_energy[
+            acc_arr[:, None], prev_arr[:, None], imat[:, _I_MODEL][None, :]
+        ].T
+        lat_pref = fmat[:, _F_TOT_LAT_NEXT][:, None] / np.maximum(this_latency, 1e-12)
+        layer_energy = np.maximum(layer_energy, 1e-12)
+        energy = (
+            fmat[:, _F_TOT_ENERGY_NEXT][:, None] / layer_energy
+            - switch / layer_energy
+        )
+        scores = urgency[:, None] * lat_pref + alpha_starv[:, None] + beta * energy
+        order = np.argsort(-scores.ravel(), kind="stable")
+        return order.tolist(), positions, idle_ids
+
+    # ------------------------------------------------------------------ #
+    # SmartDrop (vector form of frame_drop.py's select_drop)
+    # ------------------------------------------------------------------ #
+    def select_drop(
+        self,
+        pending: tuple,
+        running: tuple,
+        now_ms: float,
+    ) -> Optional["InferenceRequest"]:
+        """The four-condition drop decision over the whole population.
+
+        Condition order, early exits and the first-max tie-break replicate
+        :meth:`SmartFrameDropEngine.select_drop` exactly; the running scan
+        only feeds the >= 2 predicate, so counting all running violators
+        (instead of stopping at two) cannot change the outcome.
+        """
+        np = self._np
+        if not pending:
+            return None
+        _idx, fmat, imat, slack = self._round(pending, now_ms)
+        to_go = fmat[:, _F_TO_GO_BEST]
+        flagged = to_go > slack                                  # Condition 1
+        expected = int(np.count_nonzero(flagged))
+        if expected == 0:
+            return None
+        if expected < 2 and running:
+            ridx = self._running_slots(running)
+            rmat = self.fdat[ridx]
+            expected += int(
+                np.count_nonzero(
+                    rmat[:, _F_TO_GO_BEST] > (rmat[:, _F_DEADLINE] - now_ms)
+                )
+            )
+        if expected < 2:                                         # Condition 2
+            return None
+        task_ok = self._chain_tail_by_task & self._budget_ok_by_task  # 3 & 4
+        candidates = flagged & task_ok[imat[:, _I_TASK]]
+        if not candidates.any():
+            return None
+        hopelessness = to_go / np.maximum(_MIN_SLACK_MS, slack)
+        ranked = np.where(candidates, hopelessness, -np.inf)
+        return pending[int(np.argmax(ranked))]
+
+
+__all__ = ["VECTOR_MIN_PENDING", "VectorDecisionKernel"]

@@ -7,13 +7,15 @@ plus a fixed set of generated scenarios, across all registered schedulers —
 is simulated twice:
 
 * once on the optimized engine (``mode="fast"``: incremental request pool,
-  cached system views, flat-array costing), and
+  cached system views, flat-array costing),
+* once on the optimized engine with the NumPy decision kernel
+  (``kernel="vector"``; skipped when numpy is unavailable), and
 * once on the retained reference path (``mode="reference"``: the
   pre-optimization scan-based pool, per-call cost aggregation and view
   construction),
 
-and the two :class:`~repro.sim.results.SimulationResult`\\ s are asserted
-bit-for-bit identical.  Throughput is reported as simulation events
+and the :class:`~repro.sim.results.SimulationResult`\\ s are asserted
+bit-for-bit identical across all passes.  Throughput is reported as simulation events
 processed per wall-clock second; the speedup is the ratio of the two.
 
 The resulting payload is written to ``BENCH_engine.json`` so the engine's
@@ -34,6 +36,7 @@ from typing import Optional, Sequence
 from repro import __version__
 from repro.experiments.backends import make_backend
 from repro.experiments.jobs import generated_context, shared_context
+from repro.hardware.vector_view import HAVE_NUMPY
 from repro.schedulers import make_scheduler
 from repro.sim import SimulationEngine
 from repro.workloads import GeneratorSpec
@@ -43,9 +46,32 @@ from repro.workloads import GeneratorSpec
 #: the loaded steady state rather than the idle ramp-up).
 DEFAULT_DURATION_MS = 2000.0
 
+#: Shortest wall time a cell is allowed to report.  ``perf_counter`` can
+#: return identical ticks around a very fast quick-basket cell, which used
+#: to drive the ``events / wall`` division into a ``0.0 events/sec``
+#: fallback — silently understating throughput and tripping the
+#: ``--min-speedup``/baseline gates.  Clamping to the timer's own
+#: resolution keeps every ratio finite and honest (a cell genuinely faster
+#: than one tick is unmeasurable, not infinitely fast).
+_MIN_WALL_S = time.get_clock_info("perf_counter").resolution or 1e-9
+
+
+def _per_sec(events: int, wall_s: float) -> float:
+    """Events/sec with the wall clamped to the timer resolution."""
+    return events / max(wall_s, _MIN_WALL_S)
+
+
+def _ratio(numerator_s: float, denominator_s: float) -> float:
+    """Wall-clock ratio with both sides clamped to the timer resolution.
+
+    Clamping both keeps the degenerate case honest: two walls below one
+    tick compare as 1.0x (mutually unmeasurable), not 0.0x or infinity.
+    """
+    return max(numerator_s, _MIN_WALL_S) / max(denominator_s, _MIN_WALL_S)
+
 
 def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: float,
-              seed: int, mode: str) -> tuple[dict, SimulationEngine, float]:
+              seed: int, mode: str, kernel: str = "python") -> tuple[dict, SimulationEngine, float]:
     """One simulation; returns (result dict, the engine, wall seconds)."""
     engine = SimulationEngine(
         scenario=scenario,
@@ -55,6 +81,7 @@ def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: 
         seed=seed,
         cost_table=cost_table,
         mode=mode,
+        kernel=kernel,
     )
     started = time.perf_counter()
     result = engine.run()
@@ -102,7 +129,7 @@ class EngineBenchJob:
         """
         scenario, platform, cost_table = self._context()
         repeats = max(1, self.repeats)
-        fast_s = ref_s = float("inf")
+        fast_s = ref_s = vector_s = float("inf")
         for _ in range(repeats):
             if profiler is not None:
                 profiler.enable()
@@ -113,6 +140,14 @@ class EngineBenchJob:
             if profiler is not None:
                 profiler.disable()
             fast_s = min(fast_s, elapsed)
+        vector_result = vector_engine = None
+        if HAVE_NUMPY:
+            for _ in range(repeats):
+                vector_result, vector_engine, elapsed = _run_once(
+                    scenario, platform, self.scheduler, cost_table,
+                    self.duration_ms, self.seed, "fast", kernel="vector",
+                )
+                vector_s = min(vector_s, elapsed)
         for _ in range(repeats):
             ref_result, ref_engine, elapsed = _run_once(
                 scenario, platform, self.scheduler, cost_table,
@@ -122,16 +157,25 @@ class EngineBenchJob:
         fast_events = fast_engine.events_processed
         ref_events = ref_engine.events_processed
         cell_parity = fast_result == ref_result and fast_events == ref_events
-        return {
+        if vector_engine is not None:
+            # The vector kernel must be indistinguishable from the scalar
+            # fast path in everything but wall time.
+            cell_parity = (
+                cell_parity
+                and vector_result == fast_result
+                and vector_engine.events_processed == fast_events
+                and vector_engine.dispatch_rounds == fast_engine.dispatch_rounds
+            )
+        cell = {
             "scenario": scenario.name,
             "platform": self.platform,
             "scheduler": self.scheduler,
             "events": fast_events,
             "fast_wall_s": fast_s,
             "reference_wall_s": ref_s,
-            "fast_events_per_sec": fast_events / fast_s if fast_s > 0 else 0.0,
-            "reference_events_per_sec": ref_events / ref_s if ref_s > 0 else 0.0,
-            "speedup": ref_s / fast_s if fast_s > 0 else 0.0,
+            "fast_events_per_sec": _per_sec(fast_events, fast_s),
+            "reference_events_per_sec": _per_sec(ref_events, ref_s),
+            "speedup": _ratio(ref_s, fast_s),
             # Scheduler-load counters: dispatch_rounds counts actual
             # schedule() invocations; the reference engine keeps the exact
             # per-event dispatch path, so its rounds are the pre-elision
@@ -142,6 +186,11 @@ class EngineBenchJob:
             "reference_schedule_calls": ref_engine.dispatch_rounds,
             "parity": cell_parity,
         }
+        if vector_engine is not None:
+            cell["vector_wall_s"] = vector_s
+            cell["vector_events_per_sec"] = _per_sec(fast_events, vector_s)
+            cell["vector_speedup"] = _ratio(fast_s, vector_s)
+        return cell
 
 
 def bench_jobs(
@@ -266,8 +315,10 @@ def run_engine_bench(
     total_reference = sum(cell["reference_wall_s"] for cell in cells)
     parity = all(cell["parity"] for cell in cells)
 
-    fast_eps = total_events / total_fast if total_fast > 0 else 0.0
-    reference_eps = total_events / total_reference if total_reference > 0 else 0.0
+    fast_eps = _per_sec(total_events, total_fast)
+    reference_eps = _per_sec(total_events, total_reference)
+    vectorized = [cell for cell in cells if "vector_wall_s" in cell]
+    total_vector = sum(cell["vector_wall_s"] for cell in vectorized)
     schedule_calls = sum(cell["fast_schedule_calls"] for cell in cells)
     return {
         "benchmark": "engine_throughput",
@@ -299,6 +350,15 @@ def run_engine_bench(
             "fast_events_per_sec": fast_eps,
             "reference_events_per_sec": reference_eps,
             "speedup": fast_eps / reference_eps if reference_eps > 0 else 0.0,
+            **(
+                {
+                    "vector_wall_s": total_vector,
+                    "vector_events_per_sec": _per_sec(total_events, total_vector),
+                    "vector_speedup": _ratio(total_fast, total_vector),
+                }
+                if len(vectorized) == len(cells) and cells
+                else {}
+            ),
             # Deterministic scheduler-load counters (identical across
             # machines for one basket): the quick-basket CI gate fails when
             # fast_schedule_calls regresses against the committed baseline.
@@ -395,6 +455,32 @@ def compare_to_baseline(
                 f"allowed {max_regression * 100:.0f}%)"
             )
 
+    base_vector = base.get("vector_speedup")
+    current_vector = current.get("vector_speedup")
+    if base_vector and current_vector:
+        ratio = current_vector / base_vector
+        if ratio < threshold:
+            problems.append(
+                f"vector/fast speedup regressed: {current_vector:.2f}x vs "
+                f"baseline {base_vector:.2f}x ({(1.0 - ratio) * 100:.0f}% worse, "
+                f"allowed {max_regression * 100:.0f}%)"
+            )
+
+    base_vector_eps = base.get("vector_events_per_sec")
+    current_vector_eps = current.get("vector_events_per_sec")
+    if (
+        payload.get("machine") == match.get("machine")
+        and base_vector_eps
+        and current_vector_eps
+    ):
+        ratio = current_vector_eps / base_vector_eps
+        if ratio < threshold:
+            problems.append(
+                f"vector events/sec regressed: {current_vector_eps:.0f} vs "
+                f"baseline {base_vector_eps:.0f} ({(1.0 - ratio) * 100:.0f}% "
+                f"worse, allowed {max_regression * 100:.0f}%)"
+            )
+
     base_rounds = base.get("fast_schedule_calls")
     current_rounds = current.get("fast_schedule_calls")
     if base_rounds and current_rounds is not None:
@@ -426,10 +512,17 @@ def describe(payload: dict) -> str:
                 f" (elided {cell['fast_dispatches_elided']}"
                 f", coalesced {cell['fast_events_coalesced']})"
             )
+        vector = ""
+        if "vector_wall_s" in cell:
+            vector = (
+                f"  vec {cell['vector_wall_s'] * 1000:7.1f} ms "
+                f"({cell['vector_speedup']:4.2f}x)"
+            )
         lines.append(
             f"  {cell['scenario']:>18s}/{cell['platform']:<10s} {cell['scheduler']:<16s} "
             f"{cell['events']:>6d} ev  fast {cell['fast_wall_s'] * 1000:7.1f} ms  "
             f"ref {cell['reference_wall_s'] * 1000:8.1f} ms  {cell['speedup']:5.2f}x"
+            f"{vector}"
             f"{counters}"
             f"{'' if cell['parity'] else '  PARITY MISMATCH'}"
         )
@@ -440,6 +533,12 @@ def describe(payload: dict) -> str:
         f"{totals['reference_events_per_sec']:.0f} ev/s "
         f"({totals['reference_wall_s']:.2f} s) -> {totals['speedup']:.2f}x"
     )
+    if "vector_events_per_sec" in totals:
+        lines.append(
+            f"vector kernel: {totals['vector_events_per_sec']:.0f} ev/s "
+            f"({totals['vector_wall_s']:.2f} s) -> {totals['vector_speedup']:.2f}x "
+            f"over the scalar fast path"
+        )
     if "fast_schedule_calls" in totals:
         lines.append(
             f"scheduler load: {totals['fast_schedule_calls']} schedule() calls "

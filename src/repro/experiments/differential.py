@@ -31,7 +31,7 @@ full report — and the CLI can distinguish *harness errors* from
 from __future__ import annotations
 
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.experiments.jobs import generated_context
@@ -44,6 +44,23 @@ from repro.workloads.scenario import Scenario
 
 #: Scheduler used as the feasibility baseline when present.
 FEASIBILITY_BASELINE = "fcfs_dynamic"
+
+#: Decision-path axis of the differential harness.  Each name selects a
+#: ``(mode, kernel)`` pair of :class:`~repro.sim.SimulationEngine`:
+#: ``"python"`` is the scalar fast path, ``"vector"`` the NumPy decision
+#: kernel (requires numpy), and ``"reference"`` the retained
+#: pre-optimization engine.  All three must produce bit-for-bit identical
+#: results and traces; ``run_differential(kernels=...)`` re-runs every
+#: scheduler on each extra axis value and reports any divergence as a
+#: ``kernel_parity`` metamorphic failure.
+KERNEL_AXIS = {
+    "python": ("fast", "python"),
+    "vector": ("fast", "vector"),
+    "reference": ("reference", "python"),
+}
+
+#: Axis order used by ``--kernels all`` and the parity matrix.
+KERNEL_AXIS_NAMES = tuple(KERNEL_AXIS)
 
 
 @dataclass(frozen=True)
@@ -73,6 +90,7 @@ class DifferentialReport:
     harness_errors: dict[str, str] = field(default_factory=dict)
     generator: Optional[GeneratorSpec] = None
     generator_index: int = 0
+    kernels: tuple[str, ...] = ("python",)
 
     @property
     def invariant_violations(self) -> list[tuple[str, Violation]]:
@@ -105,7 +123,14 @@ class DifferentialReport:
             "platform": self.platform,
             "duration_ms": self.duration_ms,
             "seed": self.seed,
-            "schedulers": sorted(set(self.runs) | set(self.harness_errors)),
+            # Harness errors on a secondary kernel are keyed
+            # "scheduler@kernel"; strip the suffix so the artifact's
+            # scheduler list stays valid registry names for --replay.
+            "schedulers": sorted(
+                set(self.runs)
+                | {name.split("@", 1)[0] for name in self.harness_errors}
+            ),
+            "kernels": list(self.kernels),
             "generator": self.generator.to_dict() if self.generator else None,
             "generator_index": self.generator_index,
             "invariant_violations": [
@@ -128,9 +153,11 @@ class DifferentialReport:
     def describe(self) -> str:
         """One-line-per-finding human summary."""
         status = "OK" if self.ok and not self.harness_errors else "FAIL"
+        axis = f", kernels {'+'.join(self.kernels)}" if len(self.kernels) > 1 else ""
         lines = [
             f"{status} {self.scenario_name} on {self.platform} "
-            f"({len(self.runs)} schedulers, {self.duration_ms:g} ms, seed {self.seed})"
+            f"({len(self.runs)} schedulers, {self.duration_ms:g} ms, "
+            f"seed {self.seed}{axis})"
         ]
         for scheduler, violation in self.invariant_violations:
             lines.append(f"  {scheduler}: {violation}")
@@ -147,6 +174,21 @@ def _head_arrivals(records: Sequence[TraceRecord]) -> tuple[tuple[str, Optional[
         (record.task_name, record.frame_id, record.time_ms)
         for record in records
         if record.event == "arrival"
+    )
+
+
+def _normalized_trace(records: Sequence[TraceRecord]) -> tuple[TraceRecord, ...]:
+    """Trace with request ids renumbered by order of first appearance.
+
+    Request ids come from a process-global counter, so two runs of the same
+    simulation in one process produce different raw ids; the engine only
+    ever relies on their relative order, which the mapping preserves.  This
+    is what makes cross-kernel traces comparable for equality.
+    """
+    mapping: dict[int, int] = {}
+    return tuple(
+        replace(record, request_id=mapping.setdefault(record.request_id, len(mapping)))
+        for record in records
     )
 
 
@@ -214,6 +256,7 @@ def run_differential(
     cost_table: Optional[CostTable] = None,
     generator: Optional[GeneratorSpec] = None,
     generator_index: int = 0,
+    kernels: Sequence[str] = ("python",),
 ) -> DifferentialReport:
     """Run every scheduler on one scenario and audit all invariants.
 
@@ -227,7 +270,21 @@ def run_differential(
         cost_table: optional prebuilt cost table (built once otherwise).
         generator / generator_index: provenance, recorded in the artifact
             so a failing generated scenario can be replayed from its spec.
+        kernels: decision-path axis (:data:`KERNEL_AXIS` names).  The first
+            entry is the canonical run that feeds the invariant oracle and
+            the cross-scheduler metamorphic checks; every further entry
+            re-runs each scheduler on that engine path and any divergence
+            in results or (id-normalized) traces is a ``kernel_parity``
+            metamorphic failure.  A crash on a secondary path is recorded
+            as harness error ``"<scheduler>@<kernel>"``.
     """
+    for kernel in kernels:
+        if kernel not in KERNEL_AXIS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNEL_AXIS_NAMES}"
+            )
+    if not kernels:
+        raise ValueError("kernels must name at least one decision path")
     cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
     report = DifferentialReport(
         scenario_name=scenario.name,
@@ -236,20 +293,30 @@ def run_differential(
         seed=seed,
         generator=generator,
         generator_index=generator_index,
+        kernels=tuple(kernels),
     )
-    for scheduler_name in schedulers:
+    canonical, *extra_kernels = kernels
+    kernel_failures: list[Violation] = []
+
+    def _run(scheduler_name: str, axis_name: str) -> tuple[SimulationResult, Tracer]:
+        mode, engine_kernel = KERNEL_AXIS[axis_name]
         tracer = Tracer()
+        engine = SimulationEngine(
+            scenario=scenario,
+            platform=platform,
+            scheduler=make_scheduler(scheduler_name),
+            duration_ms=duration_ms,
+            seed=seed,
+            cost_table=cost_table,
+            tracer=tracer,
+            mode=mode,
+            kernel=engine_kernel,
+        )
+        return engine.run(), tracer
+
+    for scheduler_name in schedulers:
         try:
-            engine = SimulationEngine(
-                scenario=scenario,
-                platform=platform,
-                scheduler=make_scheduler(scheduler_name),
-                duration_ms=duration_ms,
-                seed=seed,
-                cost_table=cost_table,
-                tracer=tracer,
-            )
-            result = engine.run()
+            result, tracer = _run(scheduler_name, canonical)
         except Exception:  # noqa: BLE001 - a crashing scheduler is a finding
             report.harness_errors[scheduler_name] = traceback.format_exc()
             continue
@@ -260,7 +327,40 @@ def run_differential(
             violations=tuple(violations),
             arrivals=_head_arrivals(tracer.records),
         )
-    report.metamorphic_failures = _check_metamorphic(report, scenario)
+        if not extra_kernels:
+            continue
+        # Kernel-parity axis: the canonical run was audited above, so a
+        # bit-identical secondary run needs no second audit — equality of
+        # the result dict and the id-normalized trace *is* the oracle gate.
+        canonical_dict = result.to_dict()
+        canonical_trace = _normalized_trace(tracer.records)
+        for axis_name in extra_kernels:
+            try:
+                extra_result, extra_tracer = _run(scheduler_name, axis_name)
+            except Exception:  # noqa: BLE001 - a crashing path is a finding
+                report.harness_errors[f"{scheduler_name}@{axis_name}"] = (
+                    traceback.format_exc()
+                )
+                continue
+            if extra_result.to_dict() != canonical_dict:
+                kernel_failures.append(
+                    Violation(
+                        "kernel_parity",
+                        f"{scheduler_name}: {axis_name!r} decision path produced "
+                        f"a different result than {canonical!r} "
+                        f"(seed {seed}, {duration_ms:g} ms)",
+                    )
+                )
+            elif _normalized_trace(extra_tracer.records) != canonical_trace:
+                kernel_failures.append(
+                    Violation(
+                        "kernel_parity",
+                        f"{scheduler_name}: {axis_name!r} decision path produced "
+                        f"an identical result but a different event trace than "
+                        f"{canonical!r} (seed {seed}, {duration_ms:g} ms)",
+                    )
+                )
+    report.metamorphic_failures = _check_metamorphic(report, scenario) + kernel_failures
     return report
 
 
@@ -303,12 +403,14 @@ def run_fuzz(
     platform: str = "4k_1ws_2os",
     duration_ms: float = 400.0,
     seed: int = 0,
+    kernels: Sequence[str] = ("python",),
 ) -> FuzzResult:
     """Differentially test ``count`` generated scenarios of a spec.
 
     Each scenario ``i`` of the spec is built through the process-local
     generated-context cache (cost table built once per scenario) and run
-    under every scheduler.
+    under every scheduler, on every requested decision path (``kernels``,
+    see :func:`run_differential`).
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -326,6 +428,7 @@ def run_fuzz(
                 cost_table=cost_table,
                 generator=spec,
                 generator_index=index,
+                kernels=kernels,
             )
         )
     return fuzz
@@ -334,6 +437,7 @@ def run_fuzz(
 def replay_artifact(
     artifact: dict,
     schedulers: Optional[Sequence[str]] = None,
+    kernels: Optional[Sequence[str]] = None,
 ) -> DifferentialReport:
     """Re-run the differential check described by a fuzz artifact.
 
@@ -343,6 +447,7 @@ def replay_artifact(
             ``generator``, ``generator_index``, ``platform``,
             ``duration_ms``, ``seed``).
         schedulers: optional override of the artifact's scheduler list.
+        kernels: optional override of the artifact's decision-path axis.
 
     Raises:
         ValueError: if the artifact has no generator spec (non-generated
@@ -366,4 +471,5 @@ def replay_artifact(
         cost_table=cost_table,
         generator=spec,
         generator_index=index,
+        kernels=tuple(kernels) if kernels else tuple(artifact.get("kernels") or ("python",)),
     )

@@ -23,9 +23,10 @@ Policies
 ``fair_share``
     Per-user fair sharing with throttling: a user already holding its
     fair share of the fleet's session capacity
-    (``ceil(total_capacity / total_users)``, at least 1) is *throttled*
-    (a distinct outcome from capacity rejection, accounted separately);
-    otherwise the request is routed least-loaded.
+    (``ceil(total_capacity / live contenders)``, at least 1, where the
+    contenders are the currently active users plus the requester) is
+    *throttled* (a distinct outcome from capacity rejection, accounted
+    separately); otherwise the request is routed least-loaded.
 
 Shared semantics: every policy rejects with reason ``"capacity"`` when no
 platform has a free session slot — throttling is about *who* asks,
@@ -97,6 +98,11 @@ class FleetLoadView:
         """How many sessions a user currently holds."""
         return self.user_active.get(user_id, 0)
 
+    @property
+    def active_users(self) -> int:
+        """Users currently holding at least one session."""
+        return sum(1 for count in self.user_active.values() if count > 0)
+
 
 @dataclass(frozen=True)
 class RoutingDecision:
@@ -162,9 +168,19 @@ class LeastLoadedPolicy(RoutingPolicy):
 class FairSharePolicy(RoutingPolicy):
     """Throttle users holding their fair share; route the rest least-loaded.
 
+    The share divides the fleet's session capacity by the number of *live
+    contenders* — users currently holding at least one session, plus the
+    requesting user when they hold none — not by the declared population
+    (``view.total_users``).  Dividing by the declared count diluted the
+    share whenever only a few of many declared users were active: the
+    active users were throttled against capacity nobody else was using.
+    Live contention converges to the declared-population share exactly
+    when every declared user is active, and otherwise lets the users who
+    actually showed up split the idle capacity.
+
     Attributes:
         share_slack: multiplier on the per-user fair share
-            (``ceil(total_capacity * share_slack / total_users)``, at
+            (``ceil(total_capacity * share_slack / contenders)``, at
             least 1); values above 1 tolerate transient imbalance, values
             below 1 enforce head-room.
     """
@@ -177,14 +193,24 @@ class FairSharePolicy(RoutingPolicy):
         if self.share_slack <= 0:
             raise ValueError(f"share_slack must be positive (got {self.share_slack})")
 
-    def fair_share(self, view: FleetLoadView) -> int:
-        """Max sessions one user may hold concurrently under this view."""
-        if view.total_users <= 0:
-            return 1
-        return max(1, math.ceil(view.total_capacity * self.share_slack / view.total_users))
+    def fair_share(self, view: FleetLoadView, user_id: Optional[str] = None) -> int:
+        """Max sessions one user may hold concurrently under this view.
+
+        Args:
+            view: the instantaneous fleet load snapshot.
+            user_id: the requesting user; they count as a contender even
+                before their first session is admitted.  Without a user id
+                the share is computed over the currently active users
+                alone (at least 1, so an idle fleet never divides by 0).
+        """
+        contenders = view.active_users
+        if user_id is not None and view.active_sessions(user_id) == 0:
+            contenders += 1
+        contenders = max(1, contenders)
+        return max(1, math.ceil(view.total_capacity * self.share_slack / contenders))
 
     def route(self, request: "SessionRequest", view: FleetLoadView) -> RoutingDecision:
-        if view.active_sessions(request.user_id) >= self.fair_share(view):
+        if view.active_sessions(request.user_id) >= self.fair_share(view, request.user_id):
             return RoutingDecision(THROTTLED, reason=REASON_FAIR_SHARE)
         index = _least_loaded_index(view.loads)
         if index is None:

@@ -39,7 +39,7 @@ from repro.sim.invariants import (
     assert_trace_invariants,
     audit_trace,
 )
-from repro.sim.engine import ENGINE_MODES, SimulationEngine, run_simulation
+from repro.sim.engine import ENGINE_KERNELS, ENGINE_MODES, SimulationEngine, run_simulation
 
 __all__ = [
     "INVARIANT_NAMES",
@@ -51,6 +51,7 @@ __all__ = [
     "RequestState",
     "RequestPool",
     "ReferenceRequestPool",
+    "ENGINE_KERNELS",
     "ENGINE_MODES",
     "Assignment",
     "SchedulingDecision",

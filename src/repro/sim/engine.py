@@ -127,6 +127,13 @@ _MAX_DISPATCH_ROUNDS = 64
 #: Engine implementations selectable via ``SimulationEngine(mode=...)``.
 ENGINE_MODES = ("fast", "reference")
 
+#: Decision kernels selectable via ``SimulationEngine(kernel=...)``.
+#: ``"python"`` is the scalar hot path; ``"vector"`` evaluates large
+#: scheduling rounds of kernel-aware schedulers (DREAM) through the NumPy
+#: decision kernel (:mod:`repro.core.vector_kernel`).  Results are
+#: bit-for-bit identical across kernels.
+ENGINE_KERNELS = ("python", "vector")
+
 
 class SimulationEngine:
     """Simulates one scenario on one platform under one scheduler.
@@ -159,6 +166,13 @@ class SimulationEngine:
             mode always keeps the exact per-event dispatch path).  Results
             are bit-for-bit identical either way — the switch exists so the
             elision machinery itself is differentially testable.
+        kernel: ``"python"`` (default) keeps the scalar decision hot path;
+            ``"vector"`` evaluates large scheduling rounds of kernel-aware
+            schedulers (DREAM) through the NumPy decision kernel
+            (:mod:`repro.core.vector_kernel`) — requires numpy and
+            ``mode="fast"``.  Decisions, results and traces are bit-for-bit
+            identical across kernels; schedulers that are not kernel-aware
+            ignore the setting entirely.
     """
 
     def __init__(
@@ -175,6 +189,7 @@ class SimulationEngine:
         tracer: Optional[Tracer] = None,
         mode: str = "fast",
         dispatch_elision: bool = True,
+        kernel: str = "python",
     ) -> None:
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -182,6 +197,20 @@ class SimulationEngine:
             raise ValueError("warmup_ms must be in [0, duration_ms)")
         if mode not in ENGINE_MODES:
             raise ValueError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
+        if kernel not in ENGINE_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {ENGINE_KERNELS}, got {kernel!r}"
+            )
+        if kernel == "vector":
+            if mode != "fast":
+                raise ValueError(
+                    "kernel='vector' requires mode='fast' (the reference mode "
+                    "retains the historical scalar cost profile)"
+                )
+            # Fail at construction, not mid-run, when numpy is missing.
+            from repro.hardware.vector_view import require_numpy
+
+            require_numpy()
         self.scenario = scenario
         self.platform = platform
         self.scheduler = scheduler
@@ -192,6 +221,7 @@ class SimulationEngine:
         self.expire_after_periods = expire_after_periods
         self.tracer = tracer
         self.mode = mode
+        self.kernel = kernel
         fast = mode == "fast"
         self._fast = fast
         self.dispatch_elision = dispatch_elision and fast
@@ -263,6 +293,9 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the measured result."""
+        # Stamped before bind so kernel-aware schedulers (DREAM) build their
+        # vector kernel there; schedulers that ignore it are unaffected.
+        self.scheduler.decision_kernel = self.kernel
         self.scheduler.bind(self.platform, self.cost_table, self.scenario, random.Random(self.seed + 1))
         if self.dispatch_elision:
             self._wake_hint = self.scheduler.wake_hint()

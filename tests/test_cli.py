@@ -192,13 +192,15 @@ class TestFuzz:
 
         seen = {}
 
-        def fake_run_fuzz(spec, count, schedulers, platform, duration_ms, seed):
+        def fake_run_fuzz(spec, count, schedulers, platform, duration_ms, seed, kernels):
             seen["schedulers"] = list(schedulers)
+            seen["kernels"] = list(kernels)
             return FuzzResult(spec=spec, reports=[])
 
         monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
         assert main(["fuzz", "--seeds", "1", "--schedulers", "all"]) == 0
         assert seen["schedulers"] == scheduler_names()
+        assert seen["kernels"] == ["python"]
 
     def test_fuzz_violation_exit_code_and_artifacts(self, tmp_path, monkeypatch, capsys):
         from repro.experiments.differential import DifferentialReport, FuzzResult

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.differential import (
+    KERNEL_AXIS_NAMES,
     DifferentialReport,
     FuzzResult,
     SchedulerRun,
@@ -11,9 +12,15 @@ from repro.experiments.differential import (
     run_differential,
     run_fuzz,
 )
+from repro.hardware.vector_view import HAVE_NUMPY
 from repro.workloads import GeneratorSpec
 
 SCHEDULERS = ["fcfs_dynamic", "planaria", "dream_full"]
+
+#: Decision-path axis actually runnable here ('vector' needs numpy).
+RUNNABLE_KERNELS = tuple(
+    name for name in KERNEL_AXIS_NAMES if name != "vector" or HAVE_NUMPY
+)
 
 
 class TestRunDifferential:
@@ -53,6 +60,81 @@ class TestRunDifferential:
         )
         failures = _check_metamorphic(report, tiny_scenario)
         assert any(f.invariant == "identical_arrivals" for f in failures)
+
+    def test_kernel_axis_is_clean_and_recorded(self, tiny_scenario, tiny_platform,
+                                               tiny_cost_table):
+        report = run_differential(
+            tiny_scenario, tiny_platform, SCHEDULERS,
+            duration_ms=300.0, seed=0, cost_table=tiny_cost_table,
+            kernels=RUNNABLE_KERNELS,
+        )
+        assert report.ok
+        assert not report.harness_errors
+        assert report.kernels == RUNNABLE_KERNELS
+        assert report.to_artifact()["kernels"] == list(RUNNABLE_KERNELS)
+        assert "kernels" in report.describe()
+
+    def test_unknown_kernel_rejected(self, tiny_scenario, tiny_platform,
+                                     tiny_cost_table):
+        with pytest.raises(ValueError, match="kernel"):
+            run_differential(
+                tiny_scenario, tiny_platform, SCHEDULERS[:1],
+                duration_ms=100.0, cost_table=tiny_cost_table,
+                kernels=("python", "simd"),
+            )
+
+    def test_divergent_kernel_result_is_a_kernel_parity_failure(
+            self, tiny_scenario, tiny_platform, tiny_cost_table, monkeypatch):
+        # Make the secondary (reference) run observably different by
+        # perturbing its result after the fact: patch SimulationResult
+        # equality is not enough — instead shrink the secondary run's
+        # duration through the engine kwargs via a targeted wrapper.
+        from repro.experiments import differential as mod
+
+        real_engine = mod.SimulationEngine
+        calls = {"n": 0}
+
+        class SkewedEngine(real_engine):
+            def __init__(self, **kwargs):
+                calls["n"] += 1
+                if kwargs.get("mode") == "reference":
+                    kwargs["duration_ms"] = kwargs["duration_ms"] / 2
+                super().__init__(**kwargs)
+
+        monkeypatch.setattr(mod, "SimulationEngine", SkewedEngine)
+        report = run_differential(
+            tiny_scenario, tiny_platform, SCHEDULERS[:1],
+            duration_ms=300.0, seed=0, cost_table=tiny_cost_table,
+            kernels=("python", "reference"),
+        )
+        assert calls["n"] == 2
+        assert not report.ok
+        assert any(
+            f.invariant == "kernel_parity" for f in report.metamorphic_failures
+        )
+
+    def test_crashing_kernel_axis_is_captured_per_path(
+            self, tiny_scenario, tiny_platform, tiny_cost_table, monkeypatch):
+        from repro.experiments import differential as mod
+
+        real_engine = mod.SimulationEngine
+
+        class ExplodingReference(real_engine):
+            def __init__(self, **kwargs):
+                if kwargs.get("mode") == "reference":
+                    raise RuntimeError("reference path exploded")
+                super().__init__(**kwargs)
+
+        monkeypatch.setattr(mod, "SimulationEngine", ExplodingReference)
+        report = run_differential(
+            tiny_scenario, tiny_platform, ["fcfs_dynamic"],
+            duration_ms=100.0, cost_table=tiny_cost_table,
+            kernels=("python", "reference"),
+        )
+        assert "fcfs_dynamic" in report.runs  # canonical run survived
+        assert "fcfs_dynamic@reference" in report.harness_errors
+        # Artifact scheduler names stay valid registry names for --replay.
+        assert report.to_artifact()["schedulers"] == ["fcfs_dynamic"]
 
     def test_crashing_scheduler_is_captured_not_raised(self, tiny_scenario, tiny_platform,
                                                        tiny_cost_table, monkeypatch):
@@ -97,6 +179,18 @@ class TestFuzz:
         replayed = replay_artifact(artifact)
         assert replayed.scenario_name == fuzz.reports[0].scenario_name
         assert set(replayed.runs) == set(SCHEDULERS[:2])
+        assert replayed.ok
+
+    def test_fuzz_kernel_axis_roundtrips_through_replay(self):
+        fuzz = run_fuzz(
+            self.SPEC, count=1, schedulers=SCHEDULERS[:2], duration_ms=150.0,
+            kernels=RUNNABLE_KERNELS,
+        )
+        assert fuzz.ok
+        artifact = fuzz.reports[0].to_artifact()
+        assert artifact["kernels"] == list(RUNNABLE_KERNELS)
+        replayed = replay_artifact(artifact)
+        assert replayed.kernels == RUNNABLE_KERNELS
         assert replayed.ok
 
     def test_replay_requires_generator_spec(self):

@@ -1,12 +1,14 @@
-"""Optimized-vs-reference engine parity: results and traces bit-for-bit.
+"""Decision-path parity: results and traces bit-for-bit across the axis.
 
 The fast engine (incremental pool, cached views, flat-array costing) must
-be *observationally indistinguishable* from the retained reference path.
+be *observationally indistinguishable* from the retained reference path,
+and the NumPy vector decision kernel (``kernel="vector"``) from both.
 These tests run generated scenarios across every registered scheduler on
-both engines and compare ``SimulationResult.to_dict()`` and the full event
-traces.  Request ids come from a process-global counter, so traces are
-compared after normalizing ids by order of first appearance (relative
-order — all the engine ever relies on — is preserved by the mapping).
+every decision path and compare ``SimulationResult.to_dict()`` and the
+full event traces.  Request ids come from a process-global counter, so
+traces are compared after normalizing ids by order of first appearance
+(relative order — all the engine ever relies on — is preserved by the
+mapping).
 """
 
 from __future__ import annotations
@@ -16,14 +18,22 @@ from dataclasses import replace
 import pytest
 
 from repro.experiments.jobs import generated_context, shared_context
+from repro.hardware.vector_view import HAVE_NUMPY
 from repro.schedulers import make_scheduler, scheduler_names
 from repro.sim import SimulationEngine, Tracer
-from repro.workloads import GeneratorSpec
+from repro.workloads import GeneratorSpec, arrival_process_names
 
 #: Generated scenarios swept by the parity matrix (satellite requirement: >= 10).
 PARITY_SCENARIO_COUNT = 10
 
+#: Generated scenarios swept by the traffic-model kernel-parity matrix.
+TRAFFIC_PARITY_SCENARIO_COUNT = 4
+
 _SPEC = GeneratorSpec(seed=7)
+#: Same zoo, but head-task arrivals sample every registered traffic model.
+_TRAFFIC_SPEC = GeneratorSpec(
+    seed=11, traffic_models=tuple(arrival_process_names()), name_prefix="traffic"
+)
 _PLATFORM = "4k_1ws_2os"
 _DURATION_MS = 150.0
 
@@ -36,7 +46,8 @@ def _normalize(records):
     ]
 
 
-def _run(scenario, platform, cost_table, scheduler_name, mode, duration_ms=_DURATION_MS, seed=0):
+def _run(scenario, platform, cost_table, scheduler_name, mode,
+         duration_ms=_DURATION_MS, seed=0, kernel="python"):
     tracer = Tracer()
     engine = SimulationEngine(
         scenario=scenario,
@@ -47,39 +58,57 @@ def _run(scenario, platform, cost_table, scheduler_name, mode, duration_ms=_DURA
         cost_table=cost_table,
         tracer=tracer,
         mode=mode,
+        kernel=kernel,
     )
     result = engine.run()
     return result, _normalize(tracer.records), engine.events_processed
+
+
+def _assert_parity(scenario, platform, cost_table, scheduler_name, duration_ms, seed=0):
+    """Fast, reference and (when available) vector runs must be identical."""
+    fast_result, fast_trace, fast_events = _run(
+        scenario, platform, cost_table, scheduler_name, "fast",
+        duration_ms=duration_ms, seed=seed,
+    )
+    ref_result, ref_trace, ref_events = _run(
+        scenario, platform, cost_table, scheduler_name, "reference",
+        duration_ms=duration_ms, seed=seed,
+    )
+    label = f"{scenario.name} / {scheduler_name}"
+    assert fast_result.to_dict() == ref_result.to_dict(), f"result mismatch: {label}"
+    assert fast_trace == ref_trace, f"trace mismatch: {label}"
+    assert fast_events == ref_events
+    if not HAVE_NUMPY:
+        return
+    vec_result, vec_trace, vec_events = _run(
+        scenario, platform, cost_table, scheduler_name, "fast",
+        duration_ms=duration_ms, seed=seed, kernel="vector",
+    )
+    assert vec_result.to_dict() == fast_result.to_dict(), (
+        f"vector-kernel result mismatch: {label}"
+    )
+    assert vec_trace == fast_trace, f"vector-kernel trace mismatch: {label}"
+    assert vec_events == fast_events
 
 
 @pytest.mark.parametrize("index", range(PARITY_SCENARIO_COUNT))
 def test_generated_scenarios_bitwise_parity_across_all_schedulers(index):
     scenario, platform, cost_table = generated_context(_SPEC, index, _PLATFORM)
     for scheduler_name in scheduler_names():
-        fast_result, fast_trace, fast_events = _run(
-            scenario, platform, cost_table, scheduler_name, "fast"
-        )
-        ref_result, ref_trace, ref_events = _run(
-            scenario, platform, cost_table, scheduler_name, "reference"
-        )
-        assert fast_result.to_dict() == ref_result.to_dict(), (
-            f"result mismatch: {scenario.name} / {scheduler_name}"
-        )
-        assert fast_trace == ref_trace, f"trace mismatch: {scenario.name} / {scheduler_name}"
-        assert fast_events == ref_events
+        _assert_parity(scenario, platform, cost_table, scheduler_name, _DURATION_MS)
+
+
+@pytest.mark.parametrize("index", range(TRAFFIC_PARITY_SCENARIO_COUNT))
+def test_traffic_model_scenarios_parity_across_kernels(index):
+    scenario, platform, cost_table = generated_context(_TRAFFIC_SPEC, index, _PLATFORM)
+    for scheduler_name in scheduler_names():
+        _assert_parity(scenario, platform, cost_table, scheduler_name, _DURATION_MS)
 
 
 @pytest.mark.parametrize("scheduler_name", scheduler_names())
 def test_preset_scenario_parity(scheduler_name):
     scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
-    fast_result, fast_trace, _ = _run(
-        scenario, platform, cost_table, scheduler_name, "fast", duration_ms=300.0
-    )
-    ref_result, ref_trace, _ = _run(
-        scenario, platform, cost_table, scheduler_name, "reference", duration_ms=300.0
-    )
-    assert fast_result.to_dict() == ref_result.to_dict()
-    assert fast_trace == ref_trace
+    _assert_parity(scenario, platform, cost_table, scheduler_name, 300.0)
 
 
 def test_reference_mode_uses_reference_components():
@@ -111,6 +140,53 @@ def test_unknown_mode_rejected():
             cost_table=cost_table,
             mode="warp",
         )
+
+
+def test_unknown_kernel_rejected():
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    with pytest.raises(ValueError, match="kernel"):
+        SimulationEngine(
+            scenario=scenario,
+            platform=platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=100.0,
+            cost_table=cost_table,
+            kernel="simd",
+        )
+
+
+def test_vector_kernel_requires_fast_mode():
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    with pytest.raises(ValueError, match="fast"):
+        SimulationEngine(
+            scenario=scenario,
+            platform=platform,
+            scheduler=make_scheduler("fcfs_dynamic"),
+            duration_ms=100.0,
+            cost_table=cost_table,
+            mode="reference",
+            kernel="vector",
+        )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector kernel requires numpy")
+def test_vector_kernel_binds_to_dream():
+    from repro.core.vector_kernel import VectorDecisionKernel
+
+    scenario, platform, cost_table = shared_context("ar_call", _PLATFORM, 0.5)
+    engine = SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler("dream_full"),
+        duration_ms=100.0,
+        cost_table=cost_table,
+        kernel="vector",
+    )
+    engine.run()
+    scheduler = engine.scheduler
+    assert isinstance(scheduler.vector_kernel, VectorDecisionKernel)
+    assert scheduler.dispatch_engine.kernel is scheduler.vector_kernel
+    assert scheduler.frame_drop_engine.kernel is scheduler.vector_kernel
 
 
 def test_engine_counts_events():

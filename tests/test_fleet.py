@@ -230,18 +230,53 @@ class TestRoutingPolicies:
 
     def test_fair_share_throttles_a_user_at_its_share(self):
         policy = FairSharePolicy()
-        v = view([(1, 2), (0, 2)], user_active={"mobile/0": 1}, total_users=4)
-        # share = ceil(4 / 4) = 1; the user already holds one session.
-        assert policy.fair_share(v) == 1
-        decision = policy.route(request(user_id="mobile/0"), v)
+        # Capacity 4, two live contenders: share = ceil(4 / 2) = 2.
+        v = view([(1, 2), (2, 2)],
+                 user_active={"mobile/0": 1, "mobile/1": 2}, total_users=4)
+        assert policy.fair_share(v, "mobile/1") == 2
+        decision = policy.route(request(user_id="mobile/1"), v)
         assert (decision.outcome, decision.reason) == (THROTTLED, REASON_FAIR_SHARE)
-        other = policy.route(request(user_id="mobile/1"), v)
+        # mobile/0 holds 1 < 2 and a slot is free: admitted.
+        other = policy.route(request(user_id="mobile/0"), v)
         assert other.outcome == ADMITTED
 
+    def test_fair_share_divides_by_live_contenders_not_declared_users(self):
+        policy = FairSharePolicy()
+        # 100 declared users but only ONE has shown up.  The declared-
+        # population share would be ceil(4 / 100) = 1 and throttle the
+        # lone active user against idle capacity; the live share is the
+        # whole fleet.
+        v = view([(1, 2), (0, 2)], user_active={"mobile/0": 1}, total_users=100)
+        assert v.active_users == 1
+        assert policy.fair_share(v, "mobile/0") == 4
+        decision = policy.route(request(user_id="mobile/0"), v)
+        assert decision.outcome == ADMITTED
+        # A second user joining counts as a contender before admission:
+        # share drops to ceil(4 / 2) = 2 but they hold 0, so they fit.
+        assert policy.fair_share(v, "mobile/7") == 2
+        assert policy.route(request(user_id="mobile/7"), v).outcome == ADMITTED
+
+    def test_fair_share_converges_to_declared_share_under_full_contention(self):
+        policy = FairSharePolicy()
+        # All 4 declared users live on a capacity-4 fleet: the live share
+        # equals the declared-population share, ceil(4 / 4) = 1.
+        v = view([(2, 2), (2, 2)],
+                 user_active={f"mobile/{i}": 1 for i in range(4)}, total_users=4)
+        assert policy.fair_share(v, "mobile/0") == 1
+        assert policy.route(request(user_id="mobile/0"), v).outcome == THROTTLED
+        # A fifth user passes the share gate (holds 0) but nobody fits:
+        # capacity rejection, not throttling.
+        fifth = policy.route(request(user_id="mobile/4"), v)
+        assert (fifth.outcome, fifth.reason) == (REJECTED, REASON_CAPACITY)
+
     def test_fair_share_slack_scales_the_share(self):
-        v = view([(0, 4), (0, 4)], total_users=4)
-        assert FairSharePolicy(share_slack=2.0).fair_share(v) == 4
-        assert FairSharePolicy().fair_share(v) == 2
+        v = view([(2, 4), (2, 4)],
+                 user_active={"mobile/0": 2, "mobile/1": 2}, total_users=4)
+        # Two live contenders over capacity 8: base share 4, slack 2 -> 8.
+        assert FairSharePolicy(share_slack=2.0).fair_share(v, "mobile/0") == 8
+        assert FairSharePolicy().fair_share(v, "mobile/0") == 4
+        # An idle fleet never divides by zero.
+        assert FairSharePolicy().fair_share(view([(0, 4)])) == 4
 
 
 class TestAdmissionPlanning:
