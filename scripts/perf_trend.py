@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Render the engine-throughput trend across BENCH_engine.json snapshots.
+
+Walks the git history of ``BENCH_engine.json`` (oldest first), reads each
+committed snapshot, and renders one markdown table per basket label
+(``full``, ``quick``, ...) tracking the headline numbers over time:
+events/sec through the fast engine, the fast/reference speedup, and the
+optional vector-kernel and event-loop ratios as they appear.
+
+Usage::
+
+    python scripts/perf_trend.py                     # git history -> stdout
+    python scripts/perf_trend.py --out docs/perf-trend.md
+    python scripts/perf_trend.py a.json b.json ...   # explicit snapshots
+
+Explicit file arguments bypass git entirely (useful off-checkout or for
+comparing uncommitted runs); rows are then labeled by file name instead
+of commit.  The committed ``docs/perf-trend.md`` is regenerated with the
+``--out`` form whenever a new BENCH_engine.json lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = "BENCH_engine.json"
+
+#: (totals key, column header, format) — optional columns render '-' when
+#: a snapshot predates the column.
+COLUMNS = (
+    ("fast_events_per_sec", "events/sec", "{:,.0f}"),
+    ("speedup", "vs reference", "{:.2f}x"),
+    ("vector_speedup", "vector kernel", "{:.2f}x"),
+    ("loop_speedup", "fast loop", "{:.2f}x"),
+    ("compiled_speedup", "compiled loop", "{:.2f}x"),
+)
+
+
+def _git(*argv: str) -> str:
+    return subprocess.run(
+        ["git", "-C", str(REPO_ROOT), *argv],
+        check=True, capture_output=True, text=True,
+    ).stdout
+
+
+def snapshots_from_git() -> list[tuple[str, dict]]:
+    """(row label, payload) per commit that touched the bench file, oldest first."""
+    try:
+        log = _git(
+            "log", "--follow", "--format=%h %as %s", "--", BENCH_FILE
+        ).strip()
+    except (subprocess.CalledProcessError, OSError) as error:
+        print(f"perf_trend: cannot read git history: {error}", file=sys.stderr)
+        return []
+    rows = []
+    for line in reversed(log.splitlines()):
+        sha, date, subject = line.split(" ", 2)
+        try:
+            payload = json.loads(_git("show", f"{sha}:{BENCH_FILE}"))
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue  # file absent or unreadable at that commit
+        if len(subject) > 48:
+            subject = subject[:45] + "..."
+        rows.append((f"`{sha}` {date} {subject}", payload))
+    # A regenerated-but-not-yet-committed run shows up as the newest row,
+    # so the doc written alongside a fresh BENCH_engine.json includes it.
+    worktree = REPO_ROOT / BENCH_FILE
+    if worktree.is_file():
+        try:
+            payload = json.loads(worktree.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if payload is not None and (not rows or payload != rows[-1][1]):
+            rows.append(("(working tree)", payload))
+    return rows
+
+
+def snapshots_from_files(paths: list[str]) -> list[tuple[str, dict]]:
+    rows = []
+    for raw in paths:
+        path = Path(raw)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"perf_trend: skipping {path}: {error}", file=sys.stderr)
+            continue
+        rows.append((f"`{path.name}`", payload))
+    return rows
+
+
+def _labels(snapshots: list[tuple[str, dict]]) -> list[str]:
+    seen: dict[str, None] = {}
+    for _, payload in snapshots:
+        if "totals" in payload:  # bare single-payload snapshot
+            seen.setdefault("(unlabeled)", None)
+            continue
+        for label, entry in payload.items():
+            if isinstance(entry, dict) and "totals" in entry:
+                seen.setdefault(label, None)
+    return list(seen)
+
+
+def _entry(payload: dict, label: str) -> dict | None:
+    if "totals" in payload:
+        return payload if label == "(unlabeled)" else None
+    entry = payload.get(label)
+    return entry if isinstance(entry, dict) and "totals" in entry else None
+
+
+def render(snapshots: list[tuple[str, dict]]) -> str:
+    lines = [
+        "# Engine throughput trend",
+        "",
+        "Successive committed `BENCH_engine.json` snapshots, oldest first.",
+        "Regenerate with `python scripts/perf_trend.py --out docs/perf-trend.md`",
+        "after landing a new benchmark run.  Absolute events/sec only compare",
+        "within one host (the snapshot records it); the ratio columns are",
+        "measured within a single run and transfer across machines.",
+    ]
+    for label in _labels(snapshots):
+        rows = [
+            (name, entry["totals"])
+            for name, payload in snapshots
+            if (entry := _entry(payload, label)) is not None
+        ]
+        if not rows:
+            continue
+        # Only show optional columns that at least one snapshot recorded.
+        columns = [
+            column for column in COLUMNS
+            if any(totals.get(column[0]) for _, totals in rows)
+        ]
+        lines += ["", f"## `{label}` basket", ""]
+        lines.append("| snapshot | " + " | ".join(h for _, h, _ in columns) + " |")
+        lines.append("|" + "---|" * (len(columns) + 1))
+        for name, totals in rows:
+            cells = [
+                fmt.format(totals[key]) if totals.get(key) else "-"
+                for key, _, fmt in columns
+            ]
+            lines.append("| " + " | ".join([name, *cells]) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "snapshots", nargs="*",
+        help=f"explicit snapshot files (default: git history of {BENCH_FILE})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the markdown here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    snapshots = (
+        snapshots_from_files(args.snapshots)
+        if args.snapshots
+        else snapshots_from_git()
+    )
+    if not snapshots:
+        print("perf_trend: no snapshots found", file=sys.stderr)
+        return 1
+    text = render(snapshots)
+    if args.out is None:
+        print(text, end="")
+    else:
+        args.out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out} ({len(snapshots)} snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,7 +93,7 @@ from repro.fleet import (
 )
 from repro.hardware.platform import all_platform_names
 from repro.hardware.vector_view import HAVE_NUMPY
-from repro.sim import ENGINE_KERNELS
+from repro.sim import ENGINE_KERNELS, ENGINE_LOOPS, available_loops, fastloop_is_compiled
 from repro.metrics.reporting import format_table
 from repro.schedulers import scheduler_names
 from repro.workloads import (
@@ -172,17 +172,27 @@ def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
 
 
 def _engine_kernel_kwargs(args: argparse.Namespace) -> dict[str, str]:
-    """Extra engine kwargs for ``--kernel``.
+    """Extra engine kwargs for ``--kernel`` / ``--loop``.
 
-    The default 'python' kernel contributes nothing so default jobs keep
-    their historical content-addressed store keys; 'vector' is validated
-    here (usage error, exit 2) instead of crashing inside a worker.
+    The default 'python' kernel and loop contribute nothing so default jobs
+    keep their historical content-addressed store keys; 'vector' and
+    'compiled' are validated here (usage error, exit 2) instead of crashing
+    inside a worker.
     """
-    if args.kernel == "python":
-        return {}
-    if args.kernel == "vector" and not HAVE_NUMPY:
-        raise ValueError("kernel 'vector' requires numpy, which is not installed")
-    return {"kernel": args.kernel}
+    kwargs: dict[str, str] = {}
+    if args.kernel != "python":
+        if args.kernel == "vector" and not HAVE_NUMPY:
+            raise ValueError("kernel 'vector' requires numpy, which is not installed")
+        kwargs["kernel"] = args.kernel
+    loop = getattr(args, "loop", "python")
+    if loop != "python":
+        if loop == "compiled" and not fastloop_is_compiled():
+            raise ValueError(
+                "loop 'compiled' requires the mypyc-built fastloop extension "
+                "(see docs/performance.md); use --loop fast instead"
+            )
+        kwargs["loop"] = loop
+    return kwargs
 
 
 def _execute_and_report(jobs, args: argparse.Namespace) -> tuple[GridResult, float]:
@@ -299,6 +309,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "cascade_probability": args.cascade_probability,
                 "kernel": args.kernel,
+                "loop": args.loop,
             },
             "backend": args.backend,
             "workers": args.workers,
@@ -440,6 +451,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.experiments import benchmark as bench_mod
 
+    if args.jobs < 1:
+        raise ValueError("--jobs must be positive")
+    if (args.profile is not None or args.profile_out is not None) and args.jobs > 1:
+        # Usage error (exit 2 via main): cProfile instruments this process,
+        # but with --jobs the timed passes run inside pool workers, so the
+        # capture would be empty/misleading rather than merely slow.
+        raise ValueError(
+            "--profile/--profile-out requires --jobs 1: the cProfile capture "
+            "instruments the current process, and with --jobs N the timed "
+            "engine passes run inside worker processes it cannot see"
+        )
     basket = bench_mod.quick_basket() if args.quick else bench_mod.default_basket()
     scenarios = _split_names(args.scenarios, basket["scenarios"])
     platforms = _split_names(args.platforms, basket["platforms"])
@@ -517,10 +539,14 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         )
         return 1
     if baseline is not None:
+        warnings: list[str] = []
         problems = bench_mod.compare_to_baseline(
             payload, baseline, args.max_regression,
             max_round_regression=args.max_round_regression,
+            warnings=warnings,
         )
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
         for problem in problems:
             print(f"error: {problem}", file=sys.stderr)
         if problems:
@@ -607,10 +633,15 @@ def _scheduler_list(values: Optional[Sequence[str]], default: Sequence[str]) -> 
 def _kernel_list(values: Optional[Sequence[str]]) -> list[str]:
     """Expand the fuzz ``--kernels`` axis ('all' = every decision path).
 
-    The 'vector' path needs numpy; failing here (usage error, exit 2)
-    beats eight identical per-scheduler harness errors later.
+    The 'vector' path needs numpy; an explicit request fails here (usage
+    error, exit 2) — that beats eight identical per-scheduler harness
+    errors later — while ``all`` degrades gracefully: the vector axis is
+    skipped with a visible notice so the sweep still covers every path
+    the interpreter can actually run.
     """
-    kernels = _expand_registry(values, ["python"], lambda: list(KERNEL_AXIS_NAMES))
+    names = _split_names(values, ["python"])
+    expanded_all = "all" in names
+    kernels = list(KERNEL_AXIS_NAMES) if expanded_all else names
     for kernel in kernels:
         if kernel not in KERNEL_AXIS_NAMES:
             raise ValueError(
@@ -618,8 +649,44 @@ def _kernel_list(values: Optional[Sequence[str]]) -> list[str]:
                 f"{', '.join(KERNEL_AXIS_NAMES)} (or 'all')"
             )
     if "vector" in kernels and not HAVE_NUMPY:
-        raise ValueError("kernel 'vector' requires numpy, which is not installed")
+        if not expanded_all:
+            raise ValueError("kernel 'vector' requires numpy, which is not installed")
+        kernels = [kernel for kernel in kernels if kernel != "vector"]
+        print(
+            "notice: skipping kernel 'vector' (numpy is not installed); "
+            f"testing {'+'.join(kernels)}"
+        )
     return kernels
+
+
+def _loop_list(values: Optional[Sequence[str]]) -> list[str]:
+    """Expand the fuzz ``--loops`` axis ('all' = every runnable event loop).
+
+    Mirrors :func:`_kernel_list`: an explicit ``compiled`` without the
+    mypyc extension is a usage error (exit 2), while ``all`` skips it with
+    a visible notice and still cross-checks python vs fast.
+    """
+    names = _split_names(values, ["python"])
+    expanded_all = "all" in names
+    loops = list(ENGINE_LOOPS) if expanded_all else names
+    for loop in loops:
+        if loop not in ENGINE_LOOPS:
+            raise ValueError(
+                f"unknown loop {loop!r}; choose from "
+                f"{', '.join(ENGINE_LOOPS)} (or 'all')"
+            )
+    if "compiled" in loops and not fastloop_is_compiled():
+        if not expanded_all:
+            raise ValueError(
+                "loop 'compiled' requires the mypyc-built fastloop extension "
+                "(see docs/performance.md)"
+            )
+        loops = [loop for loop in loops if loop != "compiled"]
+        print(
+            "notice: skipping loop 'compiled' (fastloop extension not built); "
+            f"testing {'+'.join(loops)}"
+        )
+    return loops
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -660,8 +727,9 @@ def _print_fuzz_report(report) -> None:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     schedulers = _scheduler_list(args.schedulers, scheduler_names())
-    # None = "not given": a replay then honours the artifact's own axis.
+    # None = "not given": a replay then honours the artifact's own axes.
     kernels = _kernel_list(args.kernels) if args.kernels else None
+    loops = _loop_list(args.loops) if args.loops else None
     duration_ms = args.duration_ms if args.duration_ms is not None else 400.0
 
     if args.replay is not None:
@@ -672,7 +740,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             return 2
         try:
             report = replay_artifact(
-                artifact, schedulers=args.schedulers and schedulers, kernels=kernels
+                artifact,
+                schedulers=args.schedulers and schedulers,
+                kernels=kernels,
+                loops=loops,
             )
         except ValueError:
             # Malformed artifact (e.g. no generator spec): a usage error —
@@ -692,7 +763,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         raise ValueError("--seeds must be positive")
     spec = _generator_spec(args)
     kernels = kernels or ["python"]
+    loops = loops or ["python"]
     axis = f" x kernels {'+'.join(kernels)}" if len(kernels) > 1 else ""
+    if len(loops) > 1:
+        axis += f" x loops {'+'.join(loops)}"
     print(
         f"fuzzing {args.seeds} generated scenario(s) (generator seed "
         f"{spec.seed}) x {len(schedulers)} schedulers{axis} on {args.platform} "
@@ -707,6 +781,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             duration_ms=duration_ms,
             seed=args.seed,
             kernels=kernels,
+            loops=loops,
         )
     except Exception as error:  # noqa: BLE001 - harness error, exit 1
         print(f"repro fuzz: harness error: {error}", file=sys.stderr)
@@ -987,6 +1062,13 @@ def build_parser() -> argparse.ArgumentParser:
         "large DREAM scheduling rounds through the NumPy kernel, "
         "bit-for-bit identical to 'python' (default: python)",
     )
+    grid_parser.add_argument(
+        "--loop", choices=ENGINE_LOOPS, default="python",
+        help="event loop of the simulation engine; 'fast' is the "
+        "struct-of-arrays rewrite, 'compiled' its mypyc build (requires "
+        "the compiled extension), both bit-for-bit identical to 'python' "
+        "(default: python)",
+    )
     _add_execution_options(grid_parser)
     grid_parser.set_defaults(func=_cmd_grid)
 
@@ -1162,6 +1244,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="decision kernel for --run (see 'repro grid --kernel'; "
         "default: python)",
     )
+    generate_parser.add_argument(
+        "--loop", choices=ENGINE_LOOPS, default="python",
+        help="event loop for --run (see 'repro grid --loop'; default: python)",
+    )
     _add_execution_options(generate_parser)
     generate_parser.set_defaults(func=_cmd_generate)
 
@@ -1184,6 +1270,14 @@ def build_parser() -> argparse.ArgumentParser:
         "reference ('all' or comma-separated; the first is the canonical "
         "run, any divergence on the others is a kernel_parity violation; "
         "default: python)",
+    )
+    fuzz_parser.add_argument(
+        "--loops", action="append", metavar="NAMES",
+        help="event loops to cross-check per scheduler: python, fast, "
+        "compiled ('all' or comma-separated; the first is the canonical "
+        "run, any divergence on the others is a loop_parity violation; "
+        "'all' skips 'compiled' with a notice when the extension is not "
+        "built; default: python)",
     )
     fuzz_parser.add_argument(
         "--platform", default="4k_1ws_2os",

@@ -9,7 +9,10 @@ is simulated twice:
 * once on the optimized engine (``mode="fast"``: incremental request pool,
   cached system views, flat-array costing),
 * once on the optimized engine with the NumPy decision kernel
-  (``kernel="vector"``; skipped when numpy is unavailable), and
+  (``kernel="vector"``; skipped when numpy is unavailable),
+* once on the struct-of-arrays event loop (``loop="fast"``; recorded as the
+  ``compiled_*`` columns instead when the mypyc extension is importable,
+  since the module then *is* the compiled build), and
 * once on the retained reference path (``mode="reference"``: the
   pre-optimization scan-based pool, per-call cost aggregation and view
   construction),
@@ -26,6 +29,7 @@ compares against the committed baseline (see :func:`compare_to_baseline`).
 from __future__ import annotations
 
 import cProfile
+import os
 import platform as platform_mod
 import sys
 import time
@@ -38,7 +42,7 @@ from repro.experiments.backends import make_backend
 from repro.experiments.jobs import generated_context, shared_context
 from repro.hardware.vector_view import HAVE_NUMPY
 from repro.schedulers import make_scheduler
-from repro.sim import SimulationEngine
+from repro.sim import SimulationEngine, fastloop_is_compiled
 from repro.workloads import GeneratorSpec
 
 #: Default simulated window: the engine's own default, which is also the
@@ -71,7 +75,8 @@ def _ratio(numerator_s: float, denominator_s: float) -> float:
 
 
 def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: float,
-              seed: int, mode: str, kernel: str = "python") -> tuple[dict, SimulationEngine, float]:
+              seed: int, mode: str, kernel: str = "python",
+              loop: str = "python") -> tuple[dict, SimulationEngine, float]:
     """One simulation; returns (result dict, the engine, wall seconds)."""
     engine = SimulationEngine(
         scenario=scenario,
@@ -82,11 +87,40 @@ def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: 
         cost_table=cost_table,
         mode=mode,
         kernel=kernel,
+        loop=loop,
     )
     started = time.perf_counter()
     result = engine.run()
     elapsed = time.perf_counter() - started
     return result.to_dict(), engine, elapsed
+
+
+def _cpu_model() -> str:
+    """The host CPU model string (best effort, '' when undiscoverable)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform_mod.processor() or ""
+
+
+def host_metadata() -> dict:
+    """Host facts stamped into every bench payload.
+
+    Raw events/sec only transfer between runs on comparable hardware, so
+    the payload records what it ran on; :func:`compare_to_baseline` uses
+    this to *warn* about cross-host comparisons instead of silently
+    skipping the absolute-throughput gates.
+    """
+    return {
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "perf_counter_resolution": time.get_clock_info("perf_counter").resolution,
+    }
 
 
 @dataclass(frozen=True)
@@ -129,7 +163,7 @@ class EngineBenchJob:
         """
         scenario, platform, cost_table = self._context()
         repeats = max(1, self.repeats)
-        fast_s = ref_s = vector_s = float("inf")
+        fast_s = ref_s = vector_s = fastloop_s = compiled_s = float("inf")
         for _ in range(repeats):
             if profiler is not None:
                 profiler.enable()
@@ -148,6 +182,19 @@ class EngineBenchJob:
                     self.duration_ms, self.seed, "fast", kernel="vector",
                 )
                 vector_s = min(vector_s, elapsed)
+        # The struct-of-arrays event loop.  When the mypyc extension is
+        # importable the module IS the compiled build, so loop="fast" times
+        # the compiled loop; the column is then recorded as compiled_* and
+        # the interpreted fastloop number is unavailable (and vice versa).
+        compiled = fastloop_is_compiled()
+        for _ in range(repeats):
+            fastloop_result, fastloop_engine, elapsed = _run_once(
+                scenario, platform, self.scheduler, cost_table,
+                self.duration_ms, self.seed, "fast", loop="fast",
+            )
+            fastloop_s = min(fastloop_s, elapsed)
+        if compiled:
+            compiled_s, fastloop_s = fastloop_s, float("inf")
         for _ in range(repeats):
             ref_result, ref_engine, elapsed = _run_once(
                 scenario, platform, self.scheduler, cost_table,
@@ -166,6 +213,13 @@ class EngineBenchJob:
                 and vector_engine.events_processed == fast_events
                 and vector_engine.dispatch_rounds == fast_engine.dispatch_rounds
             )
+        # Same bar for the rewritten event loop.
+        cell_parity = (
+            cell_parity
+            and fastloop_result == fast_result
+            and fastloop_engine.events_processed == fast_events
+            and fastloop_engine.dispatch_rounds == fast_engine.dispatch_rounds
+        )
         cell = {
             "scenario": scenario.name,
             "platform": self.platform,
@@ -190,6 +244,16 @@ class EngineBenchJob:
             cell["vector_wall_s"] = vector_s
             cell["vector_events_per_sec"] = _per_sec(fast_events, vector_s)
             cell["vector_speedup"] = _ratio(fast_s, vector_s)
+        if compiled:
+            cell["compiled_wall_s"] = compiled_s
+            cell["compiled_events_per_sec"] = _per_sec(fast_events, compiled_s)
+            cell["compiled_speedup"] = _ratio(fast_s, compiled_s)
+        else:
+            cell["fastloop_wall_s"] = fastloop_s
+            cell["fastloop_events_per_sec"] = _per_sec(fast_events, fastloop_s)
+            # loop_speedup: the per-event-floor loop vs the dict/heap loop,
+            # both interpreted — the honest pure-Python number.
+            cell["loop_speedup"] = _ratio(fast_s, fastloop_s)
         return cell
 
 
@@ -319,12 +383,17 @@ def run_engine_bench(
     reference_eps = _per_sec(total_events, total_reference)
     vectorized = [cell for cell in cells if "vector_wall_s" in cell]
     total_vector = sum(cell["vector_wall_s"] for cell in vectorized)
+    fastlooped = [cell for cell in cells if "fastloop_wall_s" in cell]
+    total_fastloop = sum(cell["fastloop_wall_s"] for cell in fastlooped)
+    compiled_cells = [cell for cell in cells if "compiled_wall_s" in cell]
+    total_compiled = sum(cell["compiled_wall_s"] for cell in compiled_cells)
     schedule_calls = sum(cell["fast_schedule_calls"] for cell in cells)
     return {
         "benchmark": "engine_throughput",
         "repro_version": __version__,
         "python": sys.version.split()[0],
         "machine": platform_mod.platform(),
+        "host": host_metadata(),
         "basket": {
             "scenarios": list(scenarios),
             "platforms": list(platforms),
@@ -359,6 +428,24 @@ def run_engine_bench(
                 if len(vectorized) == len(cells) and cells
                 else {}
             ),
+            **(
+                {
+                    "fastloop_wall_s": total_fastloop,
+                    "fastloop_events_per_sec": _per_sec(total_events, total_fastloop),
+                    "loop_speedup": _ratio(total_fast, total_fastloop),
+                }
+                if len(fastlooped) == len(cells) and cells
+                else {}
+            ),
+            **(
+                {
+                    "compiled_wall_s": total_compiled,
+                    "compiled_events_per_sec": _per_sec(total_events, total_compiled),
+                    "compiled_speedup": _ratio(total_fast, total_compiled),
+                }
+                if len(compiled_cells) == len(cells) and cells
+                else {}
+            ),
             # Deterministic scheduler-load counters (identical across
             # machines for one basket): the quick-basket CI gate fails when
             # fast_schedule_calls regresses against the committed baseline.
@@ -389,11 +476,36 @@ def baseline_entries(baseline: dict) -> list[dict]:
     return [entry for entry in baseline.values() if isinstance(entry, dict) and "totals" in entry]
 
 
+def _host_mismatch(payload: dict, match: dict) -> Optional[str]:
+    """Why the two payloads' hosts are not comparable (None when they are).
+
+    Compares the structured host metadata when both sides record it (CPU
+    model, core count, Python version), falling back to the coarse
+    ``machine`` platform string for pre-metadata baselines.
+    """
+    host, base_host = payload.get("host"), match.get("host")
+    if host and base_host:
+        for key in ("cpu_model", "cpu_count", "python"):
+            if host.get(key) != base_host.get(key):
+                return (
+                    f"host {key} differs: {host.get(key)!r} vs baseline "
+                    f"{base_host.get(key)!r}"
+                )
+        return None
+    if payload.get("machine") != match.get("machine"):
+        return (
+            f"machine differs: {payload.get('machine')!r} vs baseline "
+            f"{match.get('machine')!r}"
+        )
+    return None
+
+
 def compare_to_baseline(
     payload: dict,
     baseline: dict,
     max_regression: float,
     max_round_regression: float = 0.1,
+    warnings: Optional[list[str]] = None,
 ) -> list[str]:
     """Regression messages comparing a fresh payload to a committed baseline.
 
@@ -402,9 +514,11 @@ def compare_to_baseline(
     numbers are not comparable).  The primary comparison is the
     fast/reference *speedup* — a wall-clock ratio measured within one run,
     so it transfers across machines of different absolute speed.  Raw
-    events/sec are additionally compared when the recorded machine matches
+    events/sec are additionally compared when the recorded host matches
     (absolute throughput on a different host says nothing about a code
-    regression).
+    regression); on a host mismatch the skipped absolute gates are
+    reported into ``warnings`` (when a list is passed) instead of being
+    dropped silently.
 
     ``fast_schedule_calls`` — the fast engine's dispatch-round /
     ``schedule()``-invocation count over the basket — is compared whenever
@@ -435,6 +549,14 @@ def compare_to_baseline(
     current = payload["totals"]
     base = match["totals"]
 
+    mismatch = _host_mismatch(payload, match)
+    same_host = mismatch is None
+    if mismatch is not None and warnings is not None:
+        warnings.append(
+            f"{mismatch}; skipping the absolute events/sec gates (wall-clock "
+            "ratios are still compared)"
+        )
+
     base_speedup = base.get("speedup")
     if base_speedup:
         ratio = current["speedup"] / base_speedup
@@ -446,7 +568,7 @@ def compare_to_baseline(
             )
 
     base_eps = base.get("fast_events_per_sec")
-    if payload.get("machine") == match.get("machine") and base_eps:
+    if same_host and base_eps:
         ratio = current["fast_events_per_sec"] / base_eps
         if ratio < threshold:
             problems.append(
@@ -468,16 +590,45 @@ def compare_to_baseline(
 
     base_vector_eps = base.get("vector_events_per_sec")
     current_vector_eps = current.get("vector_events_per_sec")
-    if (
-        payload.get("machine") == match.get("machine")
-        and base_vector_eps
-        and current_vector_eps
-    ):
+    if same_host and base_vector_eps and current_vector_eps:
         ratio = current_vector_eps / base_vector_eps
         if ratio < threshold:
             problems.append(
                 f"vector events/sec regressed: {current_vector_eps:.0f} vs "
                 f"baseline {base_vector_eps:.0f} ({(1.0 - ratio) * 100:.0f}% "
+                f"worse, allowed {max_regression * 100:.0f}%)"
+            )
+
+    base_loop = base.get("loop_speedup")
+    current_loop = current.get("loop_speedup")
+    if base_loop and current_loop:
+        ratio = current_loop / base_loop
+        if ratio < threshold:
+            problems.append(
+                f"fastloop/fast speedup regressed: {current_loop:.2f}x vs "
+                f"baseline {base_loop:.2f}x ({(1.0 - ratio) * 100:.0f}% worse, "
+                f"allowed {max_regression * 100:.0f}%)"
+            )
+
+    base_loop_eps = base.get("fastloop_events_per_sec")
+    current_loop_eps = current.get("fastloop_events_per_sec")
+    if same_host and base_loop_eps and current_loop_eps:
+        ratio = current_loop_eps / base_loop_eps
+        if ratio < threshold:
+            problems.append(
+                f"fastloop events/sec regressed: {current_loop_eps:.0f} vs "
+                f"baseline {base_loop_eps:.0f} ({(1.0 - ratio) * 100:.0f}% "
+                f"worse, allowed {max_regression * 100:.0f}%)"
+            )
+
+    base_compiled = base.get("compiled_speedup")
+    current_compiled = current.get("compiled_speedup")
+    if base_compiled and current_compiled:
+        ratio = current_compiled / base_compiled
+        if ratio < threshold:
+            problems.append(
+                f"compiled/fast speedup regressed: {current_compiled:.2f}x vs "
+                f"baseline {base_compiled:.2f}x ({(1.0 - ratio) * 100:.0f}% "
                 f"worse, allowed {max_regression * 100:.0f}%)"
             )
 
@@ -518,11 +669,23 @@ def describe(payload: dict) -> str:
                 f"  vec {cell['vector_wall_s'] * 1000:7.1f} ms "
                 f"({cell['vector_speedup']:4.2f}x)"
             )
+        loop = ""
+        if "fastloop_wall_s" in cell:
+            loop = (
+                f"  floop {cell['fastloop_wall_s'] * 1000:7.1f} ms "
+                f"({cell['loop_speedup']:4.2f}x)"
+            )
+        elif "compiled_wall_s" in cell:
+            loop = (
+                f"  cloop {cell['compiled_wall_s'] * 1000:7.1f} ms "
+                f"({cell['compiled_speedup']:4.2f}x)"
+            )
         lines.append(
             f"  {cell['scenario']:>18s}/{cell['platform']:<10s} {cell['scheduler']:<16s} "
             f"{cell['events']:>6d} ev  fast {cell['fast_wall_s'] * 1000:7.1f} ms  "
             f"ref {cell['reference_wall_s'] * 1000:8.1f} ms  {cell['speedup']:5.2f}x"
             f"{vector}"
+            f"{loop}"
             f"{counters}"
             f"{'' if cell['parity'] else '  PARITY MISMATCH'}"
         )
@@ -538,6 +701,18 @@ def describe(payload: dict) -> str:
             f"vector kernel: {totals['vector_events_per_sec']:.0f} ev/s "
             f"({totals['vector_wall_s']:.2f} s) -> {totals['vector_speedup']:.2f}x "
             f"over the scalar fast path"
+        )
+    if "fastloop_events_per_sec" in totals:
+        lines.append(
+            f"fast event loop: {totals['fastloop_events_per_sec']:.0f} ev/s "
+            f"({totals['fastloop_wall_s']:.2f} s) -> {totals['loop_speedup']:.2f}x "
+            f"over the dict/heap event loop (both interpreted)"
+        )
+    if "compiled_events_per_sec" in totals:
+        lines.append(
+            f"compiled event loop: {totals['compiled_events_per_sec']:.0f} ev/s "
+            f"({totals['compiled_wall_s']:.2f} s) -> "
+            f"{totals['compiled_speedup']:.2f}x over the interpreted engine"
         )
     if "fast_schedule_calls" in totals:
         lines.append(
@@ -589,6 +764,7 @@ __all__ = [
     "compare_to_baseline",
     "default_basket",
     "describe",
+    "host_metadata",
     "quick_basket",
     "run_engine_bench",
     "speedup_ratio",

@@ -62,6 +62,16 @@ KERNEL_AXIS = {
 #: Axis order used by ``--kernels all`` and the parity matrix.
 KERNEL_AXIS_NAMES = tuple(KERNEL_AXIS)
 
+#: Event-loop axis of the differential harness: the
+#: :data:`~repro.sim.loops.ENGINE_LOOPS` names, passed straight through as
+#: ``SimulationEngine(loop=...)``.  ``"fast"`` is the struct-of-arrays
+#: rewrite, ``"compiled"`` the mypyc build of it (requires the compiled
+#: extension).  All loops must produce bit-for-bit identical results and
+#: traces; ``run_differential(loops=...)`` re-runs every scheduler on each
+#: extra loop and reports any divergence as a ``loop_parity`` metamorphic
+#: failure.
+LOOP_AXIS_NAMES = ("python", "fast", "compiled")
+
 
 @dataclass(frozen=True)
 class SchedulerRun:
@@ -91,6 +101,7 @@ class DifferentialReport:
     generator: Optional[GeneratorSpec] = None
     generator_index: int = 0
     kernels: tuple[str, ...] = ("python",)
+    loops: tuple[str, ...] = ("python",)
 
     @property
     def invariant_violations(self) -> list[tuple[str, Violation]]:
@@ -131,6 +142,7 @@ class DifferentialReport:
                 | {name.split("@", 1)[0] for name in self.harness_errors}
             ),
             "kernels": list(self.kernels),
+            "loops": list(self.loops),
             "generator": self.generator.to_dict() if self.generator else None,
             "generator_index": self.generator_index,
             "invariant_violations": [
@@ -154,6 +166,8 @@ class DifferentialReport:
         """One-line-per-finding human summary."""
         status = "OK" if self.ok and not self.harness_errors else "FAIL"
         axis = f", kernels {'+'.join(self.kernels)}" if len(self.kernels) > 1 else ""
+        if len(self.loops) > 1:
+            axis += f", loops {'+'.join(self.loops)}"
         lines = [
             f"{status} {self.scenario_name} on {self.platform} "
             f"({len(self.runs)} schedulers, {self.duration_ms:g} ms, "
@@ -257,6 +271,7 @@ def run_differential(
     generator: Optional[GeneratorSpec] = None,
     generator_index: int = 0,
     kernels: Sequence[str] = ("python",),
+    loops: Sequence[str] = ("python",),
 ) -> DifferentialReport:
     """Run every scheduler on one scenario and audit all invariants.
 
@@ -277,6 +292,12 @@ def run_differential(
             in results or (id-normalized) traces is a ``kernel_parity``
             metamorphic failure.  A crash on a secondary path is recorded
             as harness error ``"<scheduler>@<kernel>"``.
+        loops: event-loop axis (:data:`LOOP_AXIS_NAMES`).  Works exactly
+            like ``kernels`` but varies ``SimulationEngine(loop=...)``
+            while holding the canonical kernel fixed: the first entry is
+            the canonical loop, each further entry re-runs every scheduler
+            and divergence is a ``loop_parity`` metamorphic failure, with
+            crashes keyed ``"<scheduler>@loop:<loop>"``.
     """
     for kernel in kernels:
         if kernel not in KERNEL_AXIS:
@@ -285,6 +306,13 @@ def run_differential(
             )
     if not kernels:
         raise ValueError("kernels must name at least one decision path")
+    for loop in loops:
+        if loop not in LOOP_AXIS_NAMES:
+            raise ValueError(
+                f"unknown loop {loop!r}; choose from {LOOP_AXIS_NAMES}"
+            )
+    if not loops:
+        raise ValueError("loops must name at least one event loop")
     cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
     report = DifferentialReport(
         scenario_name=scenario.name,
@@ -294,12 +322,20 @@ def run_differential(
         generator=generator,
         generator_index=generator_index,
         kernels=tuple(kernels),
+        loops=tuple(loops),
     )
     canonical, *extra_kernels = kernels
+    canonical_loop, *extra_loops = loops
     kernel_failures: list[Violation] = []
 
-    def _run(scheduler_name: str, axis_name: str) -> tuple[SimulationResult, Tracer]:
+    def _run(
+        scheduler_name: str, axis_name: str, loop_name: str
+    ) -> tuple[SimulationResult, Tracer]:
         mode, engine_kernel = KERNEL_AXIS[axis_name]
+        if mode != "fast":
+            # Non-python loops only exist for the fast engine mode; the
+            # reference decision path always runs the historical loop.
+            loop_name = "python"
         tracer = Tracer()
         engine = SimulationEngine(
             scenario=scenario,
@@ -311,12 +347,13 @@ def run_differential(
             tracer=tracer,
             mode=mode,
             kernel=engine_kernel,
+            loop=loop_name,
         )
         return engine.run(), tracer
 
     for scheduler_name in schedulers:
         try:
-            result, tracer = _run(scheduler_name, canonical)
+            result, tracer = _run(scheduler_name, canonical, canonical_loop)
         except Exception:  # noqa: BLE001 - a crashing scheduler is a finding
             report.harness_errors[scheduler_name] = traceback.format_exc()
             continue
@@ -327,16 +364,18 @@ def run_differential(
             violations=tuple(violations),
             arrivals=_head_arrivals(tracer.records),
         )
-        if not extra_kernels:
+        if not extra_kernels and not extra_loops:
             continue
-        # Kernel-parity axis: the canonical run was audited above, so a
+        # Parity axes: the canonical run was audited above, so a
         # bit-identical secondary run needs no second audit — equality of
         # the result dict and the id-normalized trace *is* the oracle gate.
         canonical_dict = result.to_dict()
         canonical_trace = _normalized_trace(tracer.records)
         for axis_name in extra_kernels:
             try:
-                extra_result, extra_tracer = _run(scheduler_name, axis_name)
+                extra_result, extra_tracer = _run(
+                    scheduler_name, axis_name, canonical_loop
+                )
             except Exception:  # noqa: BLE001 - a crashing path is a finding
                 report.harness_errors[f"{scheduler_name}@{axis_name}"] = (
                     traceback.format_exc()
@@ -358,6 +397,34 @@ def run_differential(
                         f"{scheduler_name}: {axis_name!r} decision path produced "
                         f"an identical result but a different event trace than "
                         f"{canonical!r} (seed {seed}, {duration_ms:g} ms)",
+                    )
+                )
+        for loop_name in extra_loops:
+            try:
+                extra_result, extra_tracer = _run(
+                    scheduler_name, canonical, loop_name
+                )
+            except Exception:  # noqa: BLE001 - a crashing loop is a finding
+                report.harness_errors[f"{scheduler_name}@loop:{loop_name}"] = (
+                    traceback.format_exc()
+                )
+                continue
+            if extra_result.to_dict() != canonical_dict:
+                kernel_failures.append(
+                    Violation(
+                        "loop_parity",
+                        f"{scheduler_name}: {loop_name!r} event loop produced "
+                        f"a different result than {canonical_loop!r} "
+                        f"(seed {seed}, {duration_ms:g} ms)",
+                    )
+                )
+            elif _normalized_trace(extra_tracer.records) != canonical_trace:
+                kernel_failures.append(
+                    Violation(
+                        "loop_parity",
+                        f"{scheduler_name}: {loop_name!r} event loop produced "
+                        f"an identical result but a different event trace than "
+                        f"{canonical_loop!r} (seed {seed}, {duration_ms:g} ms)",
                     )
                 )
     report.metamorphic_failures = _check_metamorphic(report, scenario) + kernel_failures
@@ -404,13 +471,14 @@ def run_fuzz(
     duration_ms: float = 400.0,
     seed: int = 0,
     kernels: Sequence[str] = ("python",),
+    loops: Sequence[str] = ("python",),
 ) -> FuzzResult:
     """Differentially test ``count`` generated scenarios of a spec.
 
     Each scenario ``i`` of the spec is built through the process-local
     generated-context cache (cost table built once per scenario) and run
-    under every scheduler, on every requested decision path (``kernels``,
-    see :func:`run_differential`).
+    under every scheduler, on every requested decision path (``kernels``)
+    and event loop (``loops``, see :func:`run_differential`).
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -429,6 +497,7 @@ def run_fuzz(
                 generator=spec,
                 generator_index=index,
                 kernels=kernels,
+                loops=loops,
             )
         )
     return fuzz
@@ -438,6 +507,7 @@ def replay_artifact(
     artifact: dict,
     schedulers: Optional[Sequence[str]] = None,
     kernels: Optional[Sequence[str]] = None,
+    loops: Optional[Sequence[str]] = None,
 ) -> DifferentialReport:
     """Re-run the differential check described by a fuzz artifact.
 
@@ -448,6 +518,7 @@ def replay_artifact(
             ``duration_ms``, ``seed``).
         schedulers: optional override of the artifact's scheduler list.
         kernels: optional override of the artifact's decision-path axis.
+        loops: optional override of the artifact's event-loop axis.
 
     Raises:
         ValueError: if the artifact has no generator spec (non-generated
@@ -472,4 +543,5 @@ def replay_artifact(
         generator=spec,
         generator_index=index,
         kernels=tuple(kernels) if kernels else tuple(artifact.get("kernels") or ("python",)),
+        loops=tuple(loops) if loops else tuple(artifact.get("loops") or ("python",)),
     )

@@ -40,6 +40,7 @@ from repro.sim.invariants import (
     audit_trace,
 )
 from repro.sim.engine import ENGINE_KERNELS, ENGINE_MODES, SimulationEngine, run_simulation
+from repro.sim.loops import ENGINE_LOOPS, available_loops, fastloop_is_compiled
 
 __all__ = [
     "INVARIANT_NAMES",
@@ -52,7 +53,10 @@ __all__ = [
     "RequestPool",
     "ReferenceRequestPool",
     "ENGINE_KERNELS",
+    "ENGINE_LOOPS",
     "ENGINE_MODES",
+    "available_loops",
+    "fastloop_is_compiled",
     "Assignment",
     "SchedulingDecision",
     "AcceleratorView",

@@ -100,6 +100,7 @@ from repro.hardware.platform import Platform
 from repro.metrics.quantiles import StreamingQuantiles
 from repro.sim.decisions import AcceleratorView, SchedulingDecision, SystemView
 from repro.sim.executor import AcceleratorExecutor
+from repro.sim.loops import ENGINE_LOOPS, require_compiled
 from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.request import InferenceRequest, RequestState
 from repro.sim.results import AcceleratorStats, SimulationResult, TaskStats
@@ -173,6 +174,13 @@ class SimulationEngine:
             ``mode="fast"``.  Decisions, results and traces are bit-for-bit
             identical across kernels; schedulers that are not kernel-aware
             ignore the setting entirely.
+        loop: ``"python"`` (default) runs the in-engine event loop below;
+            ``"fast"`` runs the struct-of-arrays rewrite
+            (:mod:`repro.sim.fastloop`, pure Python, always available);
+            ``"compiled"`` additionally asserts the mypyc-built fastloop
+            extension is active and fails at construction when it is not
+            (:mod:`repro.sim.loops`).  Requires ``mode="fast"``.  Results,
+            traces and stats are bit-for-bit identical across loops.
     """
 
     def __init__(
@@ -190,6 +198,7 @@ class SimulationEngine:
         mode: str = "fast",
         dispatch_elision: bool = True,
         kernel: str = "python",
+        loop: str = "python",
     ) -> None:
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -211,6 +220,18 @@ class SimulationEngine:
             from repro.hardware.vector_view import require_numpy
 
             require_numpy()
+        if loop not in ENGINE_LOOPS:
+            raise ValueError(f"loop must be one of {ENGINE_LOOPS}, got {loop!r}")
+        if loop != "python":
+            if mode != "fast":
+                raise ValueError(
+                    f"loop={loop!r} requires mode='fast' (the reference mode "
+                    "retains the historical event loop)"
+                )
+            if loop == "compiled":
+                # Fail at construction, not mid-run, when the build is absent.
+                require_compiled()
+        self.loop = loop
         self.scenario = scenario
         self.platform = platform
         self.scheduler = scheduler
@@ -299,6 +320,16 @@ class SimulationEngine:
         self.scheduler.bind(self.platform, self.cost_table, self.scenario, random.Random(self.seed + 1))
         if self.dispatch_elision:
             self._wake_hint = self.scheduler.wake_hint()
+        if self.loop != "python":
+            # The struct-of-arrays loop primes its own arrival slots and
+            # drains to completion; it shares this engine's pool, executors,
+            # RNG, stats and trace/finalize helpers, so everything below the
+            # loop is byte-identical.
+            from repro.sim.fastloop import FastLoop
+
+            FastLoop(self).run()
+            self._finalize_leftovers()
+            return self._build_result()
         self._start_arrival_streams()
 
         events = self._events

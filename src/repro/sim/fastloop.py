@@ -1,0 +1,621 @@
+"""The struct-of-arrays event loop (``SimulationEngine(loop="fast")``).
+
+This module is a drop-in rewrite of the engine's inner event loop that
+attacks the *per-event floor* the vector decision kernel could not touch
+(see docs/performance.md): heap tuple churn, per-event attribute and
+property lookups, and dispatch bookkeeping.  It produces **bit-for-bit
+identical** results, traces and stats — the parity sweep, ``repro fuzz
+--loops all`` and the bench-engine per-cell parity assertions enforce it.
+
+Design
+------
+* **Arrival slot arrays instead of heap entries.**  Streaming arrivals
+  guarantee at most one pending arrival per head task, so arrivals live
+  in preallocated parallel arrays (one integer-indexed slot per head
+  task, ordered by task name): next-arrival time, frame payload,
+  prefetched :class:`~repro.workloads.scenario.TaskSpec` and the lazy
+  frame iterator.  The next arrival is the running minimum over a
+  handful of floats — no tuple allocation, no heap sift — and it is
+  recomputed only when a slot refills (completions cannot move it).
+  Scanning in task-name order with a strict ``<`` reproduces the
+  historical ``(arrival_ms, task_name)`` tie-break exactly, because two
+  arrivals of the *same* task never coexist.
+* **Integer-coded completions on a slim heap.**  Completion events carry
+  ``(end_ms, seq, (acc_id << 48) | slot_id)`` — a 3-tuple of scalars
+  instead of the 5-tuple with string kind and payload tuple.  ``seq`` is
+  the same monotone push-order tie-break as the engine's, and the merge
+  rule *arrival wins ties* reproduces ``_PRIO_ARRIVAL < _PRIO_COMPLETE``.
+* **Inlined transitions.**  The arrival → dispatch → progress → finalize
+  transitions, the wake-hint elision predicate (fully unrolled against
+  hoisted hint fields and the pool's raw pending list), the
+  same-timestamp coalescing drain, the decision application (terminal
+  state and capacity checks inlined) and the memoized accelerator/system
+  view refresh (snapshot version guards inlined, parallel key arrays)
+  all live in one monomorphic ``run()`` with hot state in locals.
+  Scheduler lifecycle hooks that are not overridden (the base-class
+  no-ops) are detected once and never called.
+* **Compilable subset.**  Everything here is fully annotated, avoids
+  closures and dynamic attributes on the hot path, and stays inside the
+  mypyc-compilable subset; ``pip install .[compiled]`` plus the gated
+  ``build_ext`` hook in setup.py compiles this module to a C extension
+  that shadows the ``.py`` under the same import name
+  (``loop="compiled"`` asserts that build is active, see
+  :mod:`repro.sim.loops`).
+
+Cold paths (request finalization, cascade spawning, expiry, tracing)
+delegate to the engine's own methods so the statistics/trace logic exists
+exactly once; the loop keeps ``engine._now`` synced so those methods see
+the same clock they would under the Python loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import replace
+from typing import Any, Iterator, List, Optional
+
+from repro.sim.decisions import AcceleratorView, SystemView
+from repro.sim.request import RequestState
+from repro.workloads.frames import head_arrival_plan, task_frame_stream
+
+#: Completion payloads are packed into one int: ``(acc_id << 48) | slot_id``.
+_ACC_SHIFT = 48
+_SLOT_MASK = (1 << _ACC_SHIFT) - 1
+
+_INF = float("inf")
+
+#: Mirrors ``engine._MAX_DISPATCH_ROUNDS`` (duplicated: this module must
+#: not import the engine, which imports it back lazily).
+_MAX_DISPATCH_ROUNDS = 64
+
+#: ``AcceleratorView.__new__`` — hoisted for the fast view constructor.
+_view_new = AcceleratorView.__new__
+
+
+class FastLoop:
+    """One engine run through the struct-of-arrays loop.
+
+    The loop borrows the engine's live components (pool, executors,
+    scheduler, RNG, stats) and owns only the event storage; counters are
+    written back to the engine when the run drains so
+    ``SimulationResult.engine_counters`` is indistinguishable from the
+    Python loop's.
+    """
+
+    def __init__(self, engine: Any) -> None:
+        self.engine = engine
+        self.scheduler: Any = engine.scheduler
+        self.pool: Any = engine._pool
+        self.executors: List[Any] = list(engine._executors)
+        self.tracer: Any = engine.tracer
+        self.rng: Any = engine._rng
+        self.duration_ms: float = float(engine.duration_ms)
+        self.expiry_enabled: bool = engine.expire_after_periods is not None
+        # The pool's raw pending list: identity-stable for the pool's whole
+        # life (mutated in place), so `bool(pending_values)` is the
+        # has_pending predicate without a property call.
+        self.pending_values: List[Any] = engine._pool._pending_values
+
+        # Wake-hint elision state (resolved by engine.run() before we are
+        # constructed); fields hoisted so the hot predicate reads locals.
+        hint: Any = engine._wake_hint
+        self.have_hint: bool = hint is not None
+        self.hint_same_instant: bool = bool(hint.same_instant_only) if self.have_hint else False
+        self.hint_elide_no_pending: bool = bool(hint.elide_when_no_pending) if self.have_hint else False
+        min_free: Optional[float] = hint.min_free_fraction if self.have_hint else None
+        self.hint_has_min_free: bool = min_free is not None
+        self.hint_threshold: float = (min_free - 1e-9) if min_free is not None else 0.0
+
+        # Lifecycle hooks left as the base-class no-ops are never called.
+        from repro.schedulers.base import Scheduler
+
+        cls = type(engine.scheduler)
+        self.call_arrival_hook: bool = cls.on_request_arrival is not Scheduler.on_request_arrival
+        self.call_layers_hook: bool = cls.on_layers_complete is not Scheduler.on_layers_complete
+
+        # --- arrival slots (struct of arrays, one slot per head task) ---
+        # Ordered by task name: the historical arrival tie-break at equal
+        # times is (task_name, frame_id), and one task never holds two
+        # pending arrivals, so a first-strict-minimum scan in name order
+        # reproduces it exactly.
+        plan = sorted(head_arrival_plan(engine.scenario), key=_plan_name)
+        n = len(plan)
+        self.n_slots: int = n
+        self.slot_tasks: List[Any] = [entry[0] for entry in plan]
+        self.slot_iters: List[Optional[Iterator[Any]]] = [None] * n
+        self.slot_times: List[float] = [_INF] * n
+        self.slot_frames: List[Any] = [None] * n
+        self.slot_last: List[float] = [-_INF] * n
+        self.arrivals_active: int = 0
+
+        # --- completion heap: (end_ms, seq, (acc_id << 48) | slot_id) ---
+        self.comp_heap: List[Any] = []
+
+        # Counters (mirrors of the engine's, written back on drain).
+        self.events_processed: int = 0
+        self.dispatch_rounds: int = 0
+        self.dispatches_elided: int = 0
+        self.events_coalesced: int = 0
+        self.peak_event_heap: int = 0
+
+        # Memoized view state (same protocol as the engine's fast path,
+        # with the key tuples split into parallel scalar arrays).
+        n_exec = len(self.executors)
+        self.acc_views: List[Optional[Any]] = [None] * n_exec
+        self.acc_view_versions: List[int] = [-1] * n_exec
+        self.acc_view_busys: List[float] = [0.0] * n_exec
+        self.acc_views_tuple: Any = None
+        self.view: Any = None
+        self.execs_dirty: bool = True
+        self.acc_all_busy: bool = False
+
+        # Inlined pool-snapshot memo guards (one int compare instead of a
+        # method call per dispatch round when nothing changed).
+        self.seen_pending_version: int = -1
+        self.seen_running_version: int = -1
+        self.seen_depth_version: int = -1
+        self.pending_snapshot: Any = None
+        self.running_snapshot: Any = None
+        self.depth_snapshot: Any = None
+
+        for i in range(n):
+            task = self.slot_tasks[i]
+            self.slot_iters[i] = iter(
+                task_frame_stream(
+                    task,
+                    offset_ms=float(plan[i][1]),
+                    end_ms=self.duration_ms,
+                    seed=engine.seed,
+                    default_jitter_ms=engine.jitter_ms,
+                )
+            )
+            self._refill_slot(i)
+
+    # ------------------------------------------------------------------ #
+    # arrival slots
+    # ------------------------------------------------------------------ #
+    def _refill_slot(self, index: int) -> None:
+        """Pull one frame into slot ``index`` (mirrors _push_next_arrival)."""
+        iterator = self.slot_iters[index]
+        if iterator is None:
+            return
+        frame = next(iterator, None)
+        if frame is None:
+            self.slot_iters[index] = None
+            self.slot_times[index] = _INF
+            self.slot_frames[index] = None
+            return
+        arrival: float = frame.arrival_ms
+        last: float = self.slot_last[index]
+        if arrival < last:
+            # Clamp out-of-order frames monotone, exactly like the engine.
+            frame = replace(
+                frame, arrival_ms=last, deadline_ms=max(frame.deadline_ms, last)
+            )
+            arrival = last
+        self.slot_last[index] = arrival
+        self.slot_times[index] = arrival
+        self.slot_frames[index] = frame
+        self.arrivals_active += 1
+        occupancy = self.arrivals_active + len(self.comp_heap)
+        if occupancy > self.peak_event_heap:
+            self.peak_event_heap = occupancy
+
+    def _best_arrival(self) -> int:
+        """Index of the earliest arrival slot (-1 when none pending).
+
+        First strict minimum in task-name order == the heap's
+        ``(arrival_ms, task_name)`` ordering.
+        """
+        times = self.slot_times
+        best = _INF
+        best_i = -1
+        for i in range(self.n_slots):
+            t = times[i]
+            if t < best:
+                best = t
+                best_i = i
+        return best_i
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Drain all events; mirrors ``SimulationEngine.run``'s loop."""
+        engine = self.engine
+        scheduler = self.scheduler
+        pool = self.pool
+        executors = self.executors
+        tracer = self.tracer
+        rng = self.rng
+        comp_heap = self.comp_heap
+        slot_times = self.slot_times
+        slot_frames = self.slot_frames
+        slot_tasks = self.slot_tasks
+        pending_values = self.pending_values
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        expiry_enabled = self.expiry_enabled
+        have_hint = self.have_hint
+        hint_same_instant = self.hint_same_instant
+        hint_elide_no_pending = self.hint_elide_no_pending
+        hint_has_min_free = self.hint_has_min_free
+        hint_threshold = self.hint_threshold
+        request_cls = _request_cls()
+        pending_state = RequestState.PENDING
+        completed_state = RequestState.COMPLETED
+
+        events_processed = 0
+        events_coalesced = 0
+        dispatches_elided = 0
+        dispatch_rounds = 0
+        comp_seq = 0
+        # Same-instant elision state (gates same_instant_only hints).
+        last_schedule_ms = -_INF
+        last_schedule_membership = -1
+
+        # Cached earliest arrival; only a slot refill can change it, so it
+        # is recomputed after arrival pops and never after completions.
+        best_i = self._best_arrival()
+        best_at = slot_times[best_i] if best_i >= 0 else _INF
+
+        while True:
+            comp_at = comp_heap[0][0] if comp_heap else _INF
+            if best_at <= comp_at:
+                # Arrival wins ties: _PRIO_ARRIVAL < _PRIO_COMPLETE.
+                if best_at == _INF:
+                    break
+                now = best_at
+                engine._now = now
+                events_processed += 1
+                frame = slot_frames[best_i]
+                slot_times[best_i] = _INF
+                slot_frames[best_i] = None
+                self.arrivals_active -= 1
+                self._refill_slot(best_i)
+                task = slot_tasks[best_i]
+                best_i = self._best_arrival()
+                best_at = slot_times[best_i] if best_i >= 0 else _INF
+                request = request_cls(
+                    task_name=task.name,
+                    model=task.default_model,
+                    frame_id=frame.frame_id,
+                    arrival_ms=frame.arrival_ms,
+                    deadline_ms=frame.deadline_ms,
+                    rng=rng,
+                )
+                pool.add(request)
+                if tracer is not None:
+                    engine._trace(request, "arrival")
+                if self.call_arrival_hook:
+                    scheduler.on_request_arrival(request, now)
+            else:
+                entry = heappop(comp_heap)
+                now = entry[0]
+                engine._now = now
+                events_processed += 1
+                code: int = entry[2]
+                executor = executors[code >> _ACC_SHIFT]
+                slot = executor.complete(code & _SLOT_MASK, now)
+                self.execs_dirty = True
+                request = slot.request
+                if tracer is not None:
+                    engine._trace(
+                        request, "layers_complete", acc_id=code >> _ACC_SHIFT,
+                        detail=f"{len(slot.layer_indices)} layers",
+                    )
+                if request.state is completed_state:
+                    if tracer is not None:
+                        engine._trace(request, "complete", acc_id=code >> _ACC_SHIFT)
+                    engine._finalize_request(request)
+                    engine._spawn_cascades(request)
+                else:
+                    pool.note_progress(request)
+                    if self.call_layers_hook:
+                        scheduler.on_layers_complete(request, now)
+
+            # Same-timestamp coalescing (identical conditions and order to
+            # the engine loop: next event at this instant, hint present,
+            # provably inert, no expiry due).
+            if have_hint:
+                while True:
+                    comp_at = comp_heap[0][0] if comp_heap else _INF
+                    next_at = best_at if best_at <= comp_at else comp_at
+                    if next_at != now:
+                        break
+                    # --- inlined _provably_empty(hint, now) ---
+                    if hint_same_instant and (
+                        last_schedule_ms != now
+                        or last_schedule_membership != pool._depth_version
+                    ):
+                        break
+                    if not pending_values:
+                        if not hint_elide_no_pending:
+                            break
+                    elif not hint_has_min_free:
+                        break
+                    else:
+                        eligible = True
+                        for executor in executors:
+                            free: float = 1.0 - executor._allocated
+                            if free < 0.0:
+                                free = 0.0
+                            if free >= hint_threshold:
+                                eligible = False
+                                break
+                        if not eligible:
+                            break
+                    if expiry_enabled and pool.has_stale(now):
+                        break
+                    events_processed += 1
+                    events_coalesced += 1
+                    dispatches_elided += 1
+                    if best_at <= comp_at:
+                        frame = slot_frames[best_i]
+                        slot_times[best_i] = _INF
+                        slot_frames[best_i] = None
+                        self.arrivals_active -= 1
+                        self._refill_slot(best_i)
+                        task = slot_tasks[best_i]
+                        best_i = self._best_arrival()
+                        best_at = slot_times[best_i] if best_i >= 0 else _INF
+                        request = request_cls(
+                            task_name=task.name,
+                            model=task.default_model,
+                            frame_id=frame.frame_id,
+                            arrival_ms=frame.arrival_ms,
+                            deadline_ms=frame.deadline_ms,
+                            rng=rng,
+                        )
+                        pool.add(request)
+                        if tracer is not None:
+                            engine._trace(request, "arrival")
+                        if self.call_arrival_hook:
+                            scheduler.on_request_arrival(request, now)
+                    else:
+                        entry = heappop(comp_heap)
+                        code = entry[2]
+                        executor = executors[code >> _ACC_SHIFT]
+                        slot = executor.complete(code & _SLOT_MASK, now)
+                        self.execs_dirty = True
+                        request = slot.request
+                        if tracer is not None:
+                            engine._trace(
+                                request, "layers_complete", acc_id=code >> _ACC_SHIFT,
+                                detail=f"{len(slot.layer_indices)} layers",
+                            )
+                        if request.state is completed_state:
+                            if tracer is not None:
+                                engine._trace(request, "complete", acc_id=code >> _ACC_SHIFT)
+                            engine._finalize_request(request)
+                            engine._spawn_cascades(request)
+                        else:
+                            pool.note_progress(request)
+                            if self.call_layers_hook:
+                                scheduler.on_layers_complete(request, now)
+
+            # ---------------- dispatch (inlined _dispatch) ----------------
+            if expiry_enabled and pool.has_stale(now):
+                engine._expire_stale(now)
+            rounds = 0
+            while True:
+                # The round cap is checked before the elision predicate so a
+                # 65th scheduling point raises exactly like the engine's
+                # exhausted ``for`` loop would.
+                if rounds >= _MAX_DISPATCH_ROUNDS:
+                    raise RuntimeError(
+                        f"scheduler {type(scheduler).__name__} did not converge "
+                        f"after {_MAX_DISPATCH_ROUNDS} dispatch rounds at "
+                        f"t={now:.3f} ms"
+                    )
+                if have_hint:
+                    # --- inlined _provably_empty(hint, now) ---
+                    if hint_same_instant and (
+                        last_schedule_ms != now
+                        or last_schedule_membership != pool._depth_version
+                    ):
+                        eligible = False
+                    elif not pending_values:
+                        eligible = hint_elide_no_pending
+                    elif not hint_has_min_free:
+                        eligible = False
+                    else:
+                        eligible = True
+                        for executor in executors:
+                            free = 1.0 - executor._allocated
+                            if free < 0.0:
+                                free = 0.0
+                            if free >= hint_threshold:
+                                eligible = False
+                                break
+                    if eligible:
+                        dispatches_elided += 1
+                        break
+                rounds += 1
+                dispatch_rounds += 1
+                decision = scheduler.schedule(self._system_view(now))
+                if have_hint:
+                    last_schedule_ms = now
+                    last_schedule_membership = pool._depth_version
+                assignments = decision.assignments
+                drops = decision.drops
+                if not assignments and not drops:
+                    break
+                # ------------- apply decision (inlined) -------------
+                applied = 0
+                for request in drops:
+                    # Skip unless PENDING == the engine's "finished or
+                    # RUNNING" guard (the state space has no other values).
+                    if request.state is not pending_state:
+                        continue
+                    request.mark_dropped(now)
+                    if tracer is not None:
+                        engine._trace(request, "dropped")
+                    engine._finalize_request(request)
+                    applied += 1
+                for assignment in assignments:
+                    request = assignment.request
+                    if request.state is not pending_state:
+                        continue
+                    executor = executors[assignment.acc_id]
+                    # Inlined executor.can_accept(pe_fraction).
+                    free = 1.0 - executor._allocated
+                    if free < 0.0:
+                        free = 0.0
+                    if assignment.pe_fraction > free + 1e-9:
+                        continue
+                    if assignment.switch_to_variant is not None and not request.started:
+                        old_name = request.model_name
+                        request.switch_variant(assignment.switch_to_variant)
+                        if request.model_name != old_name and tracer is not None:
+                            engine._trace(
+                                request, "variant_switch",
+                                detail=f"{old_name} -> {request.model_name}",
+                            )
+                    record = executor.start(assignment, now)
+                    self.execs_dirty = True
+                    pool.note_dispatched(request)
+                    if tracer is not None:
+                        engine._trace(
+                            request,
+                            "dispatch",
+                            acc_id=assignment.acc_id,
+                            detail=(
+                                f"{len(record.slot.layer_indices)} layers, "
+                                f"pe_fraction={assignment.pe_fraction:g}, "
+                                f"switch={record.context_switch}"
+                            ),
+                            pe_fraction=assignment.pe_fraction,
+                        )
+                    heappush(
+                        comp_heap,
+                        (
+                            record.slot.end_ms,
+                            comp_seq,
+                            (assignment.acc_id << _ACC_SHIFT) | record.slot.slot_id,
+                        ),
+                    )
+                    comp_seq += 1
+                    occupancy = self.arrivals_active + len(comp_heap)
+                    if occupancy > self.peak_event_heap:
+                        self.peak_event_heap = occupancy
+                    applied += 1
+                if applied == 0:
+                    break
+
+        # Write the counters back so results are indistinguishable.
+        engine.events_processed += events_processed
+        engine.dispatch_rounds += dispatch_rounds
+        engine.dispatches_elided += dispatches_elided
+        engine.events_coalesced += events_coalesced
+        engine.peak_event_heap = max(engine.peak_event_heap, self.peak_event_heap)
+        self.events_processed = events_processed
+        self.events_coalesced = events_coalesced
+        self.dispatches_elided = dispatches_elided
+        self.dispatch_rounds = dispatch_rounds
+
+    # ------------------------------------------------------------------ #
+    # memoized views (inlined _accelerator_views_fast/_system_view)
+    # ------------------------------------------------------------------ #
+    def _accelerator_views(self, now: float) -> Any:
+        if not self.execs_dirty and self.acc_all_busy and self.acc_views_tuple is not None:
+            return self.acc_views_tuple
+        views = self.acc_views
+        versions = self.acc_view_versions
+        busys = self.acc_view_busys
+        replaced = False
+        all_busy = True
+        executors = self.executors
+        for index in range(len(executors)):
+            executor = executors[index]
+            if executor.slots:
+                busy: float = executor._busy_until
+            else:
+                busy = now
+                all_busy = False
+            version: int = executor.state_version
+            cached = views[index]
+            if cached is not None and versions[index] == version:
+                if busys[index] != busy:
+                    object.__setattr__(cached, "busy_until_ms", busy)
+                    busys[index] = busy
+                continue
+            free: float = 1.0 - executor._allocated
+            if free < 0.0:
+                free = 0.0
+            # Bypass the frozen dataclass __init__ (object.__setattr__ per
+            # field); field values are identical, so views are bit-for-bit.
+            fresh = _view_new(AcceleratorView)
+            fresh.__dict__.update(
+                acc_id=executor.acc_id,
+                free_fraction=free,
+                busy_until_ms=busy,
+                resident_model=executor.resident_model,
+                running_tasks=executor.running_tasks(),
+            )
+            views[index] = fresh
+            versions[index] = version
+            busys[index] = busy
+            replaced = True
+        self.execs_dirty = False
+        self.acc_all_busy = all_busy
+        if replaced or self.acc_views_tuple is None:
+            self.acc_views_tuple = tuple(views)
+        return self.acc_views_tuple
+
+    def _system_view(self, now: float) -> Any:
+        engine = self.engine
+        pool = self.pool
+        accelerators = self._accelerator_views(now)
+        # Inlined snapshot memo guards: one int compare per component when
+        # nothing changed, the pool's own memoized builder otherwise.
+        version: int = pool._pending_version
+        if version != self.seen_pending_version:
+            self.pending_snapshot = pool.pending_snapshot()
+            self.seen_pending_version = version
+        pending = self.pending_snapshot
+        version = pool._running_version
+        if version != self.seen_running_version:
+            self.running_snapshot = pool.running_snapshot()
+            self.seen_running_version = version
+        running = self.running_snapshot
+        version = pool._depth_version
+        if version != self.seen_depth_version:
+            self.depth_snapshot = pool.queue_depths(engine._task_names)
+            self.seen_depth_version = version
+        depths = self.depth_snapshot
+        view = self.view
+        if (
+            view is not None
+            and view.accelerators is accelerators
+            and view.pending_requests is pending
+            and view.running_requests is running
+            and view.queue_depths is depths
+        ):
+            if view.now_ms != now:
+                object.__setattr__(view, "now_ms", now)
+            return view
+        view = SystemView(
+            now_ms=now,
+            platform=engine.platform,
+            cost_table=engine.cost_table,
+            scenario=engine.scenario,
+            accelerators=accelerators,
+            pending_requests=pending,
+            running_requests=running,
+            queue_depths=depths,
+        )
+        self.view = view
+        return view
+
+
+def _plan_name(entry: Any) -> str:
+    """Sort key for the arrival plan (module-level: no closures here)."""
+    return entry[0].name
+
+
+def _request_cls() -> Any:
+    """The request class, resolved lazily to avoid an import cycle."""
+    from repro.sim.request import InferenceRequest
+
+    return InferenceRequest

@@ -35,7 +35,7 @@ class RequestState(enum.Enum):
         return self in (RequestState.COMPLETED, RequestState.DROPPED, RequestState.EXPIRED)
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletedLayer:
     """Record of one executed layer (the paper's Stack_task entries)."""
 
@@ -163,14 +163,26 @@ class InferenceRequest:
         self._require_active()
         self.state = RequestState.RUNNING
 
-    def record_layers(self, layer_indices: list[int], acc_id: int, completion_ms: float) -> None:
-        """Record completion of the given layers on ``acc_id``."""
-        expected = self.next_layers(len(layer_indices))
-        if layer_indices != expected:
-            raise ValueError(
-                f"request {self.request_id}: completed layers {layer_indices} do not "
-                f"match the expected path prefix {expected}"
-            )
+    def record_layers(
+        self,
+        layer_indices: list[int],
+        acc_id: int,
+        completion_ms: float,
+        validate: bool = True,
+    ) -> None:
+        """Record completion of the given layers on ``acc_id``.
+
+        ``validate=False`` skips the path-prefix check for callers that
+        provably pass the exact slice returned by :meth:`next_layers` (the
+        fast executor, whose slot froze that slice at dispatch time).
+        """
+        if validate:
+            expected = self.next_layers(len(layer_indices))
+            if layer_indices != expected:
+                raise ValueError(
+                    f"request {self.request_id}: completed layers {layer_indices} do not "
+                    f"match the expected path prefix {expected}"
+                )
         for layer_index in layer_indices:
             self.completed_layers.append(
                 CompletedLayer(layer_index=layer_index, acc_id=acc_id, completion_ms=completion_ms)

@@ -1,5 +1,6 @@
 """Engine-throughput benchmark: wall clamping, vector columns, baseline gates."""
 
+import sys
 import time
 
 import pytest
@@ -12,9 +13,11 @@ from repro.experiments.benchmark import (
     _ratio,
     compare_to_baseline,
     describe,
+    host_metadata,
     run_engine_bench,
 )
 from repro.hardware.vector_view import HAVE_NUMPY
+from repro.sim import fastloop_is_compiled
 
 
 class TestWallClamp:
@@ -80,10 +83,40 @@ class TestEngineBench:
         with pytest.raises(ValueError):
             run_engine_bench(["ar_call"], ["4k_1ws_2os"], ["fcfs_dynamic"], repeats=0)
 
+    def test_payload_records_host_metadata_and_loop_columns(self):
+        payload = run_engine_bench(
+            scenarios=["ar_call"], platforms=["4k_1ws_2os"],
+            schedulers=["fcfs_dynamic"], generated=0, duration_ms=150.0,
+        )
+        host = payload["host"]
+        assert host["cpu_count"] >= 1
+        assert host["python"] == sys.version.split()[0]
+        assert host["perf_counter_resolution"] > 0.0
+        # cpu_model is best-effort ('' only when /proc/cpuinfo and
+        # platform.processor() both come up empty).
+        assert isinstance(host["cpu_model"], str)
+        # The loop pass names its columns by what actually ran: interpreted
+        # fastloop -> fastloop_*/loop_speedup, mypyc build -> compiled_*.
+        prefix = "compiled" if fastloop_is_compiled() else "fastloop"
+        totals = payload["totals"]
+        for cell in payload["cells"]:
+            assert cell[f"{prefix}_events_per_sec"] > 0.0
+            assert cell[f"{prefix}_wall_s"] >= 0.0
+        assert totals[f"{prefix}_events_per_sec"] > 0.0
+        if fastloop_is_compiled():
+            assert totals["compiled_speedup"] > 0.0
+        else:
+            assert totals["loop_speedup"] > 0.0
+            assert "fast event loop:" in describe(payload)
+
+    def test_host_metadata_is_stable_within_a_process(self):
+        assert host_metadata() == host_metadata()
+
 
 def _payload(machine="m1", speedup=3.0, eps=10_000.0, vector_speedup=1.2,
-             vector_eps=12_000.0, rounds=100):
-    return {
+             vector_eps=12_000.0, rounds=100, host=None, loop_speedup=None,
+             loop_eps=None):
+    payload = {
         "machine": machine,
         "basket": {"scenarios": ["ar_call"]},
         "totals": {
@@ -94,6 +127,16 @@ def _payload(machine="m1", speedup=3.0, eps=10_000.0, vector_speedup=1.2,
             "fast_schedule_calls": rounds,
         },
     }
+    if host is not None:
+        payload["host"] = dict(host)
+    if loop_speedup is not None:
+        payload["totals"]["loop_speedup"] = loop_speedup
+    if loop_eps is not None:
+        payload["totals"]["fastloop_events_per_sec"] = loop_eps
+    return payload
+
+
+_HOST = {"cpu_model": "TestCPU 9000", "cpu_count": 8, "python": "3.12.0"}
 
 
 class TestBaselineGates:
@@ -126,6 +169,67 @@ class TestBaselineGates:
         baseline["basket"] = {"scenarios": ["vr_gaming"]}
         problems = compare_to_baseline(_payload(), baseline, 0.2)
         assert any("matching basket" in p for p in problems)
+
+    def test_loop_speedup_regression_is_flagged(self):
+        current = _payload(loop_speedup=1.0, loop_eps=20_000.0)
+        baseline = _payload(loop_speedup=1.5, loop_eps=20_000.0)
+        problems = compare_to_baseline(current, baseline, 0.2)
+        assert any("fastloop/fast speedup regressed" in p for p in problems)
+
+    def test_fastloop_events_per_sec_gated_on_same_host_only(self):
+        current = _payload(loop_speedup=1.3, loop_eps=10_000.0, host=_HOST)
+        baseline = _payload(loop_speedup=1.3, loop_eps=20_000.0, host=_HOST)
+        problems = compare_to_baseline(current, baseline, 0.2)
+        assert any("fastloop events/sec regressed" in p for p in problems)
+        other = dict(_HOST, cpu_model="OtherCPU 100")
+        problems = compare_to_baseline(
+            _payload(loop_speedup=1.3, loop_eps=10_000.0, host=other),
+            baseline, 0.2,
+        )
+        assert not any("fastloop events/sec" in p for p in problems)
+
+
+class TestHostMismatchWarnings:
+    def test_same_host_emits_no_warning(self):
+        warnings = []
+        problems = compare_to_baseline(
+            _payload(host=_HOST), _payload(host=_HOST), 0.2, warnings=warnings
+        )
+        assert problems == []
+        assert warnings == []
+
+    def test_host_mismatch_warns_and_skips_absolute_gates_only(self):
+        # Half the absolute throughput on different hardware: not a
+        # regression signal, but the skip must be announced, and the
+        # within-run ratio gates must keep firing.
+        warnings = []
+        current = _payload(
+            speedup=1.0, eps=5_000.0, vector_eps=6_000.0,
+            host=dict(_HOST, cpu_model="OtherCPU 100"),
+        )
+        problems = compare_to_baseline(
+            current, _payload(host=_HOST), 0.2, warnings=warnings
+        )
+        assert len(warnings) == 1
+        assert "cpu_model differs" in warnings[0]
+        assert "skipping the absolute events/sec gates" in warnings[0]
+        assert not any("events/sec" in p for p in problems)
+        assert any("fast/reference speedup regressed" in p for p in problems)
+
+    def test_pre_metadata_baseline_falls_back_to_machine_string(self):
+        # Baselines committed before host metadata existed only carry the
+        # coarse platform string; a differing string still warns.
+        warnings = []
+        compare_to_baseline(
+            _payload(machine="m2", host=_HOST), _payload(), 0.2, warnings=warnings
+        )
+        assert len(warnings) == 1
+        assert "machine differs" in warnings[0]
+
+    def test_no_warning_list_still_skips_gates_silently(self):
+        current = _payload(eps=5_000.0, host=dict(_HOST, cpu_count=2))
+        problems = compare_to_baseline(current, _payload(host=_HOST), 0.2)
+        assert not any("events/sec" in p for p in problems)
 
 
 def test_module_constant_tracks_timer_resolution():

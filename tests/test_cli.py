@@ -63,6 +63,39 @@ class TestGrid:
         out = capsys.readouterr().out
         assert "'hits': 1" in out
 
+    def test_grid_fast_loop_runs_and_records_loop(self, tmp_path, capsys):
+        out_file = tmp_path / "grid.json"
+        code = main(
+            [
+                "grid",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--duration-ms", "200",
+                "--loop", "fast",
+                "--json", str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["grid"]["loop"] == "fast"
+        assert "UXCost" in capsys.readouterr().out
+
+    def test_grid_compiled_loop_without_extension_fails(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.cli.fastloop_is_compiled", lambda: False)
+        code = main(
+            [
+                "grid",
+                "--scenarios", "ar_call",
+                "--platforms", "4k_1ws_2os",
+                "--schedulers", "fcfs_dynamic",
+                "--duration-ms", "150",
+                "--loop", "compiled",
+            ]
+        )
+        assert code == 2
+        assert "mypyc-built fastloop extension" in capsys.readouterr().err
+
     def test_grid_latency_table(self, capsys):
         code = main(
             [
@@ -192,15 +225,75 @@ class TestFuzz:
 
         seen = {}
 
-        def fake_run_fuzz(spec, count, schedulers, platform, duration_ms, seed, kernels):
+        def fake_run_fuzz(
+            spec, count, schedulers, platform, duration_ms, seed, kernels, loops
+        ):
             seen["schedulers"] = list(schedulers)
             seen["kernels"] = list(kernels)
+            seen["loops"] = list(loops)
             return FuzzResult(spec=spec, reports=[])
 
         monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
         assert main(["fuzz", "--seeds", "1", "--schedulers", "all"]) == 0
         assert seen["schedulers"] == scheduler_names()
         assert seen["kernels"] == ["python"]
+        assert seen["loops"] == ["python"]
+
+    def test_fuzz_loops_all_skips_unbuilt_compiled_loop(self, monkeypatch, capsys):
+        from repro.experiments.differential import FuzzResult
+
+        seen = {}
+
+        def fake_run_fuzz(spec, count, **kwargs):
+            seen["loops"] = list(kwargs["loops"])
+            return FuzzResult(spec=spec, reports=[])
+
+        monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
+        monkeypatch.setattr("repro.cli.fastloop_is_compiled", lambda: False)
+        assert main(["fuzz", "--seeds", "1", "--loops", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping loop 'compiled' (fastloop extension not built)" in out
+        assert "x loops python+fast" in out
+        assert seen["loops"] == ["python", "fast"]
+
+    def test_fuzz_explicit_compiled_loop_without_extension_fails(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr("repro.cli.fastloop_is_compiled", lambda: False)
+        code = main(["fuzz", "--seeds", "1", "--loops", "compiled"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "mypyc-built fastloop extension" in err
+
+    def test_fuzz_unknown_loop_fails_cleanly(self, capsys):
+        code = main(["fuzz", "--seeds", "1", "--loops", "turbo"])
+        assert code == 2
+        assert "unknown loop" in capsys.readouterr().err
+
+    def test_fuzz_kernels_all_skips_vector_without_numpy(self, monkeypatch, capsys):
+        from repro.experiments.differential import FuzzResult
+
+        seen = {}
+
+        def fake_run_fuzz(spec, count, **kwargs):
+            seen["kernels"] = list(kwargs["kernels"])
+            return FuzzResult(spec=spec, reports=[])
+
+        monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
+        monkeypatch.setattr("repro.cli.HAVE_NUMPY", False)
+        assert main(["fuzz", "--seeds", "1", "--kernels", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping kernel 'vector' (numpy is not installed)" in out
+        assert "vector" not in seen["kernels"]
+        assert "python" in seen["kernels"]
+
+    def test_fuzz_explicit_vector_kernel_without_numpy_fails(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr("repro.cli.HAVE_NUMPY", False)
+        code = main(["fuzz", "--seeds", "1", "--kernels", "vector"])
+        assert code == 2
+        assert "requires numpy" in capsys.readouterr().err
 
     def test_fuzz_violation_exit_code_and_artifacts(self, tmp_path, monkeypatch, capsys):
         from repro.experiments.differential import DifferentialReport, FuzzResult
@@ -518,7 +611,29 @@ class TestBenchEngine:
             ]
         )
         assert code == 2
-        assert "jobs=1" in capsys.readouterr().err
+        assert "requires --jobs 1" in capsys.readouterr().err
+
+    def test_bench_engine_jobs_rejects_bare_profile_too(self, tmp_path, capsys):
+        # --profile (without --profile-out) must hit the same eager check.
+        code = main(
+            self._ARGS
+            + [
+                "--out", str(tmp_path / "out.json"),
+                "--jobs", "2",
+                "--profile", str(tmp_path / "p.prof"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "requires --jobs 1" in err
+        # The message explains WHY, not just what: profiling cannot see
+        # engine passes running inside worker processes.
+        assert "worker processes" in err
+
+    def test_bench_engine_rejects_nonpositive_jobs(self, tmp_path, capsys):
+        code = main(self._ARGS + ["--out", str(tmp_path / "out.json"), "--jobs", "0"])
+        assert code == 2
+        assert "--jobs must be positive" in capsys.readouterr().err
 
     def test_bench_engine_round_regression_gate(self, tmp_path, capsys):
         out_file = tmp_path / "BENCH_engine.json"

@@ -21,7 +21,8 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
 
-PAGES = ["architecture.md", "performance.md", "fleet.md", "glossary.md", "cli.md"]
+PAGES = ["architecture.md", "performance.md", "fleet.md", "glossary.md", "cli.md",
+         "perf-trend.md"]
 
 
 def load_gen_cli_reference():

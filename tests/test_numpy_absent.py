@@ -1,0 +1,82 @@
+"""Degradation without numpy: the vector kernel must fail loudly, not late.
+
+The container running this suite ships numpy, so these tests simulate a
+numpy-free install with an import-block fixture: a meta-path finder that
+refuses to import numpy, plus a reload of ``repro.hardware.vector_view``
+so its module-level probe re-runs and concludes ``HAVE_NUMPY = False``.
+The real numpy state is restored (and the module reloaded again) after
+each test, so the rest of the suite is unaffected.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+from repro.experiments.jobs import shared_context
+from repro.schedulers import make_scheduler
+from repro.sim import SimulationEngine
+
+
+class _NumpyBlocker:
+    """Meta-path finder that makes ``import numpy`` fail immediately."""
+
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError(f"import of {name!r} blocked by test fixture")
+        return None
+
+
+@pytest.fixture
+def numpy_absent(monkeypatch):
+    """Reload vector_view in a world where numpy cannot be imported."""
+    import repro.hardware.vector_view as vector_view
+
+    blocker = _NumpyBlocker()
+    sys.meta_path.insert(0, blocker)
+    # Drop cached numpy modules so the reload actually hits the blocker
+    # (monkeypatch restores every entry afterwards).
+    for name in [m for m in sys.modules if m == "numpy" or m.startswith("numpy.")]:
+        monkeypatch.delitem(sys.modules, name)
+    try:
+        importlib.reload(vector_view)
+        assert vector_view.HAVE_NUMPY is False
+        yield vector_view
+    finally:
+        sys.meta_path.remove(blocker)
+        monkeypatch.undo()
+        importlib.reload(vector_view)
+        assert vector_view.HAVE_NUMPY is True
+
+
+def _make_engine(kernel):
+    scenario, platform, cost_table = shared_context("ar_call", "4k_1ws_2os", 0.5)
+    return SimulationEngine(
+        scenario=scenario,
+        platform=platform,
+        scheduler=make_scheduler("dream_full"),
+        duration_ms=100.0,
+        cost_table=cost_table,
+        kernel=kernel,
+    )
+
+
+def test_vector_kernel_fails_at_construction_with_clear_message(numpy_absent):
+    # The error must fire while the engine is being built — not deep in the
+    # first scheduling round — and must name both the missing dependency
+    # and the fallback.
+    with pytest.raises(RuntimeError, match="requires numpy") as excinfo:
+        _make_engine("vector")
+    assert "kernel='python'" in str(excinfo.value)
+
+
+def test_python_kernel_still_runs_without_numpy(numpy_absent):
+    result = _make_engine("python").run()
+    assert sum(stats.total_frames for stats in result.task_stats.values()) > 0
+
+
+def test_require_numpy_raises_and_returns(numpy_absent):
+    with pytest.raises(RuntimeError, match="not\\s+installed"):
+        numpy_absent.require_numpy()

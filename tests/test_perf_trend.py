@@ -1,0 +1,95 @@
+"""scripts/perf_trend.py: snapshot selection and markdown rendering."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_perf_trend():
+    spec = importlib.util.spec_from_file_location(
+        "perf_trend", REPO_ROOT / "scripts" / "perf_trend.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _snapshot(eps, speedup, **extra):
+    return {"quick": {"totals": {
+        "fast_events_per_sec": eps, "speedup": speedup, **extra,
+    }}}
+
+
+class TestRender:
+    def test_renders_one_row_per_snapshot_oldest_first(self):
+        trend = load_perf_trend()
+        text = trend.render([
+            ("`aaa` old", _snapshot(10_000.0, 3.0)),
+            ("`bbb` new", _snapshot(12_000.0, 3.5, loop_speedup=1.3)),
+        ])
+        lines = text.splitlines()
+        a_row = next(i for i, line in enumerate(lines) if line.startswith("| `aaa`"))
+        b_row = next(i for i, line in enumerate(lines) if line.startswith("| `bbb`"))
+        assert a_row < b_row
+        assert "## `quick` basket" in text
+        assert "12,000" in text and "3.50x" in text and "1.30x" in text
+
+    def test_columns_missing_from_old_snapshots_render_as_dash(self):
+        trend = load_perf_trend()
+        text = trend.render([
+            ("`aaa` old", _snapshot(10_000.0, 3.0)),
+            ("`bbb` new", _snapshot(12_000.0, 3.5, loop_speedup=1.3)),
+        ])
+        old_row = next(
+            line for line in text.splitlines() if line.startswith("| `aaa`")
+        )
+        assert old_row.rstrip().endswith("| - |")
+
+    def test_columns_nobody_recorded_are_omitted(self):
+        trend = load_perf_trend()
+        text = trend.render([("`aaa`", _snapshot(10_000.0, 3.0))])
+        assert "compiled loop" not in text
+        assert "fast loop" not in text
+
+    def test_bare_single_payload_snapshot_is_accepted(self):
+        trend = load_perf_trend()
+        payload = {"totals": {"fast_events_per_sec": 9_000.0, "speedup": 2.0}}
+        text = trend.render([("`aaa`", payload)])
+        assert "## `(unlabeled)` basket" in text
+        assert "9,000" in text
+
+
+class TestSnapshotSources:
+    def test_files_mode_reads_and_labels_by_name(self, tmp_path):
+        trend = load_perf_trend()
+        good = tmp_path / "run1.json"
+        good.write_text(json.dumps(_snapshot(11_000.0, 3.1)))
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json")
+        rows = trend.snapshots_from_files([str(good), str(bad)])
+        assert [name for name, _ in rows] == ["`run1.json`"]
+
+    def test_git_mode_covers_the_committed_history(self):
+        # The repo carries committed BENCH_engine.json snapshots; the git
+        # walk must find at least one and order oldest-first.
+        trend = load_perf_trend()
+        rows = trend.snapshots_from_git()
+        assert rows, "no snapshots found in git history"
+        for _, payload in rows:
+            assert trend._labels([("x", payload)])
+
+    def test_main_writes_the_out_file(self, tmp_path, capsys):
+        trend = load_perf_trend()
+        snap = tmp_path / "s.json"
+        snap.write_text(json.dumps(_snapshot(11_000.0, 3.1)))
+        out = tmp_path / "trend.md"
+        assert trend.main([str(snap), "--out", str(out)]) == 0
+        assert "Engine throughput trend" in out.read_text()
+
+    def test_main_with_no_snapshots_fails(self, tmp_path, capsys):
+        trend = load_perf_trend()
+        missing = tmp_path / "nope.json"
+        assert trend.main([str(missing)]) == 1
+        assert "no snapshots" in capsys.readouterr().err
