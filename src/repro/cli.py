@@ -64,6 +64,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace as _dc_replace
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -72,6 +73,7 @@ from repro.experiments import figures as figures_mod
 from repro.experiments.backends import backend_names
 from repro.experiments.differential import (
     KERNEL_AXIS_NAMES,
+    RESOURCE_MODEL_AXIS_NAMES,
     replay_artifact,
     run_fuzz,
 )
@@ -93,7 +95,13 @@ from repro.fleet import (
 )
 from repro.hardware.platform import all_platform_names
 from repro.hardware.vector_view import HAVE_NUMPY
-from repro.sim import ENGINE_KERNELS, ENGINE_LOOPS, available_loops, fastloop_is_compiled
+from repro.sim import (
+    ENGINE_KERNELS,
+    ENGINE_LOOPS,
+    available_loops,
+    fastloop_is_compiled,
+    resource_model_names,
+)
 from repro.metrics.reporting import format_table
 from repro.schedulers import scheduler_names
 from repro.workloads import (
@@ -192,6 +200,9 @@ def _engine_kernel_kwargs(args: argparse.Namespace) -> dict[str, str]:
                 "(see docs/performance.md); use --loop fast instead"
             )
         kwargs["loop"] = loop
+    resource_model = getattr(args, "resource_model", "pe_fraction")
+    if resource_model != "pe_fraction":
+        kwargs["resource_model"] = resource_model
     return kwargs
 
 
@@ -255,10 +266,19 @@ def _latency_table(grid: GridResult) -> str:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    kernels = ", ".join(ENGINE_KERNELS)
+    if not HAVE_NUMPY:
+        kernels += " ('vector' unavailable: numpy not installed)"
+    loops = ", ".join(available_loops())
+    if not fastloop_is_compiled():
+        loops += " ('compiled' unavailable: extension not built)"
     print("scenarios: ", ", ".join(scenario_names()))
     print("platforms: ", ", ".join(all_platform_names()))
     print("schedulers:", ", ".join(scheduler_names()))
     print("backends:  ", ", ".join(backend_names()))
+    print("kernels:   ", kernels)
+    print("loops:     ", loops)
+    print("resources: ", ", ".join(resource_model_names()))
     print("traffic:   ", ", ".join(arrival_process_names()))
     print("figures:   ", ", ".join(sorted(figures_mod.ALL_FIGURES)))
     return 0
@@ -491,6 +511,7 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         profile_path=profile_path,
         jobs=jobs,
         repeats=args.repeats,
+        kv_smoke=args.kv_smoke,
     )
     print(bench_mod.describe(payload))
 
@@ -598,6 +619,12 @@ def _add_generator_options(parser: argparse.ArgumentParser) -> None:
         "comma-separated from: " + ", ".join(arrival_process_names()) + "; "
         "default: periodic only)",
     )
+    parser.add_argument(
+        "--resource-model", choices=resource_model_names(), default="pe_fraction",
+        help="execution-resource model of the generated scenarios: kv_batch "
+        "samples a shared KV-cache budget and multi-turn interaction tasks "
+        "(default: pe_fraction)",
+    )
 
 
 def _traffic_models(values: Optional[Sequence[str]]) -> tuple[str, ...]:
@@ -613,6 +640,7 @@ def _generator_spec(args: argparse.Namespace) -> GeneratorSpec:
         chain_probability=args.chain_probability,
         resolution_sweep=not args.no_resolution_sweep,
         traffic_models=_traffic_models(args.traffic),
+        resource_model=getattr(args, "resource_model", "pe_fraction"),
     )
 
 
@@ -689,6 +717,24 @@ def _loop_list(values: Optional[Sequence[str]]) -> list[str]:
     return loops
 
 
+def _resource_model_list(values: Optional[Sequence[str]]) -> list[str]:
+    """Expand the fuzz ``--resource-models`` axis ('all' = every model).
+
+    Unlike kernels/loops every resource model is always runnable (pure
+    Python), so this only validates names; unknown names are usage errors
+    (exit 2) with the sorted registry in the message.
+    """
+    names = _split_names(values, ["pe_fraction"])
+    models = list(RESOURCE_MODEL_AXIS_NAMES) if "all" in names else names
+    for model in models:
+        if model not in RESOURCE_MODEL_AXIS_NAMES:
+            raise ValueError(
+                f"unknown resource model {model!r}; choose from "
+                f"{', '.join(sorted(RESOURCE_MODEL_AXIS_NAMES))} (or 'all')"
+            )
+    return models
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     spec = _generator_spec(args)
     generator = ScenarioGenerator(spec)
@@ -730,6 +776,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     # None = "not given": a replay then honours the artifact's own axes.
     kernels = _kernel_list(args.kernels) if args.kernels else None
     loops = _loop_list(args.loops) if args.loops else None
+    resource_models = (
+        _resource_model_list(args.resource_models) if args.resource_models else None
+    )
     duration_ms = args.duration_ms if args.duration_ms is not None else 400.0
 
     if args.replay is not None:
@@ -744,6 +793,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 schedulers=args.schedulers and schedulers,
                 kernels=kernels,
                 loops=loops,
+                resource_models=resource_models,
             )
         except ValueError:
             # Malformed artifact (e.g. no generator spec): a usage error —
@@ -764,9 +814,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     spec = _generator_spec(args)
     kernels = kernels or ["python"]
     loops = loops or ["python"]
+    resource_models = resource_models or ["pe_fraction"]
+    if "kv_batch" in resource_models and spec.resource_model == "pe_fraction":
+        # The kv axis is only interesting on kv-flavoured scenarios (shared
+        # KV budgets, interaction chains), so upgrade the generator spec.
+        spec = _dc_replace(spec, resource_model="kv_batch")
+        print("notice: --resource-models includes kv_batch; generating kv_batch scenarios")
     axis = f" x kernels {'+'.join(kernels)}" if len(kernels) > 1 else ""
     if len(loops) > 1:
         axis += f" x loops {'+'.join(loops)}"
+    if len(resource_models) > 1:
+        axis += f" x resources {'+'.join(resource_models)}"
     print(
         f"fuzzing {args.seeds} generated scenario(s) (generator seed "
         f"{spec.seed}) x {len(schedulers)} schedulers{axis} on {args.platform} "
@@ -782,6 +840,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             seed=args.seed,
             kernels=kernels,
             loops=loops,
+            resource_models=resource_models,
         )
     except Exception as error:  # noqa: BLE001 - harness error, exit 1
         print(f"repro fuzz: harness error: {error}", file=sys.stderr)
@@ -1069,6 +1128,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the compiled extension), both bit-for-bit identical to 'python' "
         "(default: python)",
     )
+    grid_parser.add_argument(
+        "--resource-model", choices=resource_model_names(), default="pe_fraction",
+        help="execution-resource model of every accelerator: 'pe_fraction' "
+        "is the paper's spatially-partitioned PE array, 'kv_batch' a shared "
+        "KV-cache memory budget with continuous-batching latency dilation "
+        "(default: pe_fraction)",
+    )
     _add_execution_options(grid_parser)
     grid_parser.set_defaults(func=_cmd_grid)
 
@@ -1203,6 +1269,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional growth of the fast engine's schedule() "
         "call count vs --baseline (deterministic per basket; default: 0.1)",
     )
+    bench_engine_parser.add_argument(
+        "--kv-smoke", action="store_true",
+        help="also time a small kv_batch (KV-cache/continuous-batching) "
+        "basket; recorded under a separate 'kv_smoke' payload key and "
+        "never gated by --baseline",
+    )
     bench_engine_parser.set_defaults(func=_cmd_bench_engine)
 
     generate_parser = subparsers.add_parser(
@@ -1278,6 +1350,14 @@ def build_parser() -> argparse.ArgumentParser:
         "run, any divergence on the others is a loop_parity violation; "
         "'all' skips 'compiled' with a notice when the extension is not "
         "built; default: python)",
+    )
+    fuzz_parser.add_argument(
+        "--resource-models", action="append", metavar="NAMES",
+        help="execution-resource models to audit per scheduler ('all' or "
+        "comma-separated: pe_fraction, kv_batch; the first is the canonical "
+        "run, the others get a full invariant audit of their own physics — "
+        "no cross-model parity is asserted; includes kv_batch scenarios "
+        "when requested; default: pe_fraction)",
     )
     fuzz_parser.add_argument(
         "--platform", default="4k_1ws_2os",

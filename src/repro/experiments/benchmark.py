@@ -75,8 +75,8 @@ def _ratio(numerator_s: float, denominator_s: float) -> float:
 
 
 def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: float,
-              seed: int, mode: str, kernel: str = "python",
-              loop: str = "python") -> tuple[dict, SimulationEngine, float]:
+              seed: int, mode: str, kernel: str = "python", loop: str = "python",
+              resource_model: str = "pe_fraction") -> tuple[dict, SimulationEngine, float]:
     """One simulation; returns (result dict, the engine, wall seconds)."""
     engine = SimulationEngine(
         scenario=scenario,
@@ -88,6 +88,7 @@ def _run_once(scenario, platform, scheduler_name: str, cost_table, duration_ms: 
         mode=mode,
         kernel=kernel,
         loop=loop,
+        resource_model=resource_model,
     )
     started = time.perf_counter()
     result = engine.run()
@@ -145,6 +146,7 @@ class EngineBenchJob:
     generator: Optional[GeneratorSpec] = None
     generator_index: int = 0
     repeats: int = 1
+    resource_model: str = "pe_fraction"
 
     def _context(self):
         if self.generator is not None:
@@ -163,13 +165,14 @@ class EngineBenchJob:
         """
         scenario, platform, cost_table = self._context()
         repeats = max(1, self.repeats)
+        resources = self.resource_model
         fast_s = ref_s = vector_s = fastloop_s = compiled_s = float("inf")
         for _ in range(repeats):
             if profiler is not None:
                 profiler.enable()
             fast_result, fast_engine, elapsed = _run_once(
                 scenario, platform, self.scheduler, cost_table,
-                self.duration_ms, self.seed, "fast",
+                self.duration_ms, self.seed, "fast", resource_model=resources,
             )
             if profiler is not None:
                 profiler.disable()
@@ -180,6 +183,7 @@ class EngineBenchJob:
                 vector_result, vector_engine, elapsed = _run_once(
                     scenario, platform, self.scheduler, cost_table,
                     self.duration_ms, self.seed, "fast", kernel="vector",
+                    resource_model=resources,
                 )
                 vector_s = min(vector_s, elapsed)
         # The struct-of-arrays event loop.  When the mypyc extension is
@@ -191,6 +195,7 @@ class EngineBenchJob:
             fastloop_result, fastloop_engine, elapsed = _run_once(
                 scenario, platform, self.scheduler, cost_table,
                 self.duration_ms, self.seed, "fast", loop="fast",
+                resource_model=resources,
             )
             fastloop_s = min(fastloop_s, elapsed)
         if compiled:
@@ -199,6 +204,7 @@ class EngineBenchJob:
             ref_result, ref_engine, elapsed = _run_once(
                 scenario, platform, self.scheduler, cost_table,
                 self.duration_ms, self.seed, "reference",
+                resource_model=resources,
             )
             ref_s = min(ref_s, elapsed)
         fast_events = fast_engine.events_processed
@@ -240,6 +246,9 @@ class EngineBenchJob:
             "reference_schedule_calls": ref_engine.dispatch_rounds,
             "parity": cell_parity,
         }
+        if resources != "pe_fraction":
+            # Default cells stay byte-identical to historical payloads.
+            cell["resource_model"] = resources
         if vector_engine is not None:
             cell["vector_wall_s"] = vector_s
             cell["vector_events_per_sec"] = _per_sec(fast_events, vector_s)
@@ -300,6 +309,60 @@ def bench_jobs(
     return jobs
 
 
+def kv_smoke_basket() -> dict:
+    """The fixed kv_batch smoke basket appended by ``--kv-smoke``.
+
+    Small on purpose: the cells exist to *record* the KV-cache/
+    continuous-batching engine's throughput trajectory (and assert its
+    fast/vector/loop/reference parity), not to gate regressions —
+    :func:`compare_to_baseline` never looks at them.
+    """
+    return {
+        "schedulers": ["fcfs_dynamic", "planaria", "dream_full"],
+        "generated": 2,
+        "platform": "4k_1ws_2os",
+        "duration_ms": 400.0,
+    }
+
+
+def _run_kv_smoke(seed: int, repeats: int) -> dict:
+    """Run the kv_batch smoke cells and fold them into a mini payload."""
+    basket = kv_smoke_basket()
+    spec = GeneratorSpec(resource_model="kv_batch")
+    cells = [
+        EngineBenchJob(
+            scenario=None,
+            platform=basket["platform"],
+            scheduler=scheduler_name,
+            duration_ms=basket["duration_ms"],
+            seed=seed,
+            generator=spec,
+            generator_index=index,
+            repeats=repeats,
+            resource_model="kv_batch",
+        ).run()
+        for index in range(basket["generated"])
+        for scheduler_name in basket["schedulers"]
+    ]
+    events = sum(cell["events"] for cell in cells)
+    fast_wall = sum(cell["fast_wall_s"] for cell in cells)
+    reference_wall = sum(cell["reference_wall_s"] for cell in cells)
+    return {
+        "basket": {**basket, "generator": spec.to_dict(), "seed": seed},
+        "cells": cells,
+        "totals": {
+            "cells": len(cells),
+            "events": events,
+            "fast_wall_s": fast_wall,
+            "reference_wall_s": reference_wall,
+            "fast_events_per_sec": _per_sec(events, fast_wall),
+            "reference_events_per_sec": _per_sec(events, reference_wall),
+            "speedup": _ratio(reference_wall, fast_wall),
+        },
+        "parity": all(cell["parity"] for cell in cells),
+    }
+
+
 def run_engine_bench(
     scenarios: Sequence[str],
     platforms: Sequence[str],
@@ -312,6 +375,7 @@ def run_engine_bench(
     profile_path: Optional[Path] = None,
     jobs: int = 1,
     repeats: int = 1,
+    kv_smoke: bool = False,
 ) -> dict:
     """Benchmark fast vs reference engine over a basket of cells.
 
@@ -341,6 +405,12 @@ def run_engine_bench(
             recorded (results are deterministic, so repeats only sample
             machine noise).  Use >1 when regenerating a committed
             baseline.
+        kv_smoke: additionally run the fixed :func:`kv_smoke_basket` of
+            ``resource_model="kv_batch"`` cells and record them under the
+            payload's separate ``kv_smoke`` key.  Their parity folds into
+            the top-level ``parity`` flag (engine divergence is a bug on
+            any resource model), but :func:`compare_to_baseline` ignores
+            them — the numbers are recorded, never regression-gated.
 
     Returns:
         JSON-serializable payload (see the module docstring); ``parity`` is
@@ -388,7 +458,7 @@ def run_engine_bench(
     compiled_cells = [cell for cell in cells if "compiled_wall_s" in cell]
     total_compiled = sum(cell["compiled_wall_s"] for cell in compiled_cells)
     schedule_calls = sum(cell["fast_schedule_calls"] for cell in cells)
-    return {
+    payload = {
         "benchmark": "engine_throughput",
         "repro_version": __version__,
         "python": sys.version.split()[0],
@@ -462,6 +532,11 @@ def run_engine_bench(
         },
         "parity": parity,
     }
+    if kv_smoke:
+        smoke = _run_kv_smoke(seed, repeats)
+        payload["kv_smoke"] = smoke
+        payload["parity"] = parity and smoke["parity"]
+    return payload
 
 
 def baseline_entries(baseline: dict) -> list[dict]:
@@ -721,6 +796,17 @@ def describe(payload: dict) -> str:
             f"{totals['fast_events_coalesced']} events coalesced; reference "
             f"path made {totals['reference_schedule_calls']})"
         )
+    smoke = payload.get("kv_smoke")
+    if smoke:
+        smoke_totals = smoke["totals"]
+        lines.append(
+            f"kv_batch smoke: {smoke_totals['cells']} cells, "
+            f"{smoke_totals['events']} events | fast "
+            f"{smoke_totals['fast_events_per_sec']:.0f} ev/s vs reference "
+            f"{smoke_totals['reference_events_per_sec']:.0f} ev/s -> "
+            f"{smoke_totals['speedup']:.2f}x (recorded, not gated; parity "
+            f"{'OK' if smoke['parity'] else 'MISMATCH'})"
+        )
     lines.append(f"parity: {'OK (bit-for-bit)' if payload['parity'] else 'MISMATCH'}")
     if payload.get("profiled"):
         lines.append(
@@ -765,6 +851,7 @@ __all__ = [
     "default_basket",
     "describe",
     "host_metadata",
+    "kv_smoke_basket",
     "quick_basket",
     "run_engine_bench",
     "speedup_ratio",

@@ -38,6 +38,7 @@ from repro.experiments.jobs import generated_context
 from repro.hardware import CostTable, Platform
 from repro.schedulers import make_scheduler, scheduler_names
 from repro.sim import SimulationEngine, SimulationResult, Tracer, Violation, audit_trace
+from repro.sim.resource_models import RESOURCE_MODEL_NAMES
 from repro.sim.tracer import TraceRecord
 from repro.workloads.generator import GeneratorSpec
 from repro.workloads.scenario import Scenario
@@ -72,6 +73,17 @@ KERNEL_AXIS_NAMES = tuple(KERNEL_AXIS)
 #: failure.
 LOOP_AXIS_NAMES = ("python", "fast", "compiled")
 
+#: Execution-resource-model axis: the
+#: :data:`~repro.sim.resource_models.RESOURCE_MODEL_NAMES`, passed through
+#: as ``SimulationEngine(resource_model=...)``.  Unlike the kernel and
+#: loop axes, secondary resource models are **not** parity-compared to the
+#: canonical run — different capacity physics legitimately produce
+#: different schedules — instead each extra model re-runs every scheduler
+#: under the full trace-invariant oracle (which includes the
+#: ``no_memory_oversubscription`` and ``interaction_causality`` checks
+#: that only bind under ``kv_batch``).
+RESOURCE_MODEL_AXIS_NAMES = RESOURCE_MODEL_NAMES
+
 
 @dataclass(frozen=True)
 class SchedulerRun:
@@ -102,13 +114,19 @@ class DifferentialReport:
     generator_index: int = 0
     kernels: tuple[str, ...] = ("python",)
     loops: tuple[str, ...] = ("python",)
+    resource_models: tuple[str, ...] = ("pe_fraction",)
+    #: Runs under secondary resource models, keyed
+    #: ``"<scheduler>@resource:<model>"``; kept out of :attr:`runs` so the
+    #: cross-scheduler metamorphic checks only relate runs that share the
+    #: same capacity physics.
+    resource_runs: dict[str, SchedulerRun] = field(default_factory=dict)
 
     @property
     def invariant_violations(self) -> list[tuple[str, Violation]]:
         """Every (scheduler, violation) pair across all runs."""
         return [
             (name, violation)
-            for name, run in self.runs.items()
+            for name, run in list(self.runs.items()) + list(self.resource_runs.items())
             for violation in run.violations
         ]
 
@@ -143,6 +161,7 @@ class DifferentialReport:
             ),
             "kernels": list(self.kernels),
             "loops": list(self.loops),
+            "resource_models": list(self.resource_models),
             "generator": self.generator.to_dict() if self.generator else None,
             "generator_index": self.generator_index,
             "invariant_violations": [
@@ -168,6 +187,8 @@ class DifferentialReport:
         axis = f", kernels {'+'.join(self.kernels)}" if len(self.kernels) > 1 else ""
         if len(self.loops) > 1:
             axis += f", loops {'+'.join(self.loops)}"
+        if len(self.resource_models) > 1:
+            axis += f", resources {'+'.join(self.resource_models)}"
         lines = [
             f"{status} {self.scenario_name} on {self.platform} "
             f"({len(self.runs)} schedulers, {self.duration_ms:g} ms, "
@@ -272,6 +293,7 @@ def run_differential(
     generator_index: int = 0,
     kernels: Sequence[str] = ("python",),
     loops: Sequence[str] = ("python",),
+    resource_models: Sequence[str] = ("pe_fraction",),
 ) -> DifferentialReport:
     """Run every scheduler on one scenario and audit all invariants.
 
@@ -298,6 +320,14 @@ def run_differential(
             the canonical loop, each further entry re-runs every scheduler
             and divergence is a ``loop_parity`` metamorphic failure, with
             crashes keyed ``"<scheduler>@loop:<loop>"``.
+        resource_models: execution-resource-model axis
+            (:data:`RESOURCE_MODEL_AXIS_NAMES`).  The first entry is the
+            model every kernel/loop run uses; each further entry re-runs
+            every scheduler under that model with the **full invariant
+            oracle** (no parity comparison: different capacity physics
+            legitimately schedule differently), with findings recorded in
+            :attr:`DifferentialReport.resource_runs` and crashes keyed
+            ``"<scheduler>@resource:<model>"``.
     """
     for kernel in kernels:
         if kernel not in KERNEL_AXIS:
@@ -313,6 +343,14 @@ def run_differential(
             )
     if not loops:
         raise ValueError("loops must name at least one event loop")
+    for model in resource_models:
+        if model not in RESOURCE_MODEL_AXIS_NAMES:
+            raise ValueError(
+                f"unknown resource model {model!r}; "
+                f"choose from {RESOURCE_MODEL_AXIS_NAMES}"
+            )
+    if not resource_models:
+        raise ValueError("resource_models must name at least one model")
     cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
     report = DifferentialReport(
         scenario_name=scenario.name,
@@ -323,13 +361,18 @@ def run_differential(
         generator_index=generator_index,
         kernels=tuple(kernels),
         loops=tuple(loops),
+        resource_models=tuple(resource_models),
     )
     canonical, *extra_kernels = kernels
     canonical_loop, *extra_loops = loops
+    canonical_resources, *extra_resources = resource_models
     kernel_failures: list[Violation] = []
 
     def _run(
-        scheduler_name: str, axis_name: str, loop_name: str
+        scheduler_name: str,
+        axis_name: str,
+        loop_name: str,
+        resource_model: str = canonical_resources,
     ) -> tuple[SimulationResult, Tracer]:
         mode, engine_kernel = KERNEL_AXIS[axis_name]
         if mode != "fast":
@@ -348,6 +391,7 @@ def run_differential(
             mode=mode,
             kernel=engine_kernel,
             loop=loop_name,
+            resource_model=resource_model,
         )
         return engine.run(), tracer
 
@@ -364,6 +408,25 @@ def run_differential(
             violations=tuple(violations),
             arrivals=_head_arrivals(tracer.records),
         )
+        for resource_model in extra_resources:
+            try:
+                rm_result, rm_tracer = _run(
+                    scheduler_name, canonical, canonical_loop, resource_model
+                )
+            except Exception:  # noqa: BLE001 - a crashing model is a finding
+                report.harness_errors[
+                    f"{scheduler_name}@resource:{resource_model}"
+                ] = traceback.format_exc()
+                continue
+            rm_violations = audit_trace(rm_tracer, scenario=scenario, result=rm_result)
+            report.resource_runs[
+                f"{scheduler_name}@resource:{resource_model}"
+            ] = SchedulerRun(
+                scheduler=scheduler_name,
+                result=rm_result,
+                violations=tuple(rm_violations),
+                arrivals=_head_arrivals(rm_tracer.records),
+            )
         if not extra_kernels and not extra_loops:
             continue
         # Parity axes: the canonical run was audited above, so a
@@ -472,13 +535,15 @@ def run_fuzz(
     seed: int = 0,
     kernels: Sequence[str] = ("python",),
     loops: Sequence[str] = ("python",),
+    resource_models: Sequence[str] = ("pe_fraction",),
 ) -> FuzzResult:
     """Differentially test ``count`` generated scenarios of a spec.
 
     Each scenario ``i`` of the spec is built through the process-local
     generated-context cache (cost table built once per scenario) and run
-    under every scheduler, on every requested decision path (``kernels``)
-    and event loop (``loops``, see :func:`run_differential`).
+    under every scheduler, on every requested decision path (``kernels``),
+    event loop (``loops``) and execution-resource model
+    (``resource_models``, see :func:`run_differential`).
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -498,6 +563,7 @@ def run_fuzz(
                 generator_index=index,
                 kernels=kernels,
                 loops=loops,
+                resource_models=resource_models,
             )
         )
     return fuzz
@@ -508,6 +574,7 @@ def replay_artifact(
     schedulers: Optional[Sequence[str]] = None,
     kernels: Optional[Sequence[str]] = None,
     loops: Optional[Sequence[str]] = None,
+    resource_models: Optional[Sequence[str]] = None,
 ) -> DifferentialReport:
     """Re-run the differential check described by a fuzz artifact.
 
@@ -519,6 +586,8 @@ def replay_artifact(
         schedulers: optional override of the artifact's scheduler list.
         kernels: optional override of the artifact's decision-path axis.
         loops: optional override of the artifact's event-loop axis.
+        resource_models: optional override of the artifact's
+            execution-resource-model axis.
 
     Raises:
         ValueError: if the artifact has no generator spec (non-generated
@@ -544,4 +613,9 @@ def replay_artifact(
         generator_index=index,
         kernels=tuple(kernels) if kernels else tuple(artifact.get("kernels") or ("python",)),
         loops=tuple(loops) if loops else tuple(artifact.get("loops") or ("python",)),
+        resource_models=(
+            tuple(resource_models)
+            if resource_models
+            else tuple(artifact.get("resource_models") or ("pe_fraction",))
+        ),
     )

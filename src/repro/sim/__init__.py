@@ -41,6 +41,14 @@ from repro.sim.invariants import (
 )
 from repro.sim.engine import ENGINE_KERNELS, ENGINE_MODES, SimulationEngine, run_simulation
 from repro.sim.loops import ENGINE_LOOPS, available_loops, fastloop_is_compiled
+from repro.sim.resource_models import (
+    RESOURCE_MODEL_NAMES,
+    KvBatchModel,
+    PeFractionModel,
+    ResourceModel,
+    make_resource_model,
+    resource_model_names,
+)
 
 __all__ = [
     "INVARIANT_NAMES",
@@ -55,8 +63,14 @@ __all__ = [
     "ENGINE_KERNELS",
     "ENGINE_LOOPS",
     "ENGINE_MODES",
+    "RESOURCE_MODEL_NAMES",
     "available_loops",
     "fastloop_is_compiled",
+    "resource_model_names",
+    "make_resource_model",
+    "ResourceModel",
+    "PeFractionModel",
+    "KvBatchModel",
     "Assignment",
     "SchedulingDecision",
     "AcceleratorView",

@@ -103,6 +103,7 @@ from repro.sim.executor import AcceleratorExecutor
 from repro.sim.loops import ENGINE_LOOPS, require_compiled
 from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.request import InferenceRequest, RequestState
+from repro.sim.resource_models import RESOURCE_MODEL_NAMES, make_resource_model
 from repro.sim.results import AcceleratorStats, SimulationResult, TaskStats
 from repro.sim.tracer import Tracer
 from repro.workloads.frames import head_arrival_plan, task_frame_stream
@@ -181,6 +182,15 @@ class SimulationEngine:
             extension is active and fails at construction when it is not
             (:mod:`repro.sim.loops`).  Requires ``mode="fast"``.  Results,
             traces and stats are bit-for-bit identical across loops.
+        resource_model: execution-resource model defining what accelerator
+            capacity means (:mod:`repro.sim.resource_models`).
+            ``"pe_fraction"`` (default) is the paper's spatial-sharing
+            model and keeps the executors' inlined historical arithmetic —
+            bit-for-bit identical to builds without the axis.
+            ``"kv_batch"`` runs the continuous-batching executor with a
+            shared KV memory budget; available in every mode, kernel and
+            loop (the non-default admission/pricing path is a single
+            shared code path, so cross-mode parity holds there too).
     """
 
     def __init__(
@@ -199,6 +209,7 @@ class SimulationEngine:
         dispatch_elision: bool = True,
         kernel: str = "python",
         loop: str = "python",
+        resource_model: str = "pe_fraction",
     ) -> None:
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
@@ -231,7 +242,13 @@ class SimulationEngine:
             if loop == "compiled":
                 # Fail at construction, not mid-run, when the build is absent.
                 require_compiled()
+        if resource_model not in RESOURCE_MODEL_NAMES:
+            known = ", ".join(sorted(RESOURCE_MODEL_NAMES))
+            raise ValueError(
+                f"unknown resource model {resource_model!r}; available: {known}"
+            )
         self.loop = loop
+        self.resource_model = resource_model
         self.scenario = scenario
         self.platform = platform
         self.scheduler = scheduler
@@ -250,8 +267,13 @@ class SimulationEngine:
         self.cost_table = cost_table if fast else cost_table.reference_view()
 
         self._rng = random.Random(seed)
+        # One shared model instance per engine (None on the default path,
+        # so executors and loops branch on a single flag, not a dispatch).
+        model = make_resource_model(resource_model, self.cost_table, scenario)
+        self._default_resources = model is None
         self._executors = [
-            AcceleratorExecutor(acc, self.cost_table, fast=fast) for acc in platform
+            AcceleratorExecutor(acc, self.cost_table, fast=fast, resource_model=model)
+            for acc in platform
         ]
         self._pool = RequestPool() if fast else ReferenceRequestPool()
         self._stats: dict[str, TaskStats] = {
@@ -471,6 +493,29 @@ class SimulationEngine:
         for child in self.scenario.children_of(parent_task.name):
             if self._rng.random() >= child.trigger_probability:
                 continue
+            if child.interaction:
+                # Multi-turn interaction: the next turn starts the instant
+                # the upstream request completes, with a fresh deadline one
+                # period from now — unlike a cascade, whose budget is
+                # anchored to the originating sensor frame.
+                request = InferenceRequest(
+                    task_name=child.name,
+                    model=child.default_model,
+                    frame_id=parent.frame_id,
+                    arrival_ms=self._now,
+                    deadline_ms=self._now + child.period_ms,
+                    frame_arrival_ms=self._now,
+                    rng=self._rng,
+                    parent_task=parent.task_name,
+                )
+                self._pool.add(request)
+                if self.tracer is not None:
+                    self._trace(
+                        request, "interaction_arrival",
+                        detail=f"turn after {parent.task_name}",
+                    )
+                self.scheduler.on_request_arrival(request, self._now)
+                continue
             deadline = parent.frame_arrival_ms + child.period_ms
             request = InferenceRequest(
                 task_name=child.name,
@@ -572,7 +617,7 @@ class SimulationEngine:
             if request.is_finished or request.state is not RequestState.PENDING:
                 continue
             executor = self._executors[assignment.acc_id]
-            if not executor.can_accept(assignment.pe_fraction):
+            if not executor.can_accept_assignment(assignment):
                 continue
             if assignment.switch_to_variant is not None and not request.started:
                 old_name = request.model_name
@@ -583,17 +628,7 @@ class SimulationEngine:
             self._execs_dirty = True
             self._pool.note_dispatched(request)
             if self.tracer is not None:
-                self._trace(
-                    request,
-                    "dispatch",
-                    acc_id=assignment.acc_id,
-                    detail=(
-                        f"{len(record.slot.layer_indices)} layers, "
-                        f"pe_fraction={assignment.pe_fraction:g}, "
-                        f"switch={record.context_switch}"
-                    ),
-                    pe_fraction=assignment.pe_fraction,
-                )
+                self._trace_dispatch(assignment, record)
             self._push_event(record.slot.end_ms, _EVENT_COMPLETE, (assignment.acc_id, record.slot.slot_id))
             applied += 1
         return applied
@@ -805,6 +840,47 @@ class SimulationEngine:
             },
         )
 
+    def _trace_dispatch(self, assignment, record) -> None:
+        """Trace one accepted dispatch (shared by every event loop).
+
+        The default model records the historical detail string and the
+        *requested* ``pe_fraction`` — byte-identical to the pre-refactor
+        trace.  Non-default models record the slot's *charged* capacity
+        fraction in both ``pe_fraction`` (charges sum to <= 1, which is
+        what the PE-oversubscription oracle audits) and the new
+        ``memory_fraction`` field the memory oracle consumes.
+        """
+        slot = record.slot
+        request = assignment.request
+        if self._default_resources:
+            self._trace(
+                request,
+                "dispatch",
+                acc_id=assignment.acc_id,
+                detail=(
+                    f"{len(slot.layer_indices)} layers, "
+                    f"pe_fraction={assignment.pe_fraction:g}, "
+                    f"switch={record.context_switch}"
+                ),
+                pe_fraction=assignment.pe_fraction,
+            )
+            return
+        charge = slot.pe_fraction
+        executor = self._executors[assignment.acc_id]
+        self._trace(
+            request,
+            "dispatch",
+            acc_id=assignment.acc_id,
+            detail=(
+                f"{len(slot.layer_indices)} layers, "
+                f"memory_fraction={charge:g}, "
+                f"batch={len(executor.slots)}, "
+                f"switch={record.context_switch}"
+            ),
+            pe_fraction=charge,
+            memory_fraction=charge,
+        )
+
     def _trace(
         self,
         request: InferenceRequest,
@@ -812,6 +888,7 @@ class SimulationEngine:
         acc_id: Optional[int] = None,
         detail: str = "",
         pe_fraction: Optional[float] = None,
+        memory_fraction: Optional[float] = None,
     ) -> None:
         if self.tracer is None:
             return
@@ -826,6 +903,7 @@ class SimulationEngine:
             frame_id=request.frame_id,
             pe_fraction=pe_fraction,
             deadline_ms=request.deadline_ms,
+            memory_fraction=memory_fraction,
         )
 
 

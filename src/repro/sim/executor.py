@@ -41,6 +41,7 @@ from repro.hardware.accelerator import Accelerator
 from repro.hardware.cost_table import CostTable
 from repro.sim.decisions import Assignment
 from repro.sim.request import InferenceRequest
+from repro.sim.resource_models import ResourceModel
 
 _SLOT_COUNTER = itertools.count()
 
@@ -77,12 +78,32 @@ class AcceleratorExecutor:
         fast: use the incremental capacity caches and flat-array pricing
             (results are bit-for-bit identical either way; ``False`` keeps
             the historical per-call scans for the reference path).
+        resource_model: optional non-default
+            :class:`~repro.sim.resource_models.ResourceModel` defining
+            admission and pricing; ``None`` (and the ``pe_fraction`` name)
+            keep the executor's inlined historical arithmetic, so the
+            default path stays bit-for-bit identical.  All bookkeeping
+            (``allocated_fraction`` over *charged* fractions, busy
+            horizons, drain resets) is model-independent, so every event
+            loop shares this one accounting implementation.
     """
 
-    def __init__(self, accelerator: Accelerator, cost_table: CostTable, fast: bool = True) -> None:
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        cost_table: CostTable,
+        fast: bool = True,
+        resource_model: Optional[ResourceModel] = None,
+    ) -> None:
         self.accelerator = accelerator
         self.cost_table = cost_table
         self.fast = fast
+        self.resource_model = resource_model
+        #: True on the historical PE-fraction path; the hot loops test this
+        #: single attribute instead of dispatching through the protocol.
+        self.default_resources = (
+            resource_model is None or resource_model.name == "pe_fraction"
+        )
         self.slots: dict[int, RunningSlot] = {}
         self.resident_model: Optional[str] = None
         self.total_energy_mj: float = 0.0
@@ -130,6 +151,17 @@ class AcceleratorExecutor:
     def can_accept(self, pe_fraction: float) -> bool:
         """Whether a new assignment of ``pe_fraction`` fits right now."""
         return pe_fraction <= self.free_fraction + 1e-9
+
+    def can_accept_assignment(self, assignment: Assignment) -> bool:
+        """Model-aware admission: delegate to the resource model.
+
+        The default path is the exact arithmetic of :meth:`can_accept`
+        (bit-for-bit with the historical check); non-default models may
+        additionally cap batch sizes or charge memory fractions.
+        """
+        if self.default_resources:
+            return assignment.pe_fraction <= self.free_fraction + 1e-9
+        return self.resource_model.admits(self, assignment)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -209,6 +241,8 @@ class AcceleratorExecutor:
                 the request has no remaining layers.
         """
         request = assignment.request
+        if not self.default_resources:
+            return self._start_modelled(assignment, now)
         # Inlined can_accept: one attribute read instead of three chained
         # property calls on the per-dispatch hot path (fast mode only).
         if self.fast:
@@ -298,6 +332,85 @@ class AcceleratorExecutor:
 
         self.total_energy_mj += energy
         self.total_busy_pe_ms += duration * assignment.pe_fraction
+        self.layers_executed += len(layer_indices)
+
+        return ExecutionRecord(
+            slot=slot,
+            context_switch=switch,
+            context_switch_latency_ms=switch_latency,
+            context_switch_energy_mj=switch_energy,
+        )
+
+    def _start_modelled(self, assignment: Assignment, now: float) -> ExecutionRecord:
+        """The :meth:`start` path for non-default resource models.
+
+        Admission, the charged fraction and the layer pricing come from the
+        model; slot bookkeeping is byte-identical to the default path, with
+        the slot's ``pe_fraction`` field holding the *charged* capacity
+        fraction — the quantity ``allocated_fraction`` sums and the frozen
+        views report — so the engine's wake hints and dispatch-elision
+        predicates stay sound without any model-specific branches.  Pricing
+        runs *before* the slot is inserted, so a batch-aware model sees
+        ``len(slots)`` peers at dispatch time (``B = len(slots) + 1``).
+        """
+        model = self.resource_model
+        request = assignment.request
+        if not model.admits(self, assignment):
+            raise ValueError(
+                f"accelerator {self.acc_id} cannot accept request "
+                f"{request.request_id} under resource model {model.name!r} "
+                f"(free={self.free_fraction:.3f}, slots={len(self.slots)})"
+            )
+        charge = model.charge_fraction(assignment)
+        layer_indices = request.next_layers(assignment.layer_count)
+        if not layer_indices:
+            raise ValueError(
+                f"request {request.request_id} has no remaining layers to schedule"
+            )
+
+        switch = (
+            self.resident_model is not None
+            and self.resident_model != request.model_name
+        )
+        switch_latency = 0.0
+        switch_energy = 0.0
+        if switch:
+            switch_latency = self.cost_table.context_switch_latency(
+                request.model_name, self.resident_model, self.acc_id
+            )
+            switch_energy = self.cost_table.context_switch_energy(
+                request.model_name, self.resident_model, self.acc_id
+            )
+            self.context_switches += 1
+
+        duration, energy, worst_energy = model.price_layers(
+            self, request, layer_indices, assignment
+        )
+        duration += switch_latency
+        energy += switch_energy
+
+        slot = RunningSlot(
+            slot_id=next(_SLOT_COUNTER),
+            request=request,
+            layer_indices=layer_indices,
+            pe_fraction=charge,
+            start_ms=now,
+            end_ms=now + duration,
+            energy_mj=energy,
+        )
+        self.slots[slot.slot_id] = slot
+        self.resident_model = request.model_name
+        self.state_version += 1
+        self._allocated += charge
+        if slot.end_ms > self._busy_until or len(self.slots) == 1:
+            self._busy_until = slot.end_ms
+
+        request.mark_running()
+        request.energy_mj += energy
+        request.worst_case_energy_mj += worst_energy + switch_energy
+
+        self.total_energy_mj += energy
+        self.total_busy_pe_ms += duration * charge
         self.layers_executed += len(layer_indices)
 
         return ExecutionRecord(

@@ -95,6 +95,11 @@ class FastLoop:
         # life (mutated in place), so `bool(pending_values)` is the
         # has_pending predicate without a property call.
         self.pending_values: List[Any] = engine._pool._pending_values
+        # True under the default pe_fraction resource model: admission stays
+        # the historical inlined arithmetic.  Other models route through
+        # executor.can_accept_assignment; all remaining `1.0 - _allocated`
+        # reads stay valid because slots store their *charged* fraction.
+        self.default_resources: bool = engine._default_resources
 
         # Wake-hint elision state (resolved by engine.run() before we are
         # constructed); fields hoisted so the hot predicate reads locals.
@@ -244,6 +249,7 @@ class FastLoop:
         request_cls = _request_cls()
         pending_state = RequestState.PENDING
         completed_state = RequestState.COMPLETED
+        default_resources = self.default_resources
 
         events_processed = 0
         events_coalesced = 0
@@ -458,11 +464,14 @@ class FastLoop:
                     if request.state is not pending_state:
                         continue
                     executor = executors[assignment.acc_id]
-                    # Inlined executor.can_accept(pe_fraction).
-                    free = 1.0 - executor._allocated
-                    if free < 0.0:
-                        free = 0.0
-                    if assignment.pe_fraction > free + 1e-9:
+                    if default_resources:
+                        # Inlined executor.can_accept(pe_fraction).
+                        free = 1.0 - executor._allocated
+                        if free < 0.0:
+                            free = 0.0
+                        if assignment.pe_fraction > free + 1e-9:
+                            continue
+                    elif not executor.can_accept_assignment(assignment):
                         continue
                     if assignment.switch_to_variant is not None and not request.started:
                         old_name = request.model_name
@@ -476,17 +485,7 @@ class FastLoop:
                     self.execs_dirty = True
                     pool.note_dispatched(request)
                     if tracer is not None:
-                        engine._trace(
-                            request,
-                            "dispatch",
-                            acc_id=assignment.acc_id,
-                            detail=(
-                                f"{len(record.slot.layer_indices)} layers, "
-                                f"pe_fraction={assignment.pe_fraction:g}, "
-                                f"switch={record.context_switch}"
-                            ),
-                            pe_fraction=assignment.pe_fraction,
-                        )
+                        engine._trace_dispatch(assignment, record)
                     heappush(
                         comp_heap,
                         (

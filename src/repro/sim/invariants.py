@@ -40,6 +40,20 @@ of any scenario, platform and scheduler must satisfy:
     says happened to *measured* requests (deadline inside the window), so
     aggregate statistics cannot drift from the event stream.
 
+``no_memory_oversubscription``
+    Under the ``kv_batch`` resource model, the summed ``memory_fraction``
+    charges of in-flight dispatches never exceed one accelerator's shared
+    KV budget (continuous batching packs requests, it never overcommits
+    the cache).  Dispatches without a ``memory_fraction`` (the default
+    ``pe_fraction`` model) are skipped, so the check is vacuously true on
+    historical traces.
+
+``interaction_causality``
+    A multi-turn ``interaction_arrival`` only ever fires at the exact
+    instant its upstream request completed (turns are replies, not frame
+    sources), at most once per completed parent inference, and only for
+    tasks the scenario actually declares as interactions.
+
 The oracle consumes the structured fields of
 :class:`~repro.sim.tracer.TraceRecord` (``pe_fraction``, ``frame_id``,
 ``deadline_ms``) and refuses to run conservation-style global checks on a
@@ -57,7 +71,7 @@ from repro.sim.tracer import TraceRecord, Tracer
 from repro.workloads.scenario import Scenario
 
 #: Events that open a request's lifecycle.
-_ARRIVAL_EVENTS = ("arrival", "cascade_arrival")
+_ARRIVAL_EVENTS = ("arrival", "cascade_arrival", "interaction_arrival")
 #: Events that close a request's lifecycle, exactly one of which must occur.
 _TERMINAL_EVENTS = ("complete", "dropped", "expired", "unfinished")
 
@@ -336,6 +350,145 @@ def check_conservation(records: Sequence[TraceRecord]) -> list[Violation]:
     return violations
 
 
+def check_no_memory_oversubscription(records: Sequence[TraceRecord]) -> list[Violation]:
+    """KV-charge sums of in-flight dispatches never exceed one budget.
+
+    Mirrors :func:`check_no_pe_oversubscription` over the
+    ``memory_fraction`` field: dispatch records that carry no memory
+    charge (the default ``pe_fraction`` model) are skipped, so the check
+    holds vacuously for historical traces while auditing every
+    ``kv_batch`` run for budget overcommit and double dispatch.
+    """
+    violations: list[Violation] = []
+    in_flight: dict[int, tuple[int, float]] = {}  # request_id -> (acc_id, charge)
+    allocated: dict[int, float] = {}  # acc_id -> summed charge
+    for record in records:
+        if record.event == "dispatch":
+            if record.memory_fraction is None:
+                continue  # pe_fraction dispatch: no memory accounting
+            if record.acc_id is None:
+                violations.append(
+                    Violation(
+                        "no_memory_oversubscription",
+                        "dispatch record carries memory_fraction but no acc_id",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            if record.request_id in in_flight:
+                held_acc, _ = in_flight[record.request_id]
+                violations.append(
+                    Violation(
+                        "no_memory_oversubscription",
+                        f"request dispatched to accelerator {record.acc_id} while "
+                        f"already holding KV budget on accelerator {held_acc}",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            in_flight[record.request_id] = (record.acc_id, record.memory_fraction)
+            allocated[record.acc_id] = (
+                allocated.get(record.acc_id, 0.0) + record.memory_fraction
+            )
+            if allocated[record.acc_id] > 1.0 + _PE_EPSILON:
+                violations.append(
+                    Violation(
+                        "no_memory_oversubscription",
+                        f"accelerator {record.acc_id} KV budget oversubscribed: "
+                        f"summed memory fraction {allocated[record.acc_id]:.4f} > 1.0",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+        elif record.event == "layers_complete":
+            slot = in_flight.pop(record.request_id, None)
+            if slot is not None:
+                acc_id, charge = slot
+                allocated[acc_id] = allocated.get(acc_id, 0.0) - charge
+    return violations
+
+
+def check_interaction_causality(
+    records: Sequence[TraceRecord], scenario: Scenario
+) -> list[Violation]:
+    """Interaction turns fire exactly at (and because of) parent completions.
+
+    Three properties per ``interaction_arrival`` record:
+
+    * its task exists in the scenario and is declared ``interaction=True``
+      (with the ``depends_on`` the spec validation already forces);
+    * the parent task completed an inference of the *same sensor frame at
+      the same instant* — turns arrive the moment the upstream reply
+      lands, unlike cascades whose deadline anchors to the sensor frame;
+    * at most one turn arrives per (task, frame) — one completion spawns
+      at most one reply.
+    """
+    violations: list[Violation] = []
+    # (task_name, frame_id) -> completion times observed so far
+    completions: dict[tuple[str, Optional[int]], list[float]] = {}
+    seen_turns: set[tuple[str, Optional[int]]] = set()
+    for record in records:
+        if record.event == "complete":
+            completions.setdefault((record.task_name, record.frame_id), []).append(
+                record.time_ms
+            )
+        elif record.event == "interaction_arrival":
+            try:
+                task = scenario.task(record.task_name)
+            except KeyError:
+                violations.append(
+                    Violation(
+                        "interaction_causality",
+                        f"interaction arrival for task {record.task_name!r} which "
+                        f"is not part of scenario {scenario.name!r}",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            if not task.interaction or task.depends_on is None:
+                violations.append(
+                    Violation(
+                        "interaction_causality",
+                        f"interaction arrival for task {record.task_name!r} which "
+                        "the scenario does not declare as an interaction",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            key = (record.task_name, record.frame_id)
+            if key in seen_turns:
+                violations.append(
+                    Violation(
+                        "interaction_causality",
+                        f"second interaction turn for task {record.task_name!r} "
+                        f"frame {record.frame_id} (one completion spawns at most "
+                        "one reply)",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+                continue
+            seen_turns.add(key)
+            parent_times = completions.get((task.depends_on, record.frame_id), [])
+            if not any(abs(t - record.time_ms) <= 1e-9 for t in parent_times):
+                violations.append(
+                    Violation(
+                        "interaction_causality",
+                        f"interaction turn for task {record.task_name!r} frame "
+                        f"{record.frame_id} at {record.time_ms:.3f} ms without a "
+                        f"completion of parent task {task.depends_on!r} at that "
+                        "instant",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+    return violations
+
+
 def check_stats_consistency(
     records: Sequence[TraceRecord],
     result: SimulationResult,
@@ -393,9 +546,11 @@ def check_stats_consistency(
 #: result-dependent checkers are adapted inside :func:`audit_trace`.
 INVARIANT_NAMES: tuple[str, ...] = (
     "no_pe_oversubscription",
+    "no_memory_oversubscription",
     "causality",
     "monotonic_progress",
     "cascade_after_parent",
+    "interaction_causality",
     "conservation",
     "stats_consistency",
 )
@@ -444,10 +599,16 @@ def audit_trace(
 
     checks: dict[str, Callable[[], list[Violation]]] = {
         "no_pe_oversubscription": lambda: check_no_pe_oversubscription(records),
+        "no_memory_oversubscription": lambda: check_no_memory_oversubscription(records),
         "causality": lambda: check_causality(records),
         "monotonic_progress": lambda: check_monotonic_progress(records),
         "cascade_after_parent": (
             (lambda: check_cascade_after_parent(records, scenario))
+            if scenario is not None
+            else lambda: []
+        ),
+        "interaction_causality": (
+            (lambda: check_interaction_causality(records, scenario))
             if scenario is not None
             else lambda: []
         ),

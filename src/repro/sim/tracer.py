@@ -41,6 +41,10 @@ class TraceRecord:
     * ``deadline_ms`` — the request's completion deadline, from which the
       oracle re-derives measured-ness when cross-checking trace counts
       against :class:`~repro.sim.results.TaskStats`.
+    * ``memory_fraction`` — share of the accelerator's KV memory budget a
+      ``dispatch`` charges under the ``kv_batch`` resource model (``None``
+      for the default ``pe_fraction`` model and non-dispatch events); the
+      ``no_memory_oversubscription`` oracle sums it per accelerator.
     """
 
     time_ms: float
@@ -53,6 +57,7 @@ class TraceRecord:
     frame_id: Optional[int] = None
     pe_fraction: Optional[float] = None
     deadline_ms: Optional[float] = None
+    memory_fraction: Optional[float] = None
 
 
 class Tracer:
@@ -85,6 +90,7 @@ class Tracer:
         frame_id: Optional[int] = None,
         pe_fraction: Optional[float] = None,
         deadline_ms: Optional[float] = None,
+        memory_fraction: Optional[float] = None,
     ) -> None:
         """Append one record, honouring the capacity limit (oldest dropped)."""
         self._records.append(
@@ -99,6 +105,7 @@ class Tracer:
                 frame_id=frame_id,
                 pe_fraction=pe_fraction,
                 deadline_ms=deadline_ms,
+                memory_fraction=memory_fraction,
             )
         )
         while self.capacity is not None and len(self._records) > self.capacity:

@@ -26,6 +26,10 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Tuple
 
 from repro.models import zoo
+from repro.sim.resource_models import (
+    RESOURCE_MODEL_NAMES,
+    activation_footprint_bytes,
+)
 from repro.workloads.scenario import ModelOrSupernet, Scenario, TaskSpec
 from repro.workloads.traffic import arrival_process_names, make_arrival_process
 
@@ -144,6 +148,12 @@ class GeneratorSpec:
             periodic-only tuple draws nothing and leaves every task on the
             engine's historical arrival path.
         name_prefix: prefix of generated scenario names.
+        resource_model: the execution-resource model the scenarios target
+            (:mod:`repro.sim.resource_models`).  ``"kv_batch"`` samples a
+            per-scenario KV budget (1.5x..3x the largest activation
+            footprint) and marks every cascade child as a multi-turn
+            interaction; the default ``"pe_fraction"`` draws nothing and
+            keeps generated scenarios byte-identical to pre-kv specs.
     """
 
     seed: int = 0
@@ -156,6 +166,7 @@ class GeneratorSpec:
     resolution_sweep: bool = True
     traffic_models: Tuple[str, ...] = DEFAULT_TRAFFIC_MODELS
     name_prefix: str = "gen"
+    resource_model: str = "pe_fraction"
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_tasks <= self.max_tasks:
@@ -181,8 +192,14 @@ class GeneratorSpec:
         for name in self.traffic_models:
             if name not in known:
                 raise ValueError(
-                    f"unknown traffic model {name!r}; available: {', '.join(known)}"
+                    f"unknown traffic model {name!r}; "
+                    f"available: {', '.join(sorted(known))}"
                 )
+        if self.resource_model not in RESOURCE_MODEL_NAMES:
+            raise ValueError(
+                f"unknown resource model {self.resource_model!r}; "
+                f"available: {', '.join(sorted(RESOURCE_MODEL_NAMES))}"
+            )
         if not self.name_prefix:
             raise ValueError("name_prefix must be non-empty")
 
@@ -207,6 +224,8 @@ class GeneratorSpec:
         }
         if self.traffic_models != DEFAULT_TRAFFIC_MODELS:
             payload["traffic_models"] = list(self.traffic_models)
+        if self.resource_model != "pe_fraction":
+            payload["resource_model"] = self.resource_model
         return payload
 
     @classmethod
@@ -220,6 +239,7 @@ class GeneratorSpec:
         payload["traffic_models"] = tuple(
             payload.get("traffic_models", DEFAULT_TRAFFIC_MODELS)
         )
+        payload["resource_model"] = payload.get("resource_model", "pe_fraction")
         return cls(**payload)
 
     def canonical_key(self) -> str:
@@ -257,6 +277,10 @@ class ScenarioGenerator:
         # The default periodic-only tuple must not consume RNG draws:
         # scenario `index` of a pre-traffic spec has to stay byte-identical.
         sample_traffic = spec.traffic_models != DEFAULT_TRAFFIC_MODELS
+        # Same discipline for the resource-model flavour: the default
+        # pe_fraction spec draws nothing, and the kv budget draw happens
+        # *after* every historical draw so shared prefixes stay aligned.
+        sample_kv = spec.resource_model == "kv_batch"
 
         tasks: list[TaskSpec] = []
         depth: dict[str, int] = {}
@@ -281,6 +305,10 @@ class ScenarioGenerator:
                     fps=fps,
                     depends_on=parent.name,
                     trigger_probability=trigger,
+                    # kv_batch scenarios exercise multi-turn interactions:
+                    # every dependent task replies the instant its parent
+                    # completes (no extra RNG draw, so prefixes align).
+                    interaction=sample_kv,
                 )
                 depth[entry.key] = depth[parent.name] + 1
             else:
@@ -293,6 +321,21 @@ class ScenarioGenerator:
                 depth[entry.key] = 0
             tasks.append(task)
 
+        kv_budget = None
+        if sample_kv:
+            # Sampled last: 1.5x..3x the largest activation footprint, so
+            # batching is possible but the budget binds for some mixes.
+            ratio = round(rng.uniform(1.5, 3.0), 3)
+            largest = max(
+                (
+                    activation_footprint_bytes(graph)
+                    for task in tasks
+                    for graph in task.model_variants
+                ),
+                default=0,
+            )
+            kv_budget = ratio * max(1, largest)
+
         return Scenario(
             name=self.scenario_name(index),
             tasks=tuple(tasks),
@@ -300,6 +343,7 @@ class ScenarioGenerator:
                 f"generated scenario {index} of spec seed={spec.seed} "
                 f"({task_count} tasks, {sum(1 for t in tasks if t.is_head)} heads)"
             ),
+            kv_budget_bytes=kv_budget,
         )
 
     def scenarios(self, count: int) -> Iterator[Scenario]:

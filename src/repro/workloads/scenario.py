@@ -41,6 +41,11 @@ class TaskSpec:
             periodic + uniform jitter (the historical default).  Ignored
             for cascaded tasks, whose requests are spawned by upstream
             completions rather than by a frame source.
+        interaction: mark this dependent task as a multi-turn interaction:
+            the next turn arrives the instant the upstream request
+            completes (not at the parent's frame timestamp) and its
+            deadline is one period from *that* moment.  Requires
+            ``depends_on`` — an interaction is always a reply to something.
     """
 
     name: str
@@ -49,6 +54,7 @@ class TaskSpec:
     depends_on: Optional[str] = None
     trigger_probability: float = 1.0
     traffic: Optional["ArrivalProcess"] = None
+    interaction: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -65,6 +71,11 @@ class TaskSpec:
             raise ValueError(
                 f"task {self.name!r}: cascaded tasks have no frame source, so "
                 "they cannot carry a traffic model"
+            )
+        if self.interaction and self.depends_on is None:
+            raise ValueError(
+                f"task {self.name!r}: interaction turns are triggered by an "
+                "upstream completion, so they require depends_on"
             )
 
     @property
@@ -105,15 +116,26 @@ class Scenario:
         name: scenario name (e.g. ``"ar_social"``).
         tasks: the task specs; order is preserved for deterministic iteration.
         description: optional human-readable summary.
+        kv_budget_bytes: shared KV-cache memory budget per accelerator for
+            the ``kv_batch`` resource model; ``None`` (the default) derives
+            a budget from the scenario's largest activation footprint (see
+            :func:`repro.sim.resource_models.default_kv_budget_bytes`).
+            Ignored by the default ``pe_fraction`` model.
     """
 
     name: str
     tasks: tuple[TaskSpec, ...]
     description: str = ""
+    kv_budget_bytes: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.tasks:
             raise ValueError(f"scenario {self.name!r} must have at least one task")
+        if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
+            raise ValueError(
+                f"scenario {self.name!r}: kv_budget_bytes must be positive "
+                f"(got {self.kv_budget_bytes})"
+            )
         names = [task.name for task in self.tasks]
         if len(set(names)) != len(names):
             raise ValueError(f"scenario {self.name!r} has duplicate task names")
@@ -231,12 +253,16 @@ class Scenario:
 
     def describe(self) -> str:
         """Multi-line summary of the scenario (used by examples)."""
-        lines = [f"Scenario {self.name}: {len(self.tasks)} tasks"]
+        header = f"Scenario {self.name}: {len(self.tasks)} tasks"
+        if self.kv_budget_bytes is not None:
+            header += f" (kv budget {self.kv_budget_bytes:g} B)"
+        lines = [header]
         for task in self.tasks:
             dep = f" (after {task.depends_on}, p={task.trigger_probability})" if task.depends_on else ""
             kind = "supernet" if task.is_supernet else "model"
             traffic = f" traffic={task.traffic.kind}" if task.traffic is not None else ""
+            interaction = " interaction" if task.interaction else ""
             lines.append(
-                f"  - {task.name}: {task.default_model.name} [{kind}] @ {task.fps:g} FPS{dep}{traffic}"
+                f"  - {task.name}: {task.default_model.name} [{kind}] @ {task.fps:g} FPS{dep}{traffic}{interaction}"
             )
         return "\n".join(lines)

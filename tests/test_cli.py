@@ -26,6 +26,9 @@ class TestList:
         for needle in (
             "ar_call", "4k_1ws_2os", "dream_full", "serial", "figure7",
             "poisson", "bursty", "load_scaled",
+            # Engine axes: kernels, loops, resource models.
+            "kernels:", "loops:", "resources:",
+            "vector", "fast", "pe_fraction", "kv_batch",
         ):
             assert needle in out
 
@@ -226,11 +229,13 @@ class TestFuzz:
         seen = {}
 
         def fake_run_fuzz(
-            spec, count, schedulers, platform, duration_ms, seed, kernels, loops
+            spec, count, schedulers, platform, duration_ms, seed, kernels, loops,
+            resource_models,
         ):
             seen["schedulers"] = list(schedulers)
             seen["kernels"] = list(kernels)
             seen["loops"] = list(loops)
+            seen["resource_models"] = list(resource_models)
             return FuzzResult(spec=spec, reports=[])
 
         monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
@@ -238,6 +243,7 @@ class TestFuzz:
         assert seen["schedulers"] == scheduler_names()
         assert seen["kernels"] == ["python"]
         assert seen["loops"] == ["python"]
+        assert seen["resource_models"] == ["pe_fraction"]
 
     def test_fuzz_loops_all_skips_unbuilt_compiled_loop(self, monkeypatch, capsys):
         from repro.experiments.differential import FuzzResult
@@ -294,6 +300,42 @@ class TestFuzz:
         code = main(["fuzz", "--seeds", "1", "--kernels", "vector"])
         assert code == 2
         assert "requires numpy" in capsys.readouterr().err
+
+    def test_fuzz_resource_models_all_upgrades_spec(self, monkeypatch, capsys):
+        from repro.experiments.differential import FuzzResult
+
+        seen = {}
+
+        def fake_run_fuzz(spec, count, **kwargs):
+            seen["resource_models"] = list(kwargs["resource_models"])
+            seen["spec_resource_model"] = spec.resource_model
+            return FuzzResult(spec=spec, reports=[])
+
+        monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
+        assert main(["fuzz", "--seeds", "1", "--resource-models", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "generating kv_batch scenarios" in out
+        assert "x resources pe_fraction+kv_batch" in out
+        assert seen["resource_models"] == ["pe_fraction", "kv_batch"]
+        # The generator spec is upgraded so the kv axis actually exercises
+        # shared budgets and interaction chains.
+        assert seen["spec_resource_model"] == "kv_batch"
+
+    def test_fuzz_unknown_resource_model_fails_cleanly(self, capsys):
+        code = main(["fuzz", "--seeds", "1", "--resource-models", "gpu_hours"])
+        assert code == 2
+        assert "unknown resource model" in capsys.readouterr().err
+
+    def test_fuzz_resource_axis_end_to_end(self, capsys):
+        code = main(
+            [
+                "fuzz", "--seeds", "1", "--max-tasks", "3",
+                "--schedulers", "fcfs_dynamic,dream_full",
+                "--resource-models", "all", "--duration-ms", "150",
+            ]
+        )
+        assert code == 0
+        assert "1 clean" in capsys.readouterr().out
 
     def test_fuzz_violation_exit_code_and_artifacts(self, tmp_path, monkeypatch, capsys):
         from repro.experiments.differential import DifferentialReport, FuzzResult
@@ -411,6 +453,20 @@ class TestBenchEngine:
         assert entry["totals"]["reference_events_per_sec"] > 0
         out = capsys.readouterr().out
         assert "parity: OK (bit-for-bit)" in out
+
+    def test_bench_engine_kv_smoke_records_separate_payload(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_engine.json"
+        code = main(self._ARGS + ["--kv-smoke", "--out", str(out_file), "--label", "test"])
+        assert code == 0
+        entry = json.loads(out_file.read_text())["test"]
+        smoke = entry["kv_smoke"]
+        assert smoke["parity"] is True
+        assert smoke["totals"]["events"] > 0
+        assert all(cell["resource_model"] == "kv_batch" for cell in smoke["cells"])
+        # The smoke cells stay out of the gated basket/cells/totals.
+        assert entry["basket"]["schedulers"] == ["fcfs_dynamic", "dream_full"]
+        assert all("resource_model" not in cell for cell in entry["cells"])
+        assert "kv_batch smoke:" in capsys.readouterr().out
 
     def test_bench_engine_merges_labels(self, tmp_path, capsys):
         out_file = tmp_path / "BENCH_engine.json"

@@ -22,7 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
 
 PAGES = ["architecture.md", "performance.md", "fleet.md", "glossary.md", "cli.md",
-         "perf-trend.md"]
+         "perf-trend.md", "resource-models.md"]
 
 
 def load_gen_cli_reference():
@@ -89,7 +89,9 @@ class TestDocPages:
     def test_glossary_defines_the_load_bearing_terms(self):
         glossary = (DOCS / "glossary.md").read_text(encoding="utf-8").lower()
         for term in ["head task", "frame", "request", "cell", "session",
-                     "admission tier", "uxcost", "fair share"]:
+                     "admission tier", "uxcost", "fair share",
+                     "resource model", "kv cache", "continuous batching",
+                     "interaction chain"]:
             assert term in glossary, f"glossary is missing {term!r}"
 
 

@@ -18,8 +18,11 @@ from repro.sim import (
     assert_trace_invariants,
     audit_trace,
 )
+from repro.models.graph import ModelGraph
+from repro.models.layers import fc
 from repro.sim.invariants import INVARIANT_NAMES
 from repro.sim.results import SimulationResult, TaskStats
+from repro.workloads.scenario import Scenario, TaskSpec
 
 
 def _rec(
@@ -32,6 +35,7 @@ def _rec(
     frame=0,
     pe=None,
     deadline=100.0,
+    mem=None,
 ):
     return TraceRecord(
         time_ms=time_ms,
@@ -43,6 +47,20 @@ def _rec(
         frame_id=frame,
         pe_fraction=pe,
         deadline_ms=deadline,
+        memory_fraction=mem,
+    )
+
+
+def _interaction_scenario():
+    """Head task plus a dependent task declared as a multi-turn interaction."""
+    ask = ModelGraph(name="ask_model", layers=(fc("ask.fc", 128, 64),))
+    reply = ModelGraph(name="reply_model", layers=(fc("reply.fc", 128, 64),))
+    return Scenario(
+        name="interactive",
+        tasks=(
+            TaskSpec("ask", ask, fps=30),
+            TaskSpec("reply", reply, fps=30, depends_on="ask", interaction=True),
+        ),
     )
 
 
@@ -200,12 +218,82 @@ class TestCorruptedTraces:
         with pytest.raises(ValueError):
             audit_trace([], invariants=["no_such_invariant"])
 
+    def test_oversubscribed_kv_budget(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(0.0, "arrival", rid=2),
+            _rec(1.0, "dispatch", rid=1, acc=0, pe=0.6, mem=0.6),
+            _rec(1.0, "dispatch", rid=2, acc=0, pe=0.6, mem=0.6),
+        ]
+        (violation,) = _violated(
+            records,
+            "no_memory_oversubscription",
+            invariants=["no_memory_oversubscription"],
+        )
+        assert "KV budget oversubscribed" in violation.message
+        assert "1.2" in violation.message
+
+    def test_memory_check_skips_pe_fraction_dispatches(self):
+        # Historical traces carry no memory_fraction: vacuously clean.
+        assert audit_trace(
+            _lifecycle(), invariants=["no_memory_oversubscription"]
+        ) == []
+
+    def test_interaction_turn_without_parent_completion(self):
+        scenario = _interaction_scenario()
+        records = [
+            *_lifecycle(rid=1, task="ask"),  # parent completes at t=5.0
+            _rec(9.0, "interaction_arrival", task="reply", rid=2, model="reply_model"),
+            _rec(9.5, "dispatch", task="reply", rid=2, acc=0, pe=1.0),
+            _rec(12.0, "layers_complete", task="reply", rid=2, acc=0),
+            _rec(12.0, "complete", task="reply", rid=2, acc=0),
+        ]
+        (violation,) = _violated(
+            records,
+            "interaction_causality",
+            scenario=scenario,
+            invariants=["interaction_causality"],
+        )
+        assert "without a completion of parent task 'ask'" in violation.message
+
+    def test_interaction_turn_at_parent_completion_passes(self):
+        scenario = _interaction_scenario()
+        records = [
+            *_lifecycle(rid=1, task="ask"),
+            _rec(5.0, "interaction_arrival", task="reply", rid=2, model="reply_model"),
+            _rec(5.0, "dispatch", task="reply", rid=2, acc=0, pe=1.0),
+            _rec(8.0, "layers_complete", task="reply", rid=2, acc=0),
+            _rec(8.0, "complete", task="reply", rid=2, acc=0),
+        ]
+        assert (
+            audit_trace(records, scenario=scenario, invariants=["interaction_causality"])
+            == []
+        )
+
+    def test_interaction_turn_for_non_interaction_task(self):
+        scenario = _interaction_scenario()
+        records = [
+            _rec(0.0, "interaction_arrival", task="ask", rid=3, model="ask_model"),
+            _rec(1.0, "dispatch", task="ask", rid=3, acc=0, pe=1.0),
+            _rec(2.0, "layers_complete", task="ask", rid=3, acc=0),
+            _rec(2.0, "complete", task="ask", rid=3, acc=0),
+        ]
+        (violation,) = _violated(
+            records,
+            "interaction_causality",
+            scenario=scenario,
+            invariants=["interaction_causality"],
+        )
+        assert "does not declare as an interaction" in violation.message
+
     def test_registry_covers_all_checkers(self):
         assert set(INVARIANT_NAMES) == {
             "no_pe_oversubscription",
+            "no_memory_oversubscription",
             "causality",
             "monotonic_progress",
             "cascade_after_parent",
+            "interaction_causality",
             "conservation",
             "stats_consistency",
         }
