@@ -72,6 +72,7 @@ from repro import __version__
 from repro.experiments import figures as figures_mod
 from repro.experiments.backends import backend_names
 from repro.experiments.differential import (
+    FAULT_AXIS_NAMES,
     KERNEL_AXIS_NAMES,
     RESOURCE_MODEL_AXIS_NAMES,
     replay_artifact,
@@ -735,6 +736,25 @@ def _resource_model_list(values: Optional[Sequence[str]]) -> list[str]:
     return models
 
 
+def _fault_list(values: Optional[Sequence[str]]) -> list[str]:
+    """Expand the fuzz ``--faults`` chaos axis ('all' = every fault kind).
+
+    Every fault kind is always runnable (pure Python on the default event
+    loop), so this only validates names; unknown names are usage errors
+    (exit 2) with the registry in the message.  The default is *no*
+    injection — chaos runs are opt-in.
+    """
+    names = _split_names(values, [])
+    kinds = list(FAULT_AXIS_NAMES) if "all" in names else names
+    for kind in kinds:
+        if kind not in FAULT_AXIS_NAMES:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from "
+                f"{', '.join(sorted(FAULT_AXIS_NAMES))} (or 'all')"
+            )
+    return kinds
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     spec = _generator_spec(args)
     generator = ScenarioGenerator(spec)
@@ -779,6 +799,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     resource_models = (
         _resource_model_list(args.resource_models) if args.resource_models else None
     )
+    faults = _fault_list(args.faults) if args.faults else None
     duration_ms = args.duration_ms if args.duration_ms is not None else 400.0
 
     if args.replay is not None:
@@ -794,6 +815,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 kernels=kernels,
                 loops=loops,
                 resource_models=resource_models,
+                faults=faults,
             )
         except ValueError:
             # Malformed artifact (e.g. no generator spec): a usage error —
@@ -815,6 +837,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     kernels = kernels or ["python"]
     loops = loops or ["python"]
     resource_models = resource_models or ["pe_fraction"]
+    faults = faults or []
     if "kv_batch" in resource_models and spec.resource_model == "pe_fraction":
         # The kv axis is only interesting on kv-flavoured scenarios (shared
         # KV budgets, interaction chains), so upgrade the generator spec.
@@ -825,6 +848,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         axis += f" x loops {'+'.join(loops)}"
     if len(resource_models) > 1:
         axis += f" x resources {'+'.join(resource_models)}"
+    if faults:
+        axis += f" x faults {'+'.join(faults)}"
     print(
         f"fuzzing {args.seeds} generated scenario(s) (generator seed "
         f"{spec.seed}) x {len(schedulers)} schedulers{axis} on {args.platform} "
@@ -841,6 +866,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             kernels=kernels,
             loops=loops,
             resource_models=resource_models,
+            faults=faults,
         )
     except Exception as error:  # noqa: BLE001 - harness error, exit 1
         print(f"repro fuzz: harness error: {error}", file=sys.stderr)
@@ -1358,6 +1384,14 @@ def build_parser() -> argparse.ArgumentParser:
         "run, the others get a full invariant audit of their own physics — "
         "no cross-model parity is asserted; includes kv_batch scenarios "
         "when requested; default: pe_fraction)",
+    )
+    fuzz_parser.add_argument(
+        "--faults", action="append", metavar="KINDS",
+        help="chaos axis: fault kinds to inject per scheduler ('all' or "
+        "comma-separated: accel_degrade, platform_outage, transient_stall; "
+        "each kind samples a deterministic fault plan from the sim seed and "
+        "re-runs every scheduler under the full oracle including the "
+        "fault-specific invariants; default: no injection)",
     )
     fuzz_parser.add_argument(
         "--platform", default="4k_1ws_2os",

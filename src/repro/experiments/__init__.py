@@ -16,6 +16,7 @@ on-disk persistence (:mod:`repro.experiments.store`).
 
 from repro.experiments.backends import (
     BACKEND_FACTORIES,
+    JobTimeoutError,
     ProcessBackend,
     SerialBackend,
     backend_names,
@@ -54,6 +55,7 @@ __all__ = [
     "ExperimentCell",
     "FuzzResult",
     "GridResult",
+    "JobTimeoutError",
     "PhasedJob",
     "ProcessBackend",
     "ResultStore",

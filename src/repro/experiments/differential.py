@@ -38,6 +38,7 @@ from repro.experiments.jobs import generated_context
 from repro.hardware import CostTable, Platform
 from repro.schedulers import make_scheduler, scheduler_names
 from repro.sim import SimulationEngine, SimulationResult, Tracer, Violation, audit_trace
+from repro.sim.faults import FAULT_KINDS, FaultSpec, sample_fault_plan
 from repro.sim.resource_models import RESOURCE_MODEL_NAMES
 from repro.sim.tracer import TraceRecord
 from repro.workloads.generator import GeneratorSpec
@@ -84,6 +85,16 @@ LOOP_AXIS_NAMES = ("python", "fast", "compiled")
 #: that only bind under ``kv_batch``).
 RESOURCE_MODEL_AXIS_NAMES = RESOURCE_MODEL_NAMES
 
+#: Chaos axis: the registered fault kinds of :mod:`repro.sim.faults`.
+#: For each requested kind the harness samples a deterministic fault plan
+#: (seeded from the run seed) and re-runs every scheduler with injection
+#: enabled under the **full trace-invariant oracle**, including the
+#: fault-specific checks (``no_dispatch_while_faulted``,
+#: ``fault_conservation``, ``degraded_capacity_respected``).  Like the
+#: resource-model axis this is re-audit, not parity: a faulted schedule
+#: legitimately differs from the fault-free one.
+FAULT_AXIS_NAMES = tuple(FAULT_KINDS)
+
 
 @dataclass(frozen=True)
 class SchedulerRun:
@@ -115,18 +126,31 @@ class DifferentialReport:
     kernels: tuple[str, ...] = ("python",)
     loops: tuple[str, ...] = ("python",)
     resource_models: tuple[str, ...] = ("pe_fraction",)
+    faults: tuple[str, ...] = ()
     #: Runs under secondary resource models, keyed
     #: ``"<scheduler>@resource:<model>"``; kept out of :attr:`runs` so the
     #: cross-scheduler metamorphic checks only relate runs that share the
     #: same capacity physics.
     resource_runs: dict[str, SchedulerRun] = field(default_factory=dict)
+    #: Chaos runs with fault injection enabled, keyed
+    #: ``"<scheduler>@faults:<kind>"``; kept out of :attr:`runs` for the
+    #: same reason — a faulted schedule is not comparable to a fault-free
+    #: one, so these runs feed the invariant oracle only.
+    fault_runs: dict[str, SchedulerRun] = field(default_factory=dict)
+    #: The sampled fault plan per axis kind (recorded in the artifact so a
+    #: failing chaos run replays bit-for-bit).
+    fault_plans: dict[str, tuple[FaultSpec, ...]] = field(default_factory=dict)
 
     @property
     def invariant_violations(self) -> list[tuple[str, Violation]]:
         """Every (scheduler, violation) pair across all runs."""
         return [
             (name, violation)
-            for name, run in list(self.runs.items()) + list(self.resource_runs.items())
+            for name, run in (
+                list(self.runs.items())
+                + list(self.resource_runs.items())
+                + list(self.fault_runs.items())
+            )
             for violation in run.violations
         ]
 
@@ -162,6 +186,11 @@ class DifferentialReport:
             "kernels": list(self.kernels),
             "loops": list(self.loops),
             "resource_models": list(self.resource_models),
+            "faults": list(self.faults),
+            "fault_plans": {
+                kind: [spec.to_dict() for spec in plan]
+                for kind, plan in self.fault_plans.items()
+            },
             "generator": self.generator.to_dict() if self.generator else None,
             "generator_index": self.generator_index,
             "invariant_violations": [
@@ -189,6 +218,8 @@ class DifferentialReport:
             axis += f", loops {'+'.join(self.loops)}"
         if len(self.resource_models) > 1:
             axis += f", resources {'+'.join(self.resource_models)}"
+        if self.faults:
+            axis += f", faults {'+'.join(self.faults)}"
         lines = [
             f"{status} {self.scenario_name} on {self.platform} "
             f"({len(self.runs)} schedulers, {self.duration_ms:g} ms, "
@@ -294,6 +325,7 @@ def run_differential(
     kernels: Sequence[str] = ("python",),
     loops: Sequence[str] = ("python",),
     resource_models: Sequence[str] = ("pe_fraction",),
+    faults: Sequence[str] = (),
 ) -> DifferentialReport:
     """Run every scheduler on one scenario and audit all invariants.
 
@@ -328,6 +360,16 @@ def run_differential(
             legitimately schedule differently), with findings recorded in
             :attr:`DifferentialReport.resource_runs` and crashes keyed
             ``"<scheduler>@resource:<model>"``.
+        faults: chaos axis (:data:`FAULT_AXIS_NAMES`).  For each kind a
+            deterministic fault plan is sampled from the run seed
+            (:func:`~repro.sim.faults.sample_fault_plan`) and every
+            scheduler re-runs with injection enabled under the full
+            invariant oracle including the fault-specific checks.  Runs
+            land in :attr:`DifferentialReport.fault_runs`, crashes keyed
+            ``"<scheduler>@faults:<kind>"``; the sampled plans are recorded
+            in the artifact so failures replay bit-for-bit.  Fault runs
+            always use the canonical kernel on ``loop="python"`` (the only
+            loop that models faults).
     """
     for kernel in kernels:
         if kernel not in KERNEL_AXIS:
@@ -351,6 +393,11 @@ def run_differential(
             )
     if not resource_models:
         raise ValueError("resource_models must name at least one model")
+    for kind in faults:
+        if kind not in FAULT_AXIS_NAMES:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from {FAULT_AXIS_NAMES}"
+            )
     cost_table = cost_table or CostTable.build(platform, scenario.all_model_graphs())
     report = DifferentialReport(
         scenario_name=scenario.name,
@@ -362,10 +409,21 @@ def run_differential(
         kernels=tuple(kernels),
         loops=tuple(loops),
         resource_models=tuple(resource_models),
+        faults=tuple(faults),
     )
     canonical, *extra_kernels = kernels
     canonical_loop, *extra_loops = loops
     canonical_resources, *extra_resources = resource_models
+    fault_plans = {
+        kind: sample_fault_plan(
+            seed=seed,
+            duration_ms=duration_ms,
+            accelerators=len(platform.accelerators),
+            kinds=(kind,),
+        )
+        for kind in faults
+    }
+    report.fault_plans = dict(fault_plans)
     kernel_failures: list[Violation] = []
 
     def _run(
@@ -373,10 +431,12 @@ def run_differential(
         axis_name: str,
         loop_name: str,
         resource_model: str = canonical_resources,
+        fault_plan: tuple[FaultSpec, ...] = (),
     ) -> tuple[SimulationResult, Tracer]:
         mode, engine_kernel = KERNEL_AXIS[axis_name]
-        if mode != "fast":
-            # Non-python loops only exist for the fast engine mode; the
+        if mode != "fast" or fault_plan:
+            # Non-python loops only exist for the fast engine mode, and
+            # fault injection exists only on the python loop; the
             # reference decision path always runs the historical loop.
             loop_name = "python"
         tracer = Tracer()
@@ -392,6 +452,7 @@ def run_differential(
             kernel=engine_kernel,
             loop=loop_name,
             resource_model=resource_model,
+            faults=fault_plan,
         )
         return engine.run(), tracer
 
@@ -426,6 +487,25 @@ def run_differential(
                 result=rm_result,
                 violations=tuple(rm_violations),
                 arrivals=_head_arrivals(rm_tracer.records),
+            )
+        for kind, fault_plan in fault_plans.items():
+            try:
+                f_result, f_tracer = _run(
+                    scheduler_name, canonical, "python", fault_plan=fault_plan
+                )
+            except Exception:  # noqa: BLE001 - a crashing chaos run is a finding
+                report.harness_errors[
+                    f"{scheduler_name}@faults:{kind}"
+                ] = traceback.format_exc()
+                continue
+            f_violations = audit_trace(
+                f_tracer, scenario=scenario, result=f_result, faults=fault_plan
+            )
+            report.fault_runs[f"{scheduler_name}@faults:{kind}"] = SchedulerRun(
+                scheduler=scheduler_name,
+                result=f_result,
+                violations=tuple(f_violations),
+                arrivals=_head_arrivals(f_tracer.records),
             )
         if not extra_kernels and not extra_loops:
             continue
@@ -536,14 +616,15 @@ def run_fuzz(
     kernels: Sequence[str] = ("python",),
     loops: Sequence[str] = ("python",),
     resource_models: Sequence[str] = ("pe_fraction",),
+    faults: Sequence[str] = (),
 ) -> FuzzResult:
     """Differentially test ``count`` generated scenarios of a spec.
 
     Each scenario ``i`` of the spec is built through the process-local
     generated-context cache (cost table built once per scenario) and run
     under every scheduler, on every requested decision path (``kernels``),
-    event loop (``loops``) and execution-resource model
-    (``resource_models``, see :func:`run_differential`).
+    event loop (``loops``), execution-resource model (``resource_models``)
+    and chaos fault kind (``faults``, see :func:`run_differential`).
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -564,6 +645,7 @@ def run_fuzz(
                 kernels=kernels,
                 loops=loops,
                 resource_models=resource_models,
+                faults=faults,
             )
         )
     return fuzz
@@ -575,6 +657,7 @@ def replay_artifact(
     kernels: Optional[Sequence[str]] = None,
     loops: Optional[Sequence[str]] = None,
     resource_models: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[str]] = None,
 ) -> DifferentialReport:
     """Re-run the differential check described by a fuzz artifact.
 
@@ -588,6 +671,10 @@ def replay_artifact(
         loops: optional override of the artifact's event-loop axis.
         resource_models: optional override of the artifact's
             execution-resource-model axis.
+        faults: optional override of the artifact's chaos axis.  The fault
+            plan itself is re-sampled from the recorded seed, which — by
+            construction — reproduces the recorded ``fault_plans``
+            bit-for-bit.
 
     Raises:
         ValueError: if the artifact has no generator spec (non-generated
@@ -617,5 +704,8 @@ def replay_artifact(
             tuple(resource_models)
             if resource_models
             else tuple(artifact.get("resource_models") or ("pe_fraction",))
+        ),
+        faults=(
+            tuple(faults) if faults is not None else tuple(artifact.get("faults") or ())
         ),
     )

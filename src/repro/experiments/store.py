@@ -10,8 +10,11 @@ incremental figure regeneration and cheap CI smoke runs.
 Layout: ``root/<key[:2]>/<key>.json``, one JSON document per result (the
 :meth:`~repro.sim.SimulationResult.to_dict` form wrapped with its job spec
 for inspectability).  Writes are atomic (temp file + rename), so a killed
-run never leaves a truncated entry; unreadable entries are treated as
-misses.
+run never leaves a truncated entry; entries corrupted *outside* the
+store's control (truncation, bit rot, hand editing) are detected on load,
+counted on the :attr:`ResultStore.corrupt` counter, reported once via
+:mod:`warnings`, and treated as misses — the caller recomputes and the
+next :meth:`ResultStore.put` overwrites the bad entry.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
@@ -36,6 +40,9 @@ class ResultStore:
         hits: number of ``get``/``load`` calls answered from disk.
         misses: number of calls that found no (usable) entry.
         writes: number of results persisted.
+        corrupt: subset of ``misses`` where an entry *existed* but failed
+            to parse or validate — absent entries are plain misses,
+            corrupt ones additionally emit a :class:`RuntimeWarning`.
     """
 
     def __init__(self, root: Union[str, Path]):
@@ -44,6 +51,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------ #
     # key/path plumbing
@@ -69,16 +77,32 @@ class ResultStore:
     def load(self, key: str) -> Optional[SimulationResult]:
         """Result stored under a raw cache key, or ``None``.
 
-        Corrupt or unreadable entries count as misses rather than raising —
-        the caller recomputes and overwrites them.
+        An absent entry is a plain miss.  An entry that exists but fails
+        to parse or validate (truncated write from a killed run on a
+        non-atomic filesystem, bit rot, hand editing) is *also* a miss —
+        the caller recomputes and overwrites it — but is additionally
+        counted on :attr:`corrupt` and reported via a
+        :class:`RuntimeWarning`, so silent cache rot is visible in
+        :meth:`stats` and test runs.
         """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             result = SimulationResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            self.misses += 1
+            self.corrupt += 1
+            warnings.warn(
+                f"result store entry {path} is corrupt "
+                f"({type(error).__name__}: {error}); treating as a cache "
+                "miss and recomputing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         self.hits += 1
         return result
@@ -121,6 +145,7 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "corrupt": self.corrupt,
         }
 
     def clear(self) -> int:

@@ -15,8 +15,8 @@ scenario.  This package is that tier:
 * :mod:`repro.fleet.metrics` — per-user / per-platform aggregation into a
   :class:`FleetResult` (P² latency quantiles, rejection accounting);
 * :mod:`repro.fleet.invariants` — the fleet-level invariant oracle
-  (session conservation, no double-routing, admission consistency, frame
-  conservation).
+  (session conservation, no double-routing, outage-aware admission
+  consistency, failover no-double-routing, frame conservation).
 
 The whole layer rides *on top of* the single-platform engine: every
 admitted session is an ordinary
@@ -29,6 +29,7 @@ from repro.fleet.invariants import (
     audit_fleet,
     audit_plan,
     check_admission_consistency,
+    check_failover_no_double_routing,
     check_frame_conservation,
     check_no_double_routing,
     check_session_conservation,
@@ -36,9 +37,15 @@ from repro.fleet.invariants import (
 from repro.fleet.metrics import FleetResult, PlatformStats, UserStats, aggregate_fleet
 from repro.fleet.policies import (
     ADMITTED,
+    EVICTED,
+    FAILED,
     REASON_CAPACITY,
+    REASON_FAILOVER,
     REASON_FAIR_SHARE,
+    REASON_OUTAGE,
     REJECTED,
+    REROUTED,
+    RETRY,
     ROUTING_POLICIES,
     THROTTLED,
     FairSharePolicy,
@@ -59,18 +66,26 @@ from repro.fleet.simulator import (
     session_seed,
     simulate_fleet,
 )
-from repro.fleet.spec import FleetSpec, PlatformSpec
+from repro.fleet.spec import FAILOVER_POLICIES, FleetOutage, FleetSpec, PlatformSpec
 
 __all__ = [
     "ADMITTED",
+    "EVICTED",
+    "FAILED",
+    "FAILOVER_POLICIES",
     "REASON_CAPACITY",
+    "REASON_FAILOVER",
     "REASON_FAIR_SHARE",
+    "REASON_OUTAGE",
     "REJECTED",
+    "REROUTED",
+    "RETRY",
     "THROTTLED",
     "AdmissionRecord",
     "FairSharePolicy",
     "FleetJob",
     "FleetLoadView",
+    "FleetOutage",
     "FleetPlan",
     "FleetResult",
     "FleetSimulator",
@@ -89,6 +104,7 @@ __all__ = [
     "audit_fleet",
     "audit_plan",
     "check_admission_consistency",
+    "check_failover_no_double_routing",
     "check_frame_conservation",
     "check_no_double_routing",
     "check_session_conservation",

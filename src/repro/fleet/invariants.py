@@ -7,24 +7,37 @@ properties every correct admission pass must satisfy, checked by replaying
 the :class:`~repro.fleet.simulator.AdmissionRecord` stream:
 
 ``session_conservation``
-    Every submitted session reaches *exactly one* outcome (admitted,
-    rejected, or throttled): session ids are dense and unique, outcomes
-    are from the closed vocabulary, and the outcome counts sum back to
-    the number of submissions — nothing leaks, nothing double-finishes.
+    Every submitted session reaches *exactly one* final outcome: its
+    first record is a first decision (admitted / rejected / throttled),
+    fault-recovery records (evicted / rerouted / retry / failed) form a
+    legal chain — evictions only while placed, reroutes/retries/failures
+    only while evicted-and-unresolved — and the last record per session
+    is a placement (admitted / rerouted) or a terminal non-placement
+    (rejected / throttled / failed).  Session ids stay dense and unique
+    over first decisions; nothing leaks, nothing double-finishes.
 
 ``no_double_routing``
-    An admitted session maps to exactly one platform and exactly one
-    :class:`~repro.fleet.simulator.FleetJob` (and vice versa — no job
-    without an admission), with matching platform indices; non-admitted
-    sessions carry no platform and spawn no job.
+    Surviving placements and simulation jobs correspond one-to-one: a
+    session whose final state is a placement has exactly one
+    :class:`~repro.fleet.simulator.FleetJob` targeting that platform; an
+    evicted-and-failed session has none; no job exists for a session
+    that never held a surviving placement.
+
+``failover_no_double_routing``
+    Replaying placements, a session never holds two platforms at once:
+    a second admit/reroute while one placement is live is a violation,
+    as is an eviction of a session that is not placed, an eviction from
+    a platform with no declared outage open at that instant, or a
+    reroute *onto* a platform inside an open outage window.
 
 ``admission_consistency``
-    The trace is consistent with an honest replay of the admission pass:
-    per-platform occupancy (with slots released at
-    ``admit_ms + duration_ms``) never exceeds ``max_sessions``, each
-    record's ``active_before`` snapshot equals the replayed occupancy,
-    admissions only target platforms with free capacity, and
-    capacity-rejections occur only when *every* platform is full.
+    The trace is consistent with an honest outage-aware replay of the
+    admission pass: per-platform occupancy (slots released at
+    ``admit_ms + duration_ms``, evictions releasing early) never exceeds
+    ``max_sessions``, each record's ``active_before`` snapshot equals
+    the replayed occupancy, admissions and reroutes only target healthy
+    platforms with free capacity, and capacity-rejections / capacity
+    retries occur only when every *healthy* platform is full.
 
 ``frame_conservation``
     Fleet aggregates equal the sum of their parts: every admitted session
@@ -45,48 +58,98 @@ import heapq
 from typing import Sequence
 
 from repro.fleet.metrics import FleetResult
-from repro.fleet.policies import ADMITTED, REASON_CAPACITY, REJECTED, THROTTLED
+from repro.fleet.policies import (
+    ADMITTED,
+    EVICTED,
+    FAILED,
+    REASON_CAPACITY,
+    REJECTED,
+    REROUTED,
+    RETRY,
+    THROTTLED,
+)
 from repro.fleet.simulator import AdmissionRecord, FleetJob, FleetPlan
 from repro.fleet.spec import FleetSpec
 from repro.sim.invariants import TraceInvariantError, Violation
 
-#: The closed vocabulary of admission outcomes.
-_OUTCOMES = (ADMITTED, REJECTED, THROTTLED)
+#: First-decision outcomes — exactly one per submitted session.
+_FIRST_OUTCOMES = (ADMITTED, REJECTED, THROTTLED)
+#: Fault-recovery outcomes — only ever follow a first decision.
+_RECOVERY_OUTCOMES = (EVICTED, REROUTED, RETRY, FAILED)
+#: The full closed vocabulary of admission-record outcomes.
+_OUTCOMES = _FIRST_OUTCOMES + _RECOVERY_OUTCOMES
+#: Outcomes that leave the session placed on a platform.
+_PLACEMENTS = (ADMITTED, REROUTED)
+#: Final states a session may legally end the trace in.
+_FINAL_OUTCOMES = (ADMITTED, REROUTED, REJECTED, THROTTLED, FAILED)
 
 
 def check_session_conservation(records: Sequence[AdmissionRecord]) -> list[Violation]:
-    """Every session has exactly one outcome from the closed vocabulary."""
+    """Every session resolves exactly once through a legal outcome chain."""
     violations: list[Violation] = []
     seen: set[int] = set()
-    counts = {outcome: 0 for outcome in _OUTCOMES}
+    counts = {outcome: 0 for outcome in _FIRST_OUTCOMES}
+    # session_id -> last outcome, driving the per-session state machine.
+    last: dict[int, str] = {}
     for record in records:
-        if record.session_id in seen:
-            violations.append(
-                Violation(
-                    "session_conservation",
-                    f"session {record.session_id} decided more than once",
-                    record.time_ms,
-                    record.session_id,
-                )
-            )
-            continue
-        seen.add(record.session_id)
-        if record.outcome not in counts:
+        sid = record.session_id
+        if record.outcome not in _OUTCOMES:
             violations.append(
                 Violation(
                     "session_conservation",
                     f"unknown outcome {record.outcome!r}",
                     record.time_ms,
-                    record.session_id,
+                    sid,
                 )
             )
-        else:
+            continue
+        if record.outcome in _FIRST_OUTCOMES:
+            if sid in seen:
+                violations.append(
+                    Violation(
+                        "session_conservation",
+                        f"session {sid} decided more than once",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+                continue
+            seen.add(sid)
             counts[record.outcome] += 1
-    if seen and seen != set(range(len(records))):
+        else:
+            previous = last.get(sid)
+            if previous is None:
+                violations.append(
+                    Violation(
+                        "session_conservation",
+                        f"{record.outcome!r} for a session that was never submitted",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+                continue
+            legal = {
+                EVICTED: _PLACEMENTS,
+                REROUTED: (EVICTED, RETRY),
+                RETRY: (EVICTED, RETRY),
+                FAILED: (EVICTED, RETRY),
+            }[record.outcome]
+            if previous not in legal:
+                violations.append(
+                    Violation(
+                        "session_conservation",
+                        f"{record.outcome!r} after {previous!r} "
+                        f"(legal predecessors: {', '.join(legal)})",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+        last[sid] = record.outcome
+    if seen and seen != set(range(len(seen))):
         violations.append(
             Violation(
                 "session_conservation",
-                f"session ids are not dense 0..{len(records) - 1}",
+                f"session ids are not dense 0..{len(seen) - 1}",
             )
         )
     if sum(counts.values()) != len(seen):
@@ -96,27 +159,54 @@ def check_session_conservation(records: Sequence[AdmissionRecord]) -> list[Viola
                 f"outcome counts {counts} do not sum to {len(seen)} submissions",
             )
         )
+    for sid in sorted(last):
+        if last[sid] not in _FINAL_OUTCOMES:
+            violations.append(
+                Violation(
+                    "session_conservation",
+                    f"session {sid} left unresolved in state {last[sid]!r}",
+                    request_id=sid,
+                )
+            )
     return violations
 
 
 def check_no_double_routing(
     records: Sequence[AdmissionRecord], jobs: Sequence[FleetJob]
 ) -> list[Violation]:
-    """Admitted sessions and simulation jobs correspond one-to-one."""
+    """Surviving placements and simulation jobs correspond one-to-one.
+
+    A session's *surviving* placement is its last admitted/rerouted
+    record not undone by a later eviction — the placement whose
+    simulation actually ran to completion.  Evicted placements' jobs are
+    destroyed by the outage, so they must not appear in the job list.
+    """
     violations: list[Violation] = []
-    admitted: dict[int, AdmissionRecord] = {}
+    surviving: dict[int, AdmissionRecord] = {}
     for record in records:
-        if record.outcome == ADMITTED:
+        if record.outcome in _PLACEMENTS:
             if record.platform_index is None:
                 violations.append(
                     Violation(
                         "no_double_routing",
-                        "admitted session has no platform",
+                        f"{record.outcome} session has no platform",
                         record.time_ms,
                         record.session_id,
                     )
                 )
-            admitted[record.session_id] = record
+                continue
+            surviving[record.session_id] = record
+        elif record.outcome == EVICTED:
+            if record.platform_index is None:
+                violations.append(
+                    Violation(
+                        "no_double_routing",
+                        "evicted session carries no platform",
+                        record.time_ms,
+                        record.session_id,
+                    )
+                )
+            surviving.pop(record.session_id, None)
         elif record.platform_index is not None:
             violations.append(
                 Violation(
@@ -140,12 +230,13 @@ def check_no_double_routing(
             )
             continue
         job_sessions.add(job.session_id)
-        record = admitted.get(job.session_id)
+        record = surviving.get(job.session_id)
         if record is None:
             violations.append(
                 Violation(
                     "no_double_routing",
-                    f"job exists for session {job.session_id} that was never admitted",
+                    f"job exists for session {job.session_id} with no "
+                    "surviving placement",
                     job.admit_ms,
                     job.session_id,
                 )
@@ -154,19 +245,19 @@ def check_no_double_routing(
             violations.append(
                 Violation(
                     "no_double_routing",
-                    f"session {job.session_id} admitted to platform "
+                    f"session {job.session_id} placed on platform "
                     f"{record.platform_index} but its job targets "
                     f"{job.platform_index}",
                     job.admit_ms,
                     job.session_id,
                 )
             )
-    for session_id in sorted(set(admitted) - job_sessions):
-        record = admitted[session_id]
+    for session_id in sorted(set(surviving) - job_sessions):
+        record = surviving[session_id]
         violations.append(
             Violation(
                 "no_double_routing",
-                f"admitted session {session_id} has no simulation job",
+                f"placed session {session_id} has no simulation job",
                 record.time_ms,
                 session_id,
             )
@@ -174,17 +265,128 @@ def check_no_double_routing(
     return violations
 
 
+def check_failover_no_double_routing(
+    spec: FleetSpec, records: Sequence[AdmissionRecord]
+) -> list[Violation]:
+    """No session ever holds two platforms; failover respects outages.
+
+    Replays placements with natural expiry at
+    ``placement time + duration``: a second admit/reroute while a
+    placement is live, an eviction of an unplaced session, an eviction
+    from a platform with no open declared outage, or a reroute onto a
+    platform inside an open outage window are all violations.
+    """
+    violations: list[Violation] = []
+
+    def outage_open(index: int, time_ms: float) -> bool:
+        return any(
+            outage.platform_index == index and outage.active_at(time_ms)
+            for outage in spec.outages
+        )
+
+    # session_id -> (platform_index, end_ms)
+    placed: dict[int, tuple[int, float]] = {}
+    for record in records:
+        sid = record.session_id
+        live = placed.get(sid)
+        if live is not None and live[1] <= record.time_ms:
+            del placed[sid]  # natural expiry
+            live = None
+        if record.outcome in _PLACEMENTS:
+            if live is not None:
+                violations.append(
+                    Violation(
+                        "failover_no_double_routing",
+                        f"session placed on platform {record.platform_index} "
+                        f"while still holding platform {live[0]}",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+            if record.outcome == REROUTED and record.platform_index is not None:
+                if outage_open(record.platform_index, record.time_ms):
+                    violations.append(
+                        Violation(
+                            "failover_no_double_routing",
+                            f"reroute onto platform {record.platform_index} "
+                            "inside an open outage window",
+                            record.time_ms,
+                            sid,
+                        )
+                    )
+            if record.platform_index is not None:
+                placed[sid] = (
+                    record.platform_index,
+                    record.time_ms + record.duration_ms,
+                )
+        elif record.outcome == EVICTED:
+            if live is None:
+                violations.append(
+                    Violation(
+                        "failover_no_double_routing",
+                        "eviction of a session that holds no platform",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+            elif live[0] != record.platform_index:
+                violations.append(
+                    Violation(
+                        "failover_no_double_routing",
+                        f"eviction names platform {record.platform_index} but "
+                        f"the session is placed on platform {live[0]}",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+            if record.platform_index is not None and not outage_open(
+                record.platform_index, record.time_ms
+            ):
+                violations.append(
+                    Violation(
+                        "failover_no_double_routing",
+                        f"eviction from platform {record.platform_index} with "
+                        "no declared outage open at that instant",
+                        record.time_ms,
+                        sid,
+                    )
+                )
+            placed.pop(sid, None)
+    return violations
+
+
 def check_admission_consistency(
     spec: FleetSpec, records: Sequence[AdmissionRecord]
 ) -> list[Violation]:
-    """The trace matches an honest occupancy replay of the admission pass."""
+    """The trace matches an honest outage-aware replay of the admission pass."""
     violations: list[Violation] = []
     capacities = [platform.max_sessions for platform in spec.platforms]
     active = [0] * len(capacities)
-    releases: list[tuple[float, int, int]] = []  # (end_ms, session_id, platform)
+    # (end_ms, session_id, platform, generation); evictions invalidate
+    # pending releases through the per-session generation counter.
+    releases: list[tuple[float, int, int, int]] = []
+    placement: dict[int, tuple[int, int]] = {}  # session_id -> (platform, gen)
+    generation: dict[int, int] = {}
+
+    def healthy(index: int, time_ms: float) -> bool:
+        return not any(
+            outage.platform_index == index and outage.active_at(time_ms)
+            for outage in spec.outages
+        )
+
+    def no_healthy_slot(time_ms: float) -> bool:
+        return not any(
+            active[i] < capacities[i] and healthy(i, time_ms)
+            for i in range(len(capacities))
+        )
+
     for record in records:
         while releases and releases[0][0] <= record.time_ms:
-            _, _, index = heapq.heappop(releases)
+            _, sid, index, gen = heapq.heappop(releases)
+            current = placement.get(sid)
+            if current is None or current[1] != gen:
+                continue  # evicted earlier; stale release
+            del placement[sid]
             active[index] -= 1
         if tuple(active) != record.active_before:
             violations.append(
@@ -196,7 +398,7 @@ def check_admission_consistency(
                     record.session_id,
                 )
             )
-        if record.outcome == ADMITTED and record.platform_index is not None:
+        if record.outcome in _PLACEMENTS and record.platform_index is not None:
             index = record.platform_index
             if not 0 <= index < len(capacities):
                 violations.append(
@@ -212,24 +414,51 @@ def check_admission_consistency(
                 violations.append(
                     Violation(
                         "admission_consistency",
-                        f"admission to full platform {index} "
+                        f"{record.outcome} to full platform {index} "
                         f"({active[index]}/{capacities[index]} active)",
                         record.time_ms,
                         record.session_id,
                     )
                 )
-            active[index] += 1
-            heapq.heappush(
-                releases,
-                (record.time_ms + record.duration_ms, record.session_id, index),
-            )
-        elif record.outcome == REJECTED and record.reason == REASON_CAPACITY:
-            if any(active[i] < capacities[i] for i in range(len(capacities))):
+            if not healthy(index, record.time_ms):
                 violations.append(
                     Violation(
                         "admission_consistency",
-                        f"capacity rejection while occupancy {tuple(active)} leaves "
-                        f"free slots (capacities {tuple(capacities)})",
+                        f"{record.outcome} to platform {index} inside an open "
+                        "outage window",
+                        record.time_ms,
+                        record.session_id,
+                    )
+                )
+            gen = generation.get(record.session_id, 0) + 1
+            generation[record.session_id] = gen
+            placement[record.session_id] = (index, gen)
+            active[index] += 1
+            heapq.heappush(
+                releases,
+                (
+                    record.time_ms + record.duration_ms,
+                    record.session_id,
+                    index,
+                    gen,
+                ),
+            )
+        elif record.outcome == EVICTED:
+            current = placement.pop(record.session_id, None)
+            if current is not None:
+                active[current[0]] -= 1
+            # An eviction of an unplaced session is failover_no_double_
+            # routing's finding; the snapshot check above flags the drift.
+        elif (
+            record.outcome == REJECTED and record.reason == REASON_CAPACITY
+        ) or record.outcome == RETRY:
+            if not no_healthy_slot(record.time_ms):
+                violations.append(
+                    Violation(
+                        "admission_consistency",
+                        f"capacity {record.outcome} while occupancy {tuple(active)} "
+                        f"leaves free slots on healthy platforms "
+                        f"(capacities {tuple(capacities)})",
                         record.time_ms,
                         record.session_id,
                     )
@@ -241,34 +470,33 @@ def check_frame_conservation(result: FleetResult) -> list[Violation]:
     """Aggregated frame counters equal the sums over session results."""
     violations: list[Violation] = []
     plan = result.plan
-    admitted_ids = {r.session_id for r in plan.records if r.outcome == ADMITTED}
+    # Sessions owed a simulation result are exactly those holding a
+    # surviving job — an evicted-then-failed session legitimately has none.
+    job_by_session = {job.session_id: job for job in plan.jobs}
+    expected_ids = set(job_by_session)
     result_ids = set(result.session_results)
-    for session_id in sorted(admitted_ids - result_ids):
+    for session_id in sorted(expected_ids - result_ids):
         violations.append(
             Violation(
                 "frame_conservation",
-                f"admitted session {session_id} has no simulation result",
+                f"placed session {session_id} has no simulation result",
                 request_id=session_id,
             )
         )
-    for session_id in sorted(result_ids - admitted_ids):
+    for session_id in sorted(result_ids - expected_ids):
         violations.append(
             Violation(
                 "frame_conservation",
-                f"simulation result for session {session_id} that was never admitted",
+                f"simulation result for session {session_id} that holds no job",
                 request_id=session_id,
             )
         )
 
-    job_by_session = {job.session_id: job for job in plan.jobs}
     expected_frames = [0] * len(plan.spec.platforms)
-    for session_id in sorted(result_ids & admitted_ids):
-        job = job_by_session.get(session_id)
-        if job is None:
-            continue  # reported by no_double_routing
-        expected_frames[job.platform_index] += result.session_results[
-            session_id
-        ].total_frames
+    for session_id in sorted(result_ids & expected_ids):
+        expected_frames[job_by_session[session_id].platform_index] += (
+            result.session_results[session_id].total_frames
+        )
     for stats in result.platform_stats:
         if stats.total_frames != expected_frames[stats.index]:
             violations.append(
@@ -295,6 +523,7 @@ def audit_plan(plan: FleetPlan) -> list[Violation]:
     violations = check_session_conservation(plan.records)
     violations.extend(check_no_double_routing(plan.records, plan.jobs))
     violations.extend(check_admission_consistency(plan.spec, plan.records))
+    violations.extend(check_failover_no_double_routing(plan.spec, plan.records))
     return violations
 
 

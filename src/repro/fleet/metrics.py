@@ -27,7 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
-from repro.fleet.policies import ADMITTED, REJECTED, THROTTLED
+from repro.fleet.policies import (
+    ADMITTED,
+    EVICTED,
+    FAILED,
+    REJECTED,
+    REROUTED,
+    RETRY,
+    THROTTLED,
+)
 from repro.fleet.simulator import AdmissionRecord, FleetPlan
 from repro.metrics.quantiles import StreamingQuantiles
 from repro.sim import SimulationResult
@@ -35,7 +43,12 @@ from repro.sim import SimulationResult
 
 @dataclass
 class UserStats:
-    """Admission accounting and latency quantiles of one user."""
+    """Admission accounting and latency quantiles of one user.
+
+    The fault-recovery counters (``evicted`` / ``rerouted`` / ``retried``
+    / ``failed_sessions``) serialize only when nonzero, so fault-free
+    payloads stay byte-identical to historical ones.
+    """
 
     user_id: str
     population: str
@@ -46,6 +59,10 @@ class UserStats:
     total_frames: int = 0
     violated_frames: int = 0
     latency_quantiles: Optional[dict] = None
+    evicted: int = 0
+    rerouted: int = 0
+    retried: int = 0
+    failed_sessions: int = 0
 
     @property
     def admission_rate(self) -> float:
@@ -68,8 +85,8 @@ class UserStats:
         return self.violated_frames / self.total_frames if self.total_frames else 0.0
 
     def to_dict(self) -> dict:
-        """JSON-serializable form."""
-        return {
+        """JSON-serializable form (fault counters only when nonzero)."""
+        payload = {
             "user_id": self.user_id,
             "population": self.population,
             "submitted": self.submitted,
@@ -82,6 +99,15 @@ class UserStats:
                 dict(self.latency_quantiles) if self.latency_quantiles else None
             ),
         }
+        if self.evicted:
+            payload["evicted"] = self.evicted
+        if self.rerouted:
+            payload["rerouted"] = self.rerouted
+        if self.retried:
+            payload["retried"] = self.retried
+        if self.failed_sessions:
+            payload["failed_sessions"] = self.failed_sessions
+        return payload
 
 
 @dataclass
@@ -99,6 +125,7 @@ class PlatformStats:
     violated_frames: int = 0
     total_energy_mj: float = 0.0
     utilization_sum: float = 0.0
+    evictions: int = 0
 
     @property
     def mean_utilization(self) -> float:
@@ -111,8 +138,8 @@ class PlatformStats:
         return self.violated_frames / self.total_frames if self.total_frames else 0.0
 
     def to_dict(self) -> dict:
-        """JSON-serializable form."""
-        return {
+        """JSON-serializable form (``evictions`` only when nonzero)."""
+        payload = {
             "index": self.index,
             "name": self.name,
             "platform": self.platform,
@@ -125,6 +152,9 @@ class PlatformStats:
             "total_energy_mj": self.total_energy_mj,
             "mean_utilization": self.mean_utilization,
         }
+        if self.evictions:
+            payload["evictions"] = self.evictions
+        return payload
 
 
 @dataclass
@@ -154,8 +184,17 @@ class FleetResult:
 
     @property
     def submitted(self) -> int:
-        """Total session requests across every user."""
-        return len(self.plan.records)
+        """Total session requests across every user.
+
+        Fault-recovery records (evicted / rerouted / retry / failed)
+        describe sessions already submitted, so only first-decision
+        outcomes count.
+        """
+        return sum(
+            1
+            for r in self.plan.records
+            if r.outcome in (ADMITTED, REJECTED, THROTTLED)
+        )
 
     @property
     def admitted(self) -> int:
@@ -171,6 +210,37 @@ class FleetResult:
     def throttled(self) -> int:
         """Sessions throttled by per-user fair share."""
         return sum(1 for r in self.plan.records if r.outcome == THROTTLED)
+
+    @property
+    def evicted(self) -> int:
+        """Eviction events (outage killed an active placement)."""
+        return sum(1 for r in self.plan.records if r.outcome == EVICTED)
+
+    @property
+    def rerouted(self) -> int:
+        """Failover reroutes (evicted session re-placed elsewhere)."""
+        return sum(1 for r in self.plan.records if r.outcome == REROUTED)
+
+    @property
+    def retried(self) -> int:
+        """Backoff re-offer attempts that found no capacity (and waited)."""
+        return sum(1 for r in self.plan.records if r.outcome == RETRY)
+
+    @property
+    def failed(self) -> int:
+        """Sessions terminally failed by outages (budget/capacity exhausted)."""
+        return sum(1 for r in self.plan.records if r.outcome == FAILED)
+
+    @property
+    def goodput_sessions(self) -> int:
+        """Sessions whose final placement survived to produce a result.
+
+        ``admitted`` counts *throughput* — every session that ever held a
+        slot, including ones an outage later destroyed; goodput counts
+        only the sessions whose simulation actually completed.  The two
+        are equal on a fault-free fleet.
+        """
+        return len(self.plan.jobs)
 
     @property
     def rejection_rate(self) -> float:
@@ -190,14 +260,23 @@ class FleetResult:
         order.  Nothing in the payload depends on dict iteration order of
         runtime state, so serial and process backends serialize identically.
         """
+        totals = {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "throttled": self.throttled,
+        }
+        if self.plan.spec.outages:
+            # Fault accounting is emitted only for faulted specs, keeping
+            # fault-free payloads byte-identical to historical ones.
+            totals["evicted"] = self.evicted
+            totals["rerouted"] = self.rerouted
+            totals["retried"] = self.retried
+            totals["failed"] = self.failed
+            totals["goodput_sessions"] = self.goodput_sessions
         return {
             "spec": self.plan.spec.to_dict(),
-            "totals": {
-                "submitted": self.submitted,
-                "admitted": self.admitted,
-                "rejected": self.rejected,
-                "throttled": self.throttled,
-            },
+            "totals": totals,
             "records": [record.to_dict() for record in self.plan.records],
             "users": {
                 user_id: stats.to_dict()
@@ -220,6 +299,12 @@ class FleetResult:
             f"rejected={self.rejected} throttled={self.throttled} "
             f"(rejection rate {self.rejection_rate:.1%})",
         ]
+        if spec.outages:
+            lines.append(
+                f"  faults: evicted={self.evicted} rerouted={self.rerouted} "
+                f"retried={self.retried} failed={self.failed} "
+                f"goodput={self.goodput_sessions}/{self.admitted} sessions"
+            )
         for stats in self.platform_stats:
             lines.append(
                 f"  platform[{stats.index}] {stats.name}: "
@@ -276,8 +361,8 @@ def aggregate_fleet(
 
     for record in plan.records:
         stats = user_stats[record.user_id]
-        stats.submitted += 1
         if record.outcome == ADMITTED:
+            stats.submitted += 1
             stats.admitted += 1
             platform = platform_stats[record.platform_index]
             platform.sessions += 1
@@ -285,9 +370,27 @@ def aggregate_fleet(
                 platform.peak_active, record.active_before[record.platform_index] + 1
             )
         elif record.outcome == REJECTED:
+            stats.submitted += 1
             stats.rejected += 1
         elif record.outcome == THROTTLED:
+            stats.submitted += 1
             stats.throttled += 1
+        elif record.outcome == EVICTED:
+            # Fault-recovery records describe an already-submitted session;
+            # they never increment ``submitted``.
+            stats.evicted += 1
+            platform_stats[record.platform_index].evictions += 1
+        elif record.outcome == REROUTED:
+            stats.rerouted += 1
+            platform = platform_stats[record.platform_index]
+            platform.sessions += 1
+            platform.peak_active = max(
+                platform.peak_active, record.active_before[record.platform_index] + 1
+            )
+        elif record.outcome == RETRY:
+            stats.retried += 1
+        elif record.outcome == FAILED:
+            stats.failed_sessions += 1
 
     job_by_session = {job.session_id: job for job in plan.jobs}
     quantiles: dict[str, StreamingQuantiles] = {}

@@ -52,25 +52,45 @@ ADMITTED = "admitted"
 REJECTED = "rejected"
 THROTTLED = "throttled"
 
+#: Fault-recovery outcomes (admission-record vocabulary only — no policy
+#: ever returns them; the simulator's failover machinery emits them).
+#: ``evicted``/``retry`` are intermediate, ``rerouted`` is a placement
+#: like ``admitted``, ``failed`` is terminal.
+EVICTED = "evicted"
+REROUTED = "rerouted"
+RETRY = "retry"
+FAILED = "failed"
+
 #: Reject reason when every platform is at capacity.
 REASON_CAPACITY = "capacity"
 #: Throttle reason when a user exceeds its fair share.
 REASON_FAIR_SHARE = "fair_share"
+#: Eviction/failure reason when a platform outage kills the session.
+REASON_OUTAGE = "outage"
+#: Reroute reason when failover re-admits an evicted session.
+REASON_FAILOVER = "failover"
 
 
 @dataclass(frozen=True)
 class PlatformLoad:
-    """Read-only occupancy snapshot of one platform."""
+    """Read-only occupancy snapshot of one platform.
+
+    ``healthy`` is the admission tier's view of declared platform
+    outages: a platform inside an open outage window is unhealthy and —
+    through :attr:`has_capacity` — invisible to every routing policy, so
+    no policy needs fault-specific logic to avoid dead platforms.
+    """
 
     index: int
     name: str
     max_sessions: int
     active: int
+    healthy: bool = True
 
     @property
     def has_capacity(self) -> bool:
-        """Whether one more session fits."""
-        return self.active < self.max_sessions
+        """Whether one more session fits (dead platforms never do)."""
+        return self.healthy and self.active < self.max_sessions
 
     @property
     def allocated_fraction(self) -> float:

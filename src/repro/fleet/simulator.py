@@ -44,8 +44,16 @@ from repro.experiments.harness import execute_jobs
 from repro.experiments.jobs import CellJob
 from repro.fleet.policies import (
     ADMITTED,
+    EVICTED,
+    FAILED,
+    REASON_CAPACITY,
+    REASON_FAILOVER,
+    REASON_OUTAGE,
+    REROUTED,
+    RETRY,
     FleetLoadView,
     PlatformLoad,
+    _least_loaded_index,
     make_routing_policy,
 )
 from repro.fleet.spec import FleetSpec
@@ -76,11 +84,16 @@ class AdmissionRecord:
         user_id: submitting user (``"<population>/<index>"``).
         population: the user's population name.
         scenario: scenario the session runs (if admitted).
-        outcome: ``"admitted"``, ``"rejected"`` or ``"throttled"``.
-        platform_index: target platform for admitted sessions else ``None``.
+        outcome: a first decision (``"admitted"``, ``"rejected"``,
+            ``"throttled"``) or — on faulted fleets — a recovery step
+            (``"evicted"``, ``"rerouted"``, ``"retry"``, ``"failed"``).
+        platform_index: target platform for admitted/rerouted sessions,
+            the *lost* platform for evictions, else ``None``.
         reason: policy-supplied reason for non-admission (``"capacity"``,
-            ``"fair_share"``), empty for admissions.
-        duration_ms: how long the session holds its slot once admitted.
+            ``"fair_share"``) or the fault-recovery cause (``"outage"``,
+            ``"failover"``), empty for admissions.
+        duration_ms: how long the session holds its slot once admitted;
+            the *remaining* window on recovery records.
         active_before: per-platform active-session counts at decision time
             (before this admission took effect) — the oracle replays the
             admission pass and checks these snapshots bit-for-bit.
@@ -164,8 +177,17 @@ class FleetPlan:
 
     @property
     def submitted(self) -> int:
-        """Total session requests offered to the admission tier."""
-        return len(self.records)
+        """Total session requests offered to the admission tier.
+
+        Counts first-decision records only — fault-recovery records
+        (evicted / rerouted / retry / failed) re-describe sessions that
+        were already submitted.
+        """
+        return sum(
+            1
+            for record in self.records
+            if record.outcome in ("admitted", "rejected", "throttled")
+        )
 
     def outcome_counts(self) -> dict[str, int]:
         """``{outcome: count}`` over every admission record."""
@@ -196,7 +218,24 @@ class FleetSimulator:
         Slot lifecycle: an admitted session occupies its platform from its
         arrival until ``arrival + session_duration_ms``; a slot ending at
         exactly time ``t`` is free again for a request arriving at ``t``
-        (releases are drained before each routing decision).
+        (releases are drained before each decision — including outage
+        transitions, so a session whose slot expires exactly when the
+        outage begins escaped it).
+
+        With declared outages the pass becomes a small event loop: outage
+        begin/end transitions interleave with session requests and retry
+        re-offers, ordered ``(time, transitions-first, declaration/stream
+        order)`` so the schedule is a pure function of the spec.  An
+        outage begin evicts every session active on the platform (sorted
+        by session id); under ``failover="reroute"`` each evicted session
+        is immediately re-offered to the least-loaded healthy platform
+        (ties by index) for its *remaining* window, retrying with
+        exponential backoff up to ``session_retry_budget`` extra attempts
+        before terminally failing; under ``failover="fail"`` it fails on
+        the spot.  An evicted placement's simulation job is discarded —
+        the outage destroyed that work — and a reroute creates a fresh
+        job for the remaining window, so jobs always describe exactly the
+        placements that survived.
         """
         spec = self.spec
         requests = session_requests(spec.users, spec.duration_ms, spec.seed)
@@ -205,68 +244,184 @@ class FleetSimulator:
 
         active = [0] * len(spec.platforms)
         user_active: dict[str, int] = {}
-        # (end_ms, session_id, platform_index, user_id) — session_id breaks
-        # end-time ties deterministically.
-        releases: list[tuple[float, int, int, str]] = []
+        # Open-outage count per platform (overlapping windows nest).
+        outage_open = [0] * len(spec.platforms)
+        # session_id -> (platform_index, end_ms, user_id, generation); the
+        # generation makes stale release-heap entries detectable after an
+        # eviction re-placed (or dropped) the session.
+        placement: dict[int, tuple[int, float, str, int]] = {}
+        generation: dict[int, int] = {}
+        # (end_ms, session_id, platform_index, user_id, generation).
+        releases: list[tuple[float, int, int, str, int]] = []
 
         records: list[AdmissionRecord] = []
-        jobs: list[FleetJob] = []
+        # Insertion-ordered; eviction deletes, reroute re-inserts, so the
+        # final tuple lists exactly the surviving placements.
+        jobs: dict[int, FleetJob] = {}
+
+        # Event heap: (time, prio, tie, kind, payload).  Outage transitions
+        # (prio 0) beat requests/retries (prio 1) at equal times, with
+        # recoveries before activations; requests tie-break by stream
+        # order, retries by (session, attempt).  Fault-free specs enqueue
+        # requests only, in stream order — the historical schedule.
+        events: list[tuple[float, int, tuple, str, object]] = []
         for session_id, request in enumerate(requests):
-            while releases and releases[0][0] <= request.arrival_ms:
-                _, _, platform_index, user_id = heapq.heappop(releases)
-                active[platform_index] -= 1
+            events.append(
+                (request.arrival_ms, 1, (0, session_id), "request", request)
+            )
+        for index, outage in enumerate(spec.outages):
+            events.append((outage.start_ms, 0, (1, index), "outage_begin", index))
+            events.append((outage.end_ms, 0, (0, index), "outage_end", index))
+        heapq.heapify(events)
+
+        def drain_releases(now: float) -> None:
+            while releases and releases[0][0] <= now:
+                _, sid, index, user_id, gen = heapq.heappop(releases)
+                current = placement.get(sid)
+                if current is None or current[3] != gen:
+                    continue  # the session was evicted; stale entry
+                del placement[sid]
+                active[index] -= 1
                 user_active[user_id] -= 1
-            decision = policy.route(request, self._view(active, user_active))
+
+        def place(sid: int, index: int, end_ms: float, user_id: str) -> None:
+            gen = generation.get(sid, 0) + 1
+            generation[sid] = gen
+            placement[sid] = (index, end_ms, user_id, gen)
+            active[index] += 1
+            user_active[user_id] = user_active.get(user_id, 0) + 1
+            heapq.heappush(releases, (end_ms, sid, index, user_id, gen))
+
+        def make_job(sid: int, request, index: int, admit_ms: float, duration_ms: float):
+            platform = spec.platforms[index]
+            return FleetJob(
+                session_id=sid,
+                user_id=request.user_id,
+                population=request.population,
+                platform_index=index,
+                platform_name=labels[index],
+                admit_ms=admit_ms,
+                cell=CellJob.create(
+                    scenario=request.scenario,
+                    platform=platform.platform,
+                    scheduler=platform.scheduler,
+                    duration_ms=duration_ms,
+                    seed=session_seed(spec.seed, sid),
+                    cascade_probability=request.cascade_probability,
+                ),
+            )
+
+        def record(now, sid, request, outcome, index, reason, duration_ms) -> None:
             records.append(
                 AdmissionRecord(
-                    time_ms=request.arrival_ms,
-                    session_id=session_id,
+                    time_ms=now,
+                    session_id=sid,
                     user_id=request.user_id,
                     population=request.population,
                     scenario=request.scenario,
-                    outcome=decision.outcome,
-                    platform_index=decision.platform_index,
-                    reason=decision.reason,
-                    duration_ms=request.session_duration_ms,
+                    outcome=outcome,
+                    platform_index=index,
+                    reason=reason,
+                    duration_ms=duration_ms,
                     active_before=tuple(active),
                 )
             )
-            if decision.outcome != ADMITTED:
-                continue
-            index = decision.platform_index
-            active[index] += 1
-            user_active[request.user_id] = user_active.get(request.user_id, 0) + 1
-            heapq.heappush(
-                releases,
-                (
-                    request.arrival_ms + request.session_duration_ms,
-                    session_id,
-                    index,
-                    request.user_id,
-                ),
-            )
-            platform = spec.platforms[index]
-            jobs.append(
-                FleetJob(
-                    session_id=session_id,
-                    user_id=request.user_id,
-                    population=request.population,
-                    platform_index=index,
-                    platform_name=labels[index],
-                    admit_ms=request.arrival_ms,
-                    cell=CellJob.create(
-                        scenario=request.scenario,
-                        platform=platform.platform,
-                        scheduler=platform.scheduler,
-                        duration_ms=request.session_duration_ms,
-                        seed=session_seed(spec.seed, session_id),
-                        cascade_probability=request.cascade_probability,
+
+        def attempt_reroute(now, sid, request, end_ms, attempt) -> None:
+            """One failover re-offer for an evicted session."""
+            remaining = end_ms - now
+            if remaining > 0.0:
+                view = self._view(active, user_active, outage_open)
+                index = _least_loaded_index(view.loads)
+            else:
+                index = None  # the session's window elapsed during backoff
+            if index is not None:
+                record(now, sid, request, REROUTED, index, REASON_FAILOVER, remaining)
+                place(sid, index, end_ms, request.user_id)
+                jobs[sid] = make_job(sid, request, index, now, remaining)
+                return
+            if remaining > 0.0 and attempt <= spec.session_retry_budget:
+                record(now, sid, request, RETRY, None, REASON_CAPACITY, remaining)
+                backoff = spec.session_retry_backoff_ms * (2.0 ** (attempt - 1))
+                heapq.heappush(
+                    events,
+                    (
+                        now + backoff,
+                        1,
+                        (1, sid, attempt),
+                        "retry",
+                        (sid, request, end_ms, attempt + 1),
                     ),
                 )
-            )
-        return FleetPlan(spec=spec, records=tuple(records), jobs=tuple(jobs))
+                return
+            record(now, sid, request, FAILED, None, REASON_CAPACITY, max(remaining, 0.0))
 
-    def _view(self, active: list[int], user_active: dict[str, int]) -> FleetLoadView:
+        # Retry re-offers land on the heap mid-loop, so pop explicitly.
+        session_request_meta: dict[int, object] = {}
+        while events:
+            now, _prio, _tie, kind, payload = heapq.heappop(events)
+            drain_releases(now)
+            if kind == "request":
+                request = payload
+                sid = len(session_request_meta)
+                session_request_meta[sid] = request
+                decision = policy.route(
+                    request, self._view(active, user_active, outage_open)
+                )
+                record(
+                    now, sid, request, decision.outcome,
+                    decision.platform_index, decision.reason,
+                    request.session_duration_ms,
+                )
+                if decision.outcome != ADMITTED:
+                    continue
+                index = decision.platform_index
+                place(sid, index, now + request.session_duration_ms, request.user_id)
+                jobs[sid] = make_job(
+                    sid, request, index, now, request.session_duration_ms
+                )
+            elif kind == "outage_begin":
+                outage = spec.outages[payload]
+                target = outage.platform_index
+                outage_open[target] += 1
+                if outage_open[target] > 1:
+                    continue  # nested window: sessions already evicted
+                victims = sorted(
+                    sid for sid, (index, _, _, _) in placement.items()
+                    if index == target
+                )
+                for sid in victims:
+                    index, end_ms, user_id, _gen = placement[sid]
+                    request = session_request_meta[sid]
+                    remaining = end_ms - now
+                    record(now, sid, request, EVICTED, index, REASON_OUTAGE, remaining)
+                    del placement[sid]
+                    active[index] -= 1
+                    user_active[user_id] -= 1
+                    # The placement's simulation never finished: drop it.
+                    jobs.pop(sid, None)
+                    if spec.failover == "fail":
+                        record(now, sid, request, FAILED, None, REASON_OUTAGE, remaining)
+                    else:
+                        attempt_reroute(now, sid, request, end_ms, attempt=1)
+            elif kind == "outage_end":
+                outage = spec.outages[payload]
+                outage_open[outage.platform_index] -= 1
+            elif kind == "retry":
+                sid, request, end_ms, attempt = payload
+                attempt_reroute(now, sid, request, end_ms, attempt)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown fleet event kind {kind!r}")
+        return FleetPlan(
+            spec=spec, records=tuple(records), jobs=tuple(jobs.values())
+        )
+
+    def _view(
+        self,
+        active: list[int],
+        user_active: dict[str, int],
+        outage_open: Optional[list[int]] = None,
+    ) -> FleetLoadView:
         """Immutable load snapshot handed to the routing policy."""
         spec = self.spec
         return FleetLoadView(
@@ -276,6 +431,7 @@ class FleetSimulator:
                     name=platform.name,
                     max_sessions=platform.max_sessions,
                     active=active[index],
+                    healthy=outage_open is None or outage_open[index] == 0,
                 )
                 for index, platform in enumerate(spec.platforms)
             ),

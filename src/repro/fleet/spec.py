@@ -14,6 +14,16 @@ Validation happens eagerly in ``__post_init__`` against the live
 registries (platform presets, scheduler names, routing policies, scenario
 presets), so a malformed spec fails at construction — before any
 simulation budget is spent — with a message naming the alternatives.
+
+Fault declarations ride the spec too: a :class:`FleetOutage` marks one
+platform down over a half-open window ``[start, end)``.  Sessions active
+on the platform when the outage begins are evicted and — under the
+``failover="reroute"`` policy — re-offered to the healthy remainder of
+the fleet with a bounded retry budget and exponential backoff, or
+terminally failed under ``failover="fail"``.  All fault knobs serialize
+*only when non-default*, so the canonical key (and therefore every
+content-addressed artifact) of a fault-free spec is byte-identical to
+pre-fault builds.
 """
 
 from __future__ import annotations
@@ -29,6 +39,67 @@ from repro.workloads.users import UserSpec
 
 #: Default session capacity of one platform (concurrently active sessions).
 DEFAULT_MAX_SESSIONS = 4
+
+#: Registered failover policies for sessions evicted by a platform outage.
+FAILOVER_POLICIES = ("reroute", "fail")
+
+#: Default failover knobs (fault-free specs must serialize without them).
+DEFAULT_FAILOVER = "reroute"
+DEFAULT_SESSION_RETRY_BUDGET = 1
+DEFAULT_SESSION_RETRY_BACKOFF_MS = 50.0
+
+
+@dataclass(frozen=True)
+class FleetOutage:
+    """One declared platform outage: a target and a half-open time window.
+
+    While the window ``[start_ms, start_ms + duration_ms)`` is open the
+    platform admits nothing; sessions active on it at ``start_ms`` are
+    evicted (their in-flight work is lost) and handled per the spec's
+    ``failover`` policy.  A session whose slot releases exactly at
+    ``start_ms`` completed first — releases drain before fault
+    transitions, mirroring the engine's heap priorities.
+    """
+
+    platform_index: int
+    start_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.platform_index < 0:
+            raise ValueError(
+                f"platform_index must be >= 0, got {self.platform_index}"
+            )
+        if self.start_ms < 0.0:
+            raise ValueError(f"start_ms must be >= 0, got {self.start_ms}")
+        if self.duration_ms <= 0.0:
+            raise ValueError(f"duration_ms must be positive, got {self.duration_ms}")
+
+    @property
+    def end_ms(self) -> float:
+        """Recovery instant; the window is half-open ``[start, end)``."""
+        return self.start_ms + self.duration_ms
+
+    def active_at(self, time_ms: float) -> bool:
+        """True while the outage is in effect (half-open window)."""
+        return self.start_ms <= time_ms < self.end_ms
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "platform_index": self.platform_index,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetOutage":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            platform_index=int(data["platform_index"]),
+            start_ms=float(data["start_ms"]),
+            duration_ms=float(data["duration_ms"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -96,6 +167,16 @@ class FleetSpec:
         duration_ms: fleet-clock window over which sessions arrive.
         seed: master seed; per-user arrival streams and per-session
             simulation seeds are all derived from it deterministically.
+        outages: declared platform outages (empty = the historical
+            always-healthy fleet; serialized only when non-empty).
+        failover: what happens to sessions evicted by an outage —
+            ``"reroute"`` re-offers them to the healthy remainder of the
+            fleet (least-loaded, ties by platform index) with bounded
+            retries, ``"fail"`` terminally fails them on the spot.
+        session_retry_budget: additional re-offer attempts after the
+            immediate one for an evicted session that found no capacity.
+        session_retry_backoff_ms: base re-offer backoff; attempt *n*
+            waits ``backoff * 2**(n-1)`` fleet-clock ms.
     """
 
     platforms: Tuple[PlatformSpec, ...]
@@ -103,6 +184,10 @@ class FleetSpec:
     policy: str = "round_robin"
     duration_ms: float = 2000.0
     seed: int = 0
+    outages: Tuple[FleetOutage, ...] = ()
+    failover: str = DEFAULT_FAILOVER
+    session_retry_budget: int = DEFAULT_SESSION_RETRY_BUDGET
+    session_retry_backoff_ms: float = DEFAULT_SESSION_RETRY_BACKOFF_MS
 
     def __post_init__(self) -> None:
         # Accept lists for ergonomic construction; store tuples (hashable).
@@ -132,6 +217,28 @@ class FleetSpec:
             )
         if self.duration_ms <= 0:
             raise ValueError(f"duration_ms must be positive (got {self.duration_ms})")
+        if not isinstance(self.outages, tuple):
+            object.__setattr__(self, "outages", tuple(self.outages))
+        for outage in self.outages:
+            if outage.platform_index >= len(self.platforms):
+                raise ValueError(
+                    f"outage targets platform {outage.platform_index} but the "
+                    f"fleet has only {len(self.platforms)} platform(s)"
+                )
+        if self.failover not in FAILOVER_POLICIES:
+            raise ValueError(
+                f"unknown failover policy {self.failover!r}; "
+                f"available: {', '.join(sorted(FAILOVER_POLICIES))}"
+            )
+        if self.session_retry_budget < 0:
+            raise ValueError(
+                f"session_retry_budget must be >= 0 (got {self.session_retry_budget})"
+            )
+        if self.session_retry_backoff_ms <= 0:
+            raise ValueError(
+                "session_retry_backoff_ms must be positive "
+                f"(got {self.session_retry_backoff_ms})"
+            )
 
     @property
     def total_users(self) -> int:
@@ -155,14 +262,28 @@ class FleetSpec:
         return unique
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-serializable form (inverse of :meth:`from_dict`).
+
+        Fault/failover knobs are emitted only when they differ from the
+        defaults, so fault-free specs keep their historical canonical
+        keys (and store/artifact content addresses).
+        """
+        payload = {
             "platforms": [spec.to_dict() for spec in self.platforms],
             "users": [spec.to_dict() for spec in self.users],
             "policy": self.policy,
             "duration_ms": self.duration_ms,
             "seed": self.seed,
         }
+        if self.outages:
+            payload["outages"] = [outage.to_dict() for outage in self.outages]
+        if self.failover != DEFAULT_FAILOVER:
+            payload["failover"] = self.failover
+        if self.session_retry_budget != DEFAULT_SESSION_RETRY_BUDGET:
+            payload["session_retry_budget"] = self.session_retry_budget
+        if self.session_retry_backoff_ms != DEFAULT_SESSION_RETRY_BACKOFF_MS:
+            payload["session_retry_backoff_ms"] = self.session_retry_backoff_ms
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FleetSpec":
@@ -172,6 +293,9 @@ class FleetSpec:
             PlatformSpec.from_dict(item) for item in payload["platforms"]
         )
         payload["users"] = tuple(UserSpec.from_dict(item) for item in payload["users"])
+        payload["outages"] = tuple(
+            FleetOutage.from_dict(item) for item in payload.get("outages", [])
+        )
         return cls(**payload)
 
     def canonical_key(self) -> str:

@@ -27,6 +27,20 @@ Typical usage::
 """
 
 from repro.sim.request import InferenceRequest, RequestState
+from repro.sim.faults import (
+    FAULT_KINDS,
+    FAULT_MODELS,
+    FaultModel,
+    FaultSpec,
+    capacity_at,
+    fault_kind_names,
+    faults_from_json,
+    faults_to_json,
+    outage_active,
+    parse_faults,
+    sample_fault_plan,
+    stall_factor_at,
+)
 from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.decisions import Assignment, SchedulingDecision, AcceleratorView, SystemView
 from repro.sim.executor import AcceleratorExecutor, RunningSlot
@@ -58,6 +72,18 @@ __all__ = [
     "audit_trace",
     "InferenceRequest",
     "RequestState",
+    "FAULT_KINDS",
+    "FAULT_MODELS",
+    "FaultModel",
+    "FaultSpec",
+    "capacity_at",
+    "fault_kind_names",
+    "faults_from_json",
+    "faults_to_json",
+    "outage_active",
+    "parse_faults",
+    "sample_fault_plan",
+    "stall_factor_at",
     "RequestPool",
     "ReferenceRequestPool",
     "ENGINE_KERNELS",

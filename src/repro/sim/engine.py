@@ -100,6 +100,7 @@ from repro.hardware.platform import Platform
 from repro.metrics.quantiles import StreamingQuantiles
 from repro.sim.decisions import AcceleratorView, SchedulingDecision, SystemView
 from repro.sim.executor import AcceleratorExecutor
+from repro.sim.faults import FaultsInput, parse_faults
 from repro.sim.loops import ENGINE_LOOPS, require_compiled
 from repro.sim.queues import ReferenceRequestPool, RequestPool
 from repro.sim.request import InferenceRequest, RequestState
@@ -115,10 +116,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _EVENT_ARRIVAL = "arrival"
 _EVENT_COMPLETE = "complete"
+_EVENT_FAULT = "fault"
+_EVENT_RETRY = "retry"
 
 #: Heap-entry kind priorities.  At equal times arrivals must precede
 #: completions: the materialized path pushed every arrival before the run
 #: started, so arrivals always carried smaller tie-break sequence numbers.
+#: Fault transitions take a *negative* priority — capacity changes apply
+#: before anything else at the same instant — so declaring no faults
+#: leaves every historical heap entry, and therefore every historical
+#: ordering, untouched.
+_PRIO_FAULT = -1
 _PRIO_ARRIVAL = 0
 _PRIO_COMPLETE = 1
 
@@ -191,6 +199,15 @@ class SimulationEngine:
             shared KV memory budget; available in every mode, kernel and
             loop (the non-default admission/pricing path is a single
             shared code path, so cross-mode parity holds there too).
+        faults: optional fault plan (:mod:`repro.sim.faults`): a sequence
+            of :class:`~repro.sim.faults.FaultSpec` or their canonical JSON
+            string.  Requires ``loop="python"``.  With no faults declared
+            the engine is bit-for-bit identical to builds without the axis.
+        retry_budget: how many times an outage-aborted request is re-queued
+            before it is terminally accounted as ``failed`` (default: 2).
+        retry_backoff_ms: base of the exponential re-arrival backoff — the
+            n-th retry re-queues ``retry_backoff_ms * 2**(n-1)`` ms after
+            the abort (default: 5.0; deterministic, no jitter).
     """
 
     def __init__(
@@ -210,16 +227,22 @@ class SimulationEngine:
         kernel: str = "python",
         loop: str = "python",
         resource_model: str = "pe_fraction",
+        faults: FaultsInput = None,
+        retry_budget: int = 2,
+        retry_backoff_ms: float = 5.0,
     ) -> None:
         if duration_ms <= 0:
             raise ValueError("duration_ms must be positive")
         if warmup_ms < 0 or warmup_ms >= duration_ms:
             raise ValueError("warmup_ms must be in [0, duration_ms)")
         if mode not in ENGINE_MODES:
-            raise ValueError(f"mode must be one of {ENGINE_MODES}, got {mode!r}")
+            raise ValueError(
+                f"unknown mode {mode!r}; available: {', '.join(sorted(ENGINE_MODES))}"
+            )
         if kernel not in ENGINE_KERNELS:
             raise ValueError(
-                f"kernel must be one of {ENGINE_KERNELS}, got {kernel!r}"
+                f"unknown kernel {kernel!r}; available: "
+                f"{', '.join(sorted(ENGINE_KERNELS))}"
             )
         if kernel == "vector":
             if mode != "fast":
@@ -232,7 +255,9 @@ class SimulationEngine:
 
             require_numpy()
         if loop not in ENGINE_LOOPS:
-            raise ValueError(f"loop must be one of {ENGINE_LOOPS}, got {loop!r}")
+            raise ValueError(
+                f"unknown loop {loop!r}; available: {', '.join(sorted(ENGINE_LOOPS))}"
+            )
         if loop != "python":
             if mode != "fast":
                 raise ValueError(
@@ -247,6 +272,18 @@ class SimulationEngine:
             raise ValueError(
                 f"unknown resource model {resource_model!r}; available: {known}"
             )
+        self.faults = parse_faults(faults)
+        if self.faults and loop != "python":
+            raise ValueError(
+                "fault injection requires loop='python' (the struct-of-arrays "
+                "loops do not model faults); drop faults= or use loop='python'"
+            )
+        if retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {retry_budget}")
+        if retry_backoff_ms <= 0:
+            raise ValueError(f"retry_backoff_ms must be positive, got {retry_backoff_ms}")
+        self.retry_budget = retry_budget
+        self.retry_backoff_ms = retry_backoff_ms
         self.loop = loop
         self.resource_model = resource_model
         self.scenario = scenario
@@ -275,6 +312,18 @@ class SimulationEngine:
             AcceleratorExecutor(acc, self.cost_table, fast=fast, resource_model=model)
             for acc in platform
         ]
+        for spec in self.faults:
+            if spec.acc_id is not None and spec.acc_id >= len(self._executors):
+                raise ValueError(
+                    f"fault targets acc_id {spec.acc_id}, but platform "
+                    f"{platform.name!r} has only {len(self._executors)} accelerators"
+                )
+        #: Indices into ``self.faults`` whose windows are currently open.
+        self._active_faults: set[int] = set()
+        #: Slot ids killed by an outage whose completion events are still in
+        #: the heap; their completions are swallowed lazily (always empty in
+        #: fault-free runs, so the completion hot path pays one falsy check).
+        self._cancelled_slots: set[int] = set()
         self._pool = RequestPool() if fast else ReferenceRequestPool()
         self._stats: dict[str, TaskStats] = {
             task.name: TaskStats(task_name=task.name) for task in scenario.tasks
@@ -330,6 +379,12 @@ class SimulationEngine:
         #: High-water mark of the event heap — O(head tasks + in-flight
         #: slots) under streaming arrivals, never O(total frames).
         self.peak_event_heap: int = 0
+        #: In-flight requests killed by platform outages.
+        self.requests_aborted: int = 0
+        #: Aborted requests re-queued after exponential backoff.
+        self.requests_retried: int = 0
+        #: Aborted requests terminally failed (retry budget exhausted).
+        self.requests_failed: int = 0
 
     # ------------------------------------------------------------------ #
     # public API
@@ -353,6 +408,9 @@ class SimulationEngine:
             self._finalize_leftovers()
             return self._build_result()
         self._start_arrival_streams()
+        has_faults = bool(self.faults)
+        if has_faults:
+            self._arm_faults()
 
         events = self._events
         heappop = heapq.heappop
@@ -364,15 +422,22 @@ class SimulationEngine:
                 self._handle_arrival(payload)
             elif kind == _EVENT_COMPLETE:
                 self._handle_completion(payload)
+            elif kind == _EVENT_FAULT:
+                self._handle_fault(payload)
+            elif kind == _EVENT_RETRY:
+                self._handle_retry(payload)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
             # Same-timestamp coalescing: drain further events at this exact
             # instant — in heap order, so handler traces are unchanged —
             # when the dispatch between them is provably inert: the wake
             # hint proves schedule() empty AND no expiry is due right now.
+            # Fault and retry events never coalesce (they move capacity or
+            # pool membership); the guard costs nothing in fault-free runs.
             while (
                 events
                 and events[0][0] == time_ms
+                and (not has_faults or events[0][3] in (_EVENT_ARRIVAL, _EVENT_COMPLETE))
                 and self._wake_hint is not None
                 and self._provably_empty(self._wake_hint, time_ms)
                 and not self._pool.has_stale(time_ms)
@@ -470,6 +535,11 @@ class SimulationEngine:
 
     def _handle_completion(self, payload) -> None:
         acc_id, slot_id = payload
+        if self._cancelled_slots and slot_id in self._cancelled_slots:
+            # The slot was killed by a platform outage after its completion
+            # event was already in the heap; swallow the stale event.
+            self._cancelled_slots.discard(slot_id)
+            return
         executor = self._executors[acc_id]
         slot = executor.complete(slot_id, self._now)
         self._execs_dirty = True
@@ -487,6 +557,127 @@ class SimulationEngine:
         else:
             self._pool.note_progress(request)
             self.scheduler.on_layers_complete(request, self._now)
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def _arm_faults(self) -> None:
+        """Push every fault's begin/end transition onto the event heap.
+
+        Entries are keyed ``(time, _PRIO_FAULT, (phase, index))`` with
+        recoveries (phase 0) ordered before activations (phase 1) at equal
+        times, so a back-to-back outage hands capacity back before the next
+        window opens — and everything stays deterministic under ties.
+        """
+        for index, spec in enumerate(self.faults):
+            self._heap_push(
+                (spec.start_ms, _PRIO_FAULT, (1, index), _EVENT_FAULT, (index, "begin"))
+            )
+            self._heap_push(
+                (spec.end_ms, _PRIO_FAULT, (0, index), _EVENT_FAULT, (index, "end"))
+            )
+
+    def _handle_fault(self, payload) -> None:
+        index, phase = payload
+        spec = self.faults[index]
+        if phase == "begin":
+            self._active_faults.add(index)
+        else:
+            self._active_faults.discard(index)
+        if self.tracer is not None:
+            self.tracer.record(
+                time_ms=self._now,
+                event=f"fault_{phase}",
+                task_name="__fault__",
+                request_id=-(index + 1),
+                model_name=spec.kind,
+                acc_id=spec.acc_id,
+                detail=f"magnitude={spec.magnitude:g}",
+            )
+        self._refresh_fault_state()
+        if phase == "begin" and spec.kind == "platform_outage":
+            self._abort_in_flight()
+
+    def _refresh_fault_state(self) -> None:
+        """Recompute every executor's capacity/latency from the open windows.
+
+        Concurrent degrades compose by ``min`` (most degraded wins),
+        stalls by ``max`` (slowest wins), and any open outage zeroes the
+        whole platform.  Capacity moves bump executor ``state_version``,
+        so cached accelerator views rebuild and the wake-hint/elision
+        predicates keep reading exact live free fractions.
+        """
+        active = [self.faults[i] for i in sorted(self._active_faults)]
+        outage = any(spec.kind == "platform_outage" for spec in active)
+        for executor in self._executors:
+            capacity = 1.0
+            factor = 1.0
+            for spec in active:
+                if spec.acc_id != executor.acc_id:
+                    continue
+                if spec.kind == "accel_degrade":
+                    capacity = min(capacity, spec.magnitude)
+                elif spec.kind == "transient_stall":
+                    factor = max(factor, spec.magnitude)
+            if outage:
+                capacity = 0.0
+            executor.set_capacity(capacity)
+            executor.set_latency_factor(factor)
+        self._execs_dirty = True
+        # A fault transition is a decision-relevant state change that does
+        # not touch pool membership, so same-instant-only hints must not
+        # elide the next consultation: invalidate the recorded snapshot.
+        self._last_schedule_membership = -1
+
+    def _abort_in_flight(self) -> None:
+        """Kill every in-flight slot (outage begin) and re-queue or fail.
+
+        Each aborted request is either re-queued with exponential backoff
+        (``retry_backoff_ms * 2**(retries-1)``) while its bounded retry
+        budget lasts, or terminally accounted as ``failed`` — exactly one
+        of the two, which the ``fault_conservation`` oracle audits.
+        """
+        now = self._now
+        for executor in self._executors:
+            aborted = executor.abort_all(now)
+            if not aborted:
+                continue
+            for slot in aborted:
+                self._cancelled_slots.add(slot.slot_id)
+                request = slot.request
+                request.mark_aborted(now)
+                self.requests_aborted += 1
+                self._stats[request.task_name].aborts += 1
+                if self.tracer is not None:
+                    self._trace(
+                        request, "abort", acc_id=executor.acc_id,
+                        detail=f"outage killed {len(slot.layer_indices)} layers",
+                    )
+                # The request leaves the pool until its retry re-arrival;
+                # the finished hook lets schedulers evict cached state.
+                self._pool.remove(request)
+                self.scheduler.on_request_finished(request, now)
+                if request.retries <= self.retry_budget:
+                    backoff = self.retry_backoff_ms * (2.0 ** (request.retries - 1))
+                    self._push_event(now + backoff, _EVENT_RETRY, request)
+                else:
+                    request.mark_failed(now)
+                    self.requests_failed += 1
+                    if self.tracer is not None:
+                        self._trace(request, "failed", detail="retry budget exhausted")
+                    self._accumulate_stats(request)
+        self._execs_dirty = True
+
+    def _handle_retry(self, request: InferenceRequest) -> None:
+        """Re-queue an aborted request after its backoff elapsed."""
+        if request.is_finished:  # pragma: no cover - defensive
+            return
+        self._pool.add(request)
+        self.requests_retried += 1
+        self._stats[request.task_name].retries += 1
+        if self.tracer is not None:
+            self._trace(request, "retry", detail=f"attempt {request.retries}")
+        self.scheduler.on_request_arrival(request, self._now)
 
     def _spawn_cascades(self, parent: InferenceRequest) -> None:
         parent_task = self.scenario.task(parent.task_name)
@@ -762,6 +953,15 @@ class SimulationEngine:
     def _finalize_request(self, request: InferenceRequest) -> None:
         self._pool.remove(request)
         self.scheduler.on_request_finished(request, self._now)
+        self._accumulate_stats(request)
+
+    def _accumulate_stats(self, request: InferenceRequest) -> None:
+        """Fold one terminal request into the task statistics.
+
+        Split from :meth:`_finalize_request` because outage-failed requests
+        left the pool (and fired the finished hook) at abort time, before
+        their terminal accounting.
+        """
         if not self._is_measured(request):
             return
         stats = self._stats[request.task_name]
@@ -784,6 +984,8 @@ class SimulationEngine:
             stats.dropped_frames += 1
         elif request.state is RequestState.EXPIRED:
             stats.expired_frames += 1
+        elif request.state is RequestState.FAILED:
+            stats.failed_frames += 1
         if request.violated_deadline:
             stats.violated_frames += 1
 
@@ -837,6 +1039,9 @@ class SimulationEngine:
                 "dispatches_elided": self.dispatches_elided,
                 "events_coalesced": self.events_coalesced,
                 "peak_event_heap": self.peak_event_heap,
+                "requests_aborted": self.requests_aborted,
+                "requests_retried": self.requests_retried,
+                "requests_failed": self.requests_failed,
             },
         )
 

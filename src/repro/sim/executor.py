@@ -115,6 +115,13 @@ class AcceleratorExecutor:
         self.state_version: int = 0
         self._allocated: float = 0.0
         self._busy_until: float = 0.0
+        #: Usable capacity fraction (1.0 = healthy).  Only fault injection
+        #: moves it (accel_degrade / platform_outage windows); every
+        #: fault-free run keeps the constant 1.0, so the historical
+        #: arithmetic is reproduced bit-for-bit.
+        self._capacity: float = 1.0
+        #: Latency inflation factor (1.0 = healthy; transient_stall > 1).
+        self._latency_factor: float = 1.0
 
     # ------------------------------------------------------------------ #
     # capacity queries
@@ -133,8 +140,18 @@ class AcceleratorExecutor:
 
     @property
     def free_fraction(self) -> float:
-        """Unallocated PE fraction (1.0 = idle)."""
-        return max(0.0, 1.0 - self.allocated_fraction)
+        """Unallocated *usable* PE fraction (1.0 = idle and healthy).
+
+        Degraded capacity subtracts from the headroom new admissions see;
+        in-flight slots keep running, so the clamp at 0.0 absorbs windows
+        where allocations exceed the freshly degraded capacity.
+        """
+        return max(0.0, self._capacity - self.allocated_fraction)
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Current usable capacity (1.0 healthy, < 1 degraded, 0 outage)."""
+        return self._capacity
 
     def busy_until_ms(self, now: float) -> float:
         """Latest end time of in-flight work (``now`` when idle)."""
@@ -246,7 +263,7 @@ class AcceleratorExecutor:
         # Inlined can_accept: one attribute read instead of three chained
         # property calls on the per-dispatch hot path (fast mode only).
         if self.fast:
-            free = 1.0 - self._allocated
+            free = self._capacity - self._allocated
             acceptable = assignment.pe_fraction <= (free if free > 0.0 else 0.0) + 1e-9
         else:
             acceptable = self.can_accept(assignment.pe_fraction)
@@ -309,6 +326,11 @@ class AcceleratorExecutor:
                     worst_energy += self.cost_table.worst_layer_energy(
                         request.model_name, layer_index
                     )
+
+        if self._latency_factor != 1.0:
+            # transient_stall window: work runs slower but burns the same
+            # energy (throttling, not extra computation).
+            duration *= self._latency_factor
 
         slot = RunningSlot(
             slot_id=next(_SLOT_COUNTER),
@@ -388,6 +410,8 @@ class AcceleratorExecutor:
         )
         duration += switch_latency
         energy += switch_energy
+        if self._latency_factor != 1.0:
+            duration *= self._latency_factor
 
         slot = RunningSlot(
             slot_id=next(_SLOT_COUNTER),
@@ -443,6 +467,52 @@ class AcceleratorExecutor:
             slot.layer_indices, self.acc_id, now, validate=not self.fast
         )
         return slot
+
+    # ------------------------------------------------------------------ #
+    # fault injection (driven by the engine's fault events)
+    # ------------------------------------------------------------------ #
+    def set_capacity(self, capacity: float) -> None:
+        """Change the usable capacity fraction (fault begin/end).
+
+        Bumps ``state_version`` so cached accelerator views rebuild — the
+        free fraction the scheduler sees moves even though no slot changed.
+        """
+        if not 0.0 <= capacity <= 1.0:
+            raise ValueError(f"capacity must be in [0, 1], got {capacity}")
+        if capacity != self._capacity:
+            self._capacity = capacity
+            self.state_version += 1
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Change the latency inflation factor (transient_stall begin/end)."""
+        if factor < 1.0:
+            raise ValueError(f"latency factor must be >= 1, got {factor}")
+        if factor != self._latency_factor:
+            self._latency_factor = factor
+            self.state_version += 1
+
+    def abort_all(self, now: float) -> list[RunningSlot]:
+        """Kill every in-flight slot (platform outage); returns the victims.
+
+        The energy already charged stays charged — the work was wasted,
+        not refunded — but the *unexecuted* tail of each slot's busy
+        PE-time is pro-rated back and its layer count reversed, because
+        those layers were never recorded on the request and will be priced
+        again on retry.
+        """
+        if not self.slots:
+            return []
+        aborted = sorted(self.slots.values(), key=lambda slot: slot.slot_id)
+        self.slots.clear()
+        self.state_version += 1
+        self._allocated = 0.0
+        self._busy_until = now
+        for slot in aborted:
+            remaining = slot.end_ms - now
+            if remaining > 0.0:
+                self.total_busy_pe_ms -= remaining * slot.pe_fraction
+            self.layers_executed -= len(slot.layer_indices)
+        return aborted
 
     def utilization(self, elapsed_ms: float) -> float:
         """PE-time utilization over an elapsed window."""

@@ -1,0 +1,284 @@
+"""Deterministic fault injection: seeded failure timelines for the engine.
+
+Production platforms are not perfectly healthy forever: accelerators
+throttle, platforms crash, drivers stall.  This module makes failure a
+first-class, *seeded* input to the simulation — a fault plan is data
+(frozen, picklable, JSON-round-trippable), never a side effect of
+wall-clock time or interpreter state, so a faulted run is exactly as
+reproducible as a fault-free one.
+
+Three fault kinds are registered:
+
+* ``accel_degrade`` — one accelerator's usable capacity fraction drops to
+  ``magnitude`` ∈ (0, 1) over a time window.  In-flight work finishes;
+  new admissions see the reduced capacity.
+* ``platform_outage`` — the whole platform is down for a window: every
+  in-flight request is aborted (bounded retry budget with exponential
+  backoff, then terminally ``failed``) and nothing dispatches until
+  recovery.
+* ``transient_stall`` — a latency-inflation burst on one accelerator:
+  work dispatched inside the window runs ``magnitude`` (> 1) times
+  slower.
+
+All sampled fault timelines derive from ``random.Random(f"faults:...")``
+— string seeding hashes through SHA-512, which is stable across
+processes, platforms and ``PYTHONHASHSEED`` — so chaos sweeps are
+bit-for-bit replayable from the plan's canonical JSON alone.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+#: Registered fault kinds, in canonical order.
+FAULT_KINDS = ("accel_degrade", "platform_outage", "transient_stall")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Registry entry describing one fault kind's contract."""
+
+    kind: str
+    description: str
+    #: True when the fault targets one accelerator (``acc_id`` required);
+    #: False when it applies to the whole platform (``acc_id`` must be None).
+    targets_accelerator: bool
+    #: Inclusive-exclusive sampling range for ``magnitude`` (None = unused).
+    magnitude_range: Optional[tuple[float, float]]
+
+
+FAULT_MODELS: dict[str, FaultModel] = {
+    "accel_degrade": FaultModel(
+        kind="accel_degrade",
+        description="accelerator capacity fraction drops to magnitude in (0, 1)",
+        targets_accelerator=True,
+        magnitude_range=(0.25, 0.75),
+    ),
+    "platform_outage": FaultModel(
+        kind="platform_outage",
+        description="whole platform down; in-flight requests aborted",
+        targets_accelerator=False,
+        magnitude_range=None,
+    ),
+    "transient_stall": FaultModel(
+        kind="transient_stall",
+        description="latency inflation burst; work runs magnitude (> 1) times slower",
+        targets_accelerator=True,
+        magnitude_range=(1.5, 3.0),
+    ),
+}
+
+assert tuple(sorted(FAULT_MODELS)) == tuple(sorted(FAULT_KINDS))
+
+
+def fault_kind_names() -> tuple[str, ...]:
+    """Sorted registered fault kinds (for CLI choices and error messages)."""
+    return tuple(sorted(FAULT_KINDS))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault: a kind, a target, a time window, a magnitude.
+
+    Frozen and hashable so fault plans can live inside frozen specs and be
+    shipped to worker processes; ``to_dict``/``from_dict`` round-trip
+    through JSON exactly (all fields are JSON scalars).
+    """
+
+    kind: str
+    start_ms: float
+    duration_ms: float
+    acc_id: Optional[int] = None
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_MODELS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"available: {', '.join(fault_kind_names())}"
+            )
+        if self.start_ms < 0.0:
+            raise ValueError(f"start_ms must be >= 0, got {self.start_ms}")
+        if self.duration_ms <= 0.0:
+            raise ValueError(f"duration_ms must be positive, got {self.duration_ms}")
+        model = FAULT_MODELS[self.kind]
+        if model.targets_accelerator:
+            if self.acc_id is None or self.acc_id < 0:
+                raise ValueError(f"fault kind {self.kind!r} requires a non-negative acc_id")
+        elif self.acc_id is not None:
+            raise ValueError(f"fault kind {self.kind!r} targets the whole platform; acc_id must be None")
+        if self.kind == "accel_degrade" and not 0.0 < self.magnitude < 1.0:
+            raise ValueError(
+                f"accel_degrade magnitude must be in (0, 1), got {self.magnitude}"
+            )
+        if self.kind == "transient_stall" and self.magnitude <= 1.0:
+            raise ValueError(
+                f"transient_stall magnitude must be > 1, got {self.magnitude}"
+            )
+
+    @property
+    def end_ms(self) -> float:
+        """Recovery instant; the fault window is half-open ``[start, end)``."""
+        return self.start_ms + self.duration_ms
+
+    def active_at(self, time_ms: float) -> bool:
+        """True while the fault is in effect (half-open window)."""
+        return self.start_ms <= time_ms < self.end_ms
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (round-trips via :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+            "acc_id": self.acc_id,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            kind=data["kind"],
+            start_ms=float(data["start_ms"]),
+            duration_ms=float(data["duration_ms"]),
+            acc_id=None if data.get("acc_id") is None else int(data["acc_id"]),
+            magnitude=float(data.get("magnitude", 1.0)),
+        )
+
+    def canonical_key(self) -> str:
+        """Stable JSON key for content addressing and dedup."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+#: What the engine accepts as a fault declaration: nothing, a canonical
+#: JSON string (the picklable/cacheable wire form), or spec objects.
+FaultsInput = Union[None, str, Sequence[FaultSpec]]
+
+
+def faults_to_json(specs: Iterable[FaultSpec]) -> str:
+    """Canonical JSON wire form of a fault plan.
+
+    This is the form that travels through ``CellJob`` engine kwargs (which
+    admit only JSON scalars, to keep cache keys content-addressed) and
+    through fuzz artifacts.
+    """
+    return json.dumps([spec.to_dict() for spec in specs], sort_keys=True)
+
+
+def faults_from_json(text: str) -> tuple[FaultSpec, ...]:
+    """Parse :func:`faults_to_json` output back into specs."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ValueError(f"fault plan JSON must be a list, got {type(payload).__name__}")
+    return tuple(FaultSpec.from_dict(entry) for entry in payload)
+
+
+def parse_faults(value: FaultsInput) -> tuple[FaultSpec, ...]:
+    """Normalize any accepted fault declaration into a tuple of specs."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return faults_from_json(value)
+    return tuple(
+        item if isinstance(item, FaultSpec) else FaultSpec.from_dict(item)
+        for item in value
+    )
+
+
+def sample_fault_plan(
+    seed: int,
+    duration_ms: float,
+    accelerators: int,
+    kinds: Sequence[str] = FAULT_KINDS,
+    faults_per_kind: int = 1,
+) -> tuple[FaultSpec, ...]:
+    """Sample a deterministic fault plan for one simulated window.
+
+    Every draw comes from ``random.Random(f"faults:{seed}:{kind}:{index}")``
+    — never wall-clock, never ``hash()`` — so the same arguments always
+    yield the same plan, in the same canonical order, on every machine.
+
+    Windows land inside ``[0.05, 0.9) * duration_ms`` and last 10–30% of
+    the window, so faults always begin after some healthy traffic and
+    recover before the run ends.
+    """
+    if duration_ms <= 0.0:
+        raise ValueError("duration_ms must be positive")
+    if accelerators < 1:
+        raise ValueError("accelerators must be positive")
+    specs: list[FaultSpec] = []
+    for kind in kinds:
+        model = FAULT_MODELS.get(kind)
+        if model is None:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; "
+                f"available: {', '.join(fault_kind_names())}"
+            )
+        for index in range(faults_per_kind):
+            rng = random.Random(f"faults:{seed}:{kind}:{index}")
+            start_ms = rng.uniform(0.05, 0.6) * duration_ms
+            fault_ms = rng.uniform(0.1, 0.3) * duration_ms
+            acc_id = rng.randrange(accelerators) if model.targets_accelerator else None
+            if model.magnitude_range is not None:
+                low, high = model.magnitude_range
+                magnitude = rng.uniform(low, high)
+            else:
+                magnitude = 1.0
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    start_ms=start_ms,
+                    duration_ms=fault_ms,
+                    acc_id=acc_id,
+                    magnitude=magnitude,
+                )
+            )
+    specs.sort(key=lambda spec: (spec.start_ms, spec.kind, -1 if spec.acc_id is None else spec.acc_id))
+    return tuple(specs)
+
+
+# --------------------------------------------------------------------- #
+# timeline queries (shared by the engine and the trace oracles)
+# --------------------------------------------------------------------- #
+
+
+def capacity_at(specs: Sequence[FaultSpec], acc_id: int, time_ms: float) -> float:
+    """Usable capacity fraction of ``acc_id`` at ``time_ms``.
+
+    0.0 under an active platform outage, else the minimum over active
+    ``accel_degrade`` magnitudes targeting this accelerator (1.0 when
+    healthy).  Concurrent faults compose by ``min`` — the most degraded
+    declaration wins.
+    """
+    capacity = 1.0
+    for spec in specs:
+        if not spec.active_at(time_ms):
+            continue
+        if spec.kind == "platform_outage":
+            return 0.0
+        if spec.kind == "accel_degrade" and spec.acc_id == acc_id:
+            capacity = min(capacity, spec.magnitude)
+    return capacity
+
+
+def stall_factor_at(specs: Sequence[FaultSpec], acc_id: int, time_ms: float) -> float:
+    """Latency inflation factor of ``acc_id`` at ``time_ms`` (>= 1.0).
+
+    Concurrent stalls compose by ``max`` — the slowest declaration wins.
+    """
+    factor = 1.0
+    for spec in specs:
+        if spec.kind == "transient_stall" and spec.acc_id == acc_id and spec.active_at(time_ms):
+            factor = max(factor, spec.magnitude)
+    return factor
+
+
+def outage_active(specs: Sequence[FaultSpec], time_ms: float) -> bool:
+    """True while any platform outage is in effect."""
+    return any(
+        spec.kind == "platform_outage" and spec.active_at(time_ms) for spec in specs
+    )

@@ -54,6 +54,27 @@ of any scenario, platform and scheduler must satisfy:
     sources), at most once per completed parent inference, and only for
     tasks the scenario actually declares as interactions.
 
+``fault_conservation``
+    Every ``abort`` the fault machinery records is resolved by *exactly
+    one* ``retry`` or terminal ``failed``: no double aborts, no retries
+    out of thin air, no aborted request silently reaching another
+    terminal state, nothing left dangling.  Purely trace-based, so it
+    runs on every audit and holds vacuously on fault-free traces.
+
+``no_dispatch_while_faulted``
+    While a declared ``platform_outage`` window is open (half-open
+    ``[start, end)``), nothing dispatches anywhere on the platform —
+    recovery at ``end`` may dispatch again.  Requires the fault plan.
+
+``degraded_capacity_respected``
+    Every dispatch admitted during a declared capacity-degrade window
+    fits inside the *degraded* capacity: the replayed allocation after
+    the dispatch never exceeds ``capacity_at(faults, acc, t)``.
+    In-flight work admitted before the fault keeps running (degrade
+    throttles admission, it does not kill slots), which this replay
+    models by charging it against the same budget — the engine refuses
+    new work that would not fit.  Requires the fault plan.
+
 The oracle consumes the structured fields of
 :class:`~repro.sim.tracer.TraceRecord` (``pe_fraction``, ``frame_id``,
 ``deadline_ms``) and refuses to run conservation-style global checks on a
@@ -66,6 +87,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.sim.faults import FaultSpec, capacity_at, outage_active
 from repro.sim.results import SimulationResult
 from repro.sim.tracer import TraceRecord, Tracer
 from repro.workloads.scenario import Scenario
@@ -73,7 +95,10 @@ from repro.workloads.scenario import Scenario
 #: Events that open a request's lifecycle.
 _ARRIVAL_EVENTS = ("arrival", "cascade_arrival", "interaction_arrival")
 #: Events that close a request's lifecycle, exactly one of which must occur.
-_TERMINAL_EVENTS = ("complete", "dropped", "expired", "unfinished")
+_TERMINAL_EVENTS = ("complete", "dropped", "expired", "unfinished", "failed")
+#: System-scoped records (task_name ``"__fault__"``, negative request_id)
+#: that describe the platform rather than any request's lifecycle.
+_SYSTEM_EVENTS = ("fault_begin", "fault_end")
 
 #: Slack for floating-point PE-fraction sums.
 _PE_EPSILON = 1e-6
@@ -149,7 +174,8 @@ def check_no_pe_oversubscription(records: Sequence[TraceRecord]) -> list[Violati
                         record.request_id,
                     )
                 )
-        elif record.event == "layers_complete":
+        elif record.event in ("layers_complete", "abort"):
+            # An outage abort releases the slot exactly like a completion.
             slot = in_flight.pop(record.request_id, None)
             if slot is not None:
                 acc_id, fraction = slot
@@ -162,6 +188,8 @@ def check_causality(records: Sequence[TraceRecord]) -> list[Violation]:
     violations: list[Violation] = []
     arrival_ms: dict[int, float] = {}
     for record in records:
+        if record.event in _SYSTEM_EVENTS:
+            continue  # platform-scoped fault markers, not request lifecycle
         if record.event in _ARRIVAL_EVENTS:
             if record.request_id in arrival_ms:
                 violations.append(
@@ -205,6 +233,8 @@ def check_monotonic_progress(records: Sequence[TraceRecord]) -> list[Violation]:
     outstanding: dict[int, bool] = {}  # request_id -> has an open dispatch
     terminal: dict[int, str] = {}
     for record in records:
+        if record.event in _SYSTEM_EVENTS:
+            continue  # platform-scoped fault markers, not request lifecycle
         rid = record.request_id
         if rid in terminal:
             violations.append(
@@ -244,6 +274,17 @@ def check_monotonic_progress(records: Sequence[TraceRecord]) -> list[Violation]:
                     Violation(
                         "monotonic_progress",
                         "layers_complete without a matching dispatch",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+            outstanding[rid] = False
+        elif record.event == "abort":
+            if not outstanding.get(rid):
+                violations.append(
+                    Violation(
+                        "monotonic_progress",
+                        "abort without an in-flight layer block",
                         record.time_ms,
                         rid,
                     )
@@ -402,7 +443,7 @@ def check_no_memory_oversubscription(records: Sequence[TraceRecord]) -> list[Vio
                         record.request_id,
                     )
                 )
-        elif record.event == "layers_complete":
+        elif record.event in ("layers_complete", "abort"):
             slot = in_flight.pop(record.request_id, None)
             if slot is not None:
                 acc_id, charge = slot
@@ -520,6 +561,7 @@ def check_stats_consistency(
         "dropped": "dropped_frames",
         "expired": "expired_frames",
         "unfinished": "unfinished_frames",
+        "failed": "failed_frames",
     }
     for task_name, stats in result.task_stats.items():
         traced = counts.get(task_name, dict.fromkeys(_TERMINAL_EVENTS, 0))
@@ -542,8 +584,152 @@ def check_stats_consistency(
     return violations
 
 
-#: Checker registry: invariant name -> callable.  Scenario- and
-#: result-dependent checkers are adapted inside :func:`audit_trace`.
+def check_fault_conservation(records: Sequence[TraceRecord]) -> list[Violation]:
+    """Every abort is resolved by exactly one retry or terminal failure.
+
+    Tracks an *open abort* per request: an ``abort`` opens it (double
+    abort without an intervening retry is a violation), a ``retry``
+    closes it (a retry without an open abort is a violation), and a
+    terminal ``failed`` both requires and closes it.  Reaching any other
+    terminal state with an abort still open — or ending the trace with
+    one — means the engine lost an aborted request.
+    """
+    violations: list[Violation] = []
+    open_abort: dict[int, float] = {}  # request_id -> abort time
+    for record in records:
+        rid = record.request_id
+        if record.event == "abort":
+            if rid in open_abort:
+                violations.append(
+                    Violation(
+                        "fault_conservation",
+                        "second abort before the first was retried or failed",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+                continue
+            open_abort[rid] = record.time_ms
+        elif record.event == "retry":
+            if rid not in open_abort:
+                violations.append(
+                    Violation(
+                        "fault_conservation",
+                        "retry without a preceding abort",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+                continue
+            del open_abort[rid]
+        elif record.event == "failed":
+            if rid not in open_abort:
+                violations.append(
+                    Violation(
+                        "fault_conservation",
+                        "terminal 'failed' without a preceding abort",
+                        record.time_ms,
+                        rid,
+                    )
+                )
+                continue
+            del open_abort[rid]
+        elif record.event in _TERMINAL_EVENTS and rid in open_abort:
+            violations.append(
+                Violation(
+                    "fault_conservation",
+                    f"terminal {record.event!r} while an abort was still "
+                    "awaiting retry or failure",
+                    record.time_ms,
+                    rid,
+                )
+            )
+            del open_abort[rid]
+    for rid, abort_ms in open_abort.items():
+        violations.append(
+            Violation(
+                "fault_conservation",
+                "aborted request was neither retried nor terminally failed",
+                abort_ms,
+                rid,
+            )
+        )
+    return violations
+
+
+def check_no_dispatch_while_faulted(
+    records: Sequence[TraceRecord], faults: Sequence[FaultSpec]
+) -> list[Violation]:
+    """Nothing dispatches while a platform outage window is open.
+
+    Outage windows are half-open ``[start, end)``: a dispatch at the
+    recovery instant ``end`` is legal (capacity is restored before
+    anything else runs at that timestamp — fault events carry negative
+    heap priority).
+    """
+    violations: list[Violation] = []
+    for record in records:
+        if record.event != "dispatch":
+            continue
+        if outage_active(faults, record.time_ms):
+            violations.append(
+                Violation(
+                    "no_dispatch_while_faulted",
+                    f"dispatch to accelerator {record.acc_id} during a "
+                    "declared platform outage window",
+                    record.time_ms,
+                    record.request_id,
+                )
+            )
+    return violations
+
+
+def check_degraded_capacity_respected(
+    records: Sequence[TraceRecord], faults: Sequence[FaultSpec]
+) -> list[Violation]:
+    """Dispatches admitted during a degrade window fit the reduced capacity.
+
+    Replays the per-accelerator PE allocation from dispatch /
+    layers_complete / abort records; after every dispatch the summed
+    allocation must not exceed ``capacity_at(faults, acc, t)`` (slots
+    admitted before the fault keep running and keep their charge, so the
+    engine must refuse new work that no longer fits).
+    """
+    violations: list[Violation] = []
+    in_flight: dict[int, tuple[int, float]] = {}  # request_id -> (acc_id, fraction)
+    allocated: dict[int, float] = {}  # acc_id -> summed fraction
+    for record in records:
+        if record.event == "dispatch":
+            if record.acc_id is None or record.pe_fraction is None:
+                continue  # malformed dispatches are no_pe_oversubscription's job
+            if record.request_id in in_flight:
+                continue  # double dispatch is no_pe_oversubscription's job
+            in_flight[record.request_id] = (record.acc_id, record.pe_fraction)
+            allocated[record.acc_id] = (
+                allocated.get(record.acc_id, 0.0) + record.pe_fraction
+            )
+            capacity = capacity_at(faults, record.acc_id, record.time_ms)
+            if capacity < 1.0 and allocated[record.acc_id] > capacity + _PE_EPSILON:
+                violations.append(
+                    Violation(
+                        "degraded_capacity_respected",
+                        f"accelerator {record.acc_id} allocated "
+                        f"{allocated[record.acc_id]:.4f} PE fraction during a "
+                        f"fault window capping capacity at {capacity:.4f}",
+                        record.time_ms,
+                        record.request_id,
+                    )
+                )
+        elif record.event in ("layers_complete", "abort"):
+            slot = in_flight.pop(record.request_id, None)
+            if slot is not None:
+                acc_id, fraction = slot
+                allocated[acc_id] = allocated.get(acc_id, 0.0) - fraction
+    return violations
+
+
+#: Checker registry: invariant name -> callable.  Scenario-, result- and
+#: fault-plan-dependent checkers are adapted inside :func:`audit_trace`.
 INVARIANT_NAMES: tuple[str, ...] = (
     "no_pe_oversubscription",
     "no_memory_oversubscription",
@@ -553,6 +739,9 @@ INVARIANT_NAMES: tuple[str, ...] = (
     "interaction_causality",
     "conservation",
     "stats_consistency",
+    "fault_conservation",
+    "no_dispatch_while_faulted",
+    "degraded_capacity_respected",
 )
 
 
@@ -562,6 +751,7 @@ def audit_trace(
     result: Optional[SimulationResult] = None,
     warmup_ms: float = 0.0,
     invariants: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
 ) -> list[Violation]:
     """Audit a trace against every applicable invariant.
 
@@ -572,6 +762,9 @@ def audit_trace(
         result: required for ``stats_consistency`` (skipped otherwise).
         warmup_ms: the engine's warmup window, if one was used.
         invariants: optional subset of :data:`INVARIANT_NAMES` to run.
+        faults: the declared fault plan; required for
+            ``no_dispatch_while_faulted`` and ``degraded_capacity_respected``
+            (both skipped otherwise — ``fault_conservation`` always runs).
 
     Returns:
         All violations found, in invariant-registry order.
@@ -618,6 +811,17 @@ def audit_trace(
             if result is not None
             else lambda: []
         ),
+        "fault_conservation": lambda: check_fault_conservation(records),
+        "no_dispatch_while_faulted": (
+            (lambda: check_no_dispatch_while_faulted(records, faults))
+            if faults is not None
+            else lambda: []
+        ),
+        "degraded_capacity_respected": (
+            (lambda: check_degraded_capacity_respected(records, faults))
+            if faults is not None
+            else lambda: []
+        ),
     }
     violations: list[Violation] = []
     for name in selected:
@@ -631,10 +835,16 @@ def assert_trace_invariants(
     result: Optional[SimulationResult] = None,
     warmup_ms: float = 0.0,
     invariants: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
 ) -> None:
     """Like :func:`audit_trace` but raises :class:`TraceInvariantError`."""
     violations = audit_trace(
-        trace, scenario=scenario, result=result, warmup_ms=warmup_ms, invariants=invariants
+        trace,
+        scenario=scenario,
+        result=result,
+        warmup_ms=warmup_ms,
+        invariants=invariants,
+        faults=faults,
     )
     if violations:
         raise TraceInvariantError(violations)

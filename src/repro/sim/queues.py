@@ -331,14 +331,20 @@ class RequestPool:
             return []
         heap = self._expiry_heap
         stale: list[InferenceRequest] = []
+        seen: set[int] = set()
         while heap and heap[0][0] < now:
             _, request_id = heapq.heappop(heap)
+            if request_id in seen:
+                # A fault-aborted request that re-entered through a retry
+                # has two heap entries; expiring it twice would be fatal.
+                continue
             request = self._all.get(request_id)
             if (
                 request is not None
                 and request.state is RequestState.PENDING
                 and not request.started
             ):
+                seen.add(request_id)
                 stale.append(request)
         stale.sort(key=lambda request: request.request_id)
         return stale

@@ -28,11 +28,17 @@ class RequestState(enum.Enum):
     COMPLETED = "completed"  #: all layers of the sampled path finished
     DROPPED = "dropped"      #: proactively dropped by the scheduler (frame drop)
     EXPIRED = "expired"      #: abandoned by the runtime after its deadline passed
+    FAILED = "failed"        #: aborted by a platform fault with no retry budget left
 
     @property
     def is_terminal(self) -> bool:
         """True once the request will never execute again."""
-        return self in (RequestState.COMPLETED, RequestState.DROPPED, RequestState.EXPIRED)
+        return self in (
+            RequestState.COMPLETED,
+            RequestState.DROPPED,
+            RequestState.EXPIRED,
+            RequestState.FAILED,
+        )
 
 
 @dataclass(slots=True)
@@ -91,6 +97,7 @@ class InferenceRequest:
         self.energy_mj: float = 0.0
         self.worst_case_energy_mj: float = 0.0
         self.drop_reason: Optional[str] = None
+        self.retries: int = 0
 
     # ------------------------------------------------------------------ #
     # path progress
@@ -210,6 +217,26 @@ class InferenceRequest:
         self.completion_ms = None
         self.last_progress_ms = now
 
+    def mark_aborted(self, now: float) -> None:
+        """A platform fault killed the in-flight work; the request is
+        re-queueable (already-recorded layers are kept, the interrupted
+        slot's layers were never recorded)."""
+        if self.state is not RequestState.RUNNING:
+            raise ValueError(
+                f"request {self.request_id}: abort requires RUNNING, "
+                f"got {self.state.value}"
+            )
+        self.state = RequestState.PENDING
+        self.last_progress_ms = now
+        self.retries += 1
+
+    def mark_failed(self, now: float) -> None:
+        """Terminally fail a request whose retry budget is exhausted."""
+        self._require_active()
+        self.state = RequestState.FAILED
+        self.completion_ms = None
+        self.last_progress_ms = now
+
     def _require_active(self) -> None:
         if self.state.is_terminal:
             raise ValueError(
@@ -221,8 +248,8 @@ class InferenceRequest:
     # ------------------------------------------------------------------ #
     @property
     def violated_deadline(self) -> bool:
-        """True if the frame missed its deadline (dropped/expired count too)."""
-        if self.state in (RequestState.DROPPED, RequestState.EXPIRED):
+        """True if the frame missed its deadline (dropped/expired/failed count too)."""
+        if self.state in (RequestState.DROPPED, RequestState.EXPIRED, RequestState.FAILED):
             return True
         if self.state is RequestState.COMPLETED:
             assert self.completion_ms is not None

@@ -27,6 +27,12 @@ class TaskStats:
     ``latency_sum_ms`` these are estimates (exact below five samples), but
     they are deterministic functions of the completion stream, so they
     round-trip and compare bit-for-bit.
+
+    The fault-injection counters (``failed_frames`` — measured frames
+    terminally failed after an outage exhausted their retry budget, plus
+    the raw ``aborts``/``retries`` event counts) serialize only when
+    nonzero, so fault-free payloads stay byte-identical to historical
+    ones and content-addressed cache keys are preserved.
     """
 
     task_name: str
@@ -42,6 +48,9 @@ class TaskStats:
     latency_max_ms: float = 0.0
     variant_counts: Counter = field(default_factory=Counter)
     latency_quantiles: Optional[dict] = None
+    failed_frames: int = 0
+    aborts: int = 0
+    retries: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -89,7 +98,7 @@ class TaskStats:
 
     def to_dict(self) -> dict:
         """JSON-serializable form (inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "task_name": self.task_name,
             "total_frames": self.total_frames,
             "completed_frames": self.completed_frames,
@@ -106,6 +115,16 @@ class TaskStats:
                 dict(self.latency_quantiles) if self.latency_quantiles else None
             ),
         }
+        # Fault counters are omitted when zero: fault-free payloads must
+        # stay byte-identical to pre-fault builds (parity surfaces and
+        # content-addressed store keys depend on it).
+        if self.failed_frames:
+            payload["failed_frames"] = self.failed_frames
+        if self.aborts:
+            payload["aborts"] = self.aborts
+        if self.retries:
+            payload["retries"] = self.retries
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TaskStats":

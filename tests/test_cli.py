@@ -230,12 +230,13 @@ class TestFuzz:
 
         def fake_run_fuzz(
             spec, count, schedulers, platform, duration_ms, seed, kernels, loops,
-            resource_models,
+            resource_models, faults,
         ):
             seen["schedulers"] = list(schedulers)
             seen["kernels"] = list(kernels)
             seen["loops"] = list(loops)
             seen["resource_models"] = list(resource_models)
+            seen["faults"] = list(faults)
             return FuzzResult(spec=spec, reports=[])
 
         monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
@@ -244,6 +245,7 @@ class TestFuzz:
         assert seen["kernels"] == ["python"]
         assert seen["loops"] == ["python"]
         assert seen["resource_models"] == ["pe_fraction"]
+        assert seen["faults"] == []
 
     def test_fuzz_loops_all_skips_unbuilt_compiled_loop(self, monkeypatch, capsys):
         from repro.experiments.differential import FuzzResult
@@ -336,6 +338,39 @@ class TestFuzz:
         )
         assert code == 0
         assert "1 clean" in capsys.readouterr().out
+
+    def test_fuzz_faults_all_expands_kinds(self, monkeypatch, capsys):
+        from repro.experiments.differential import FuzzResult
+        from repro.sim import FAULT_KINDS
+
+        seen = {}
+
+        def fake_run_fuzz(spec, count, **kwargs):
+            seen["faults"] = list(kwargs["faults"])
+            return FuzzResult(spec=spec, reports=[])
+
+        monkeypatch.setattr("repro.cli.run_fuzz", fake_run_fuzz)
+        assert main(["fuzz", "--seeds", "1", "--faults", "all"]) == 0
+        assert seen["faults"] == list(FAULT_KINDS)
+        assert "x faults" in capsys.readouterr().out
+
+    def test_fuzz_unknown_fault_kind_fails_cleanly(self, capsys):
+        code = main(["fuzz", "--seeds", "1", "--faults", "meteor_strike"])
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_fuzz_fault_axis_end_to_end(self, capsys):
+        code = main(
+            [
+                "fuzz", "--seeds", "1", "--max-tasks", "3",
+                "--schedulers", "fcfs_dynamic,dream_full",
+                "--faults", "all", "--duration-ms", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x faults accel_degrade+platform_outage+transient_stall" in out
+        assert "1 clean" in out
 
     def test_fuzz_violation_exit_code_and_artifacts(self, tmp_path, monkeypatch, capsys):
         from repro.experiments.differential import DifferentialReport, FuzzResult

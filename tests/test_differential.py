@@ -198,6 +198,52 @@ class TestFuzz:
             replay_artifact({"scenario_name": "ar_call"})
 
 
+class TestFaultAxis:
+    """The chaos axis: every scheduler re-audited under sampled faults."""
+
+    def test_fault_axis_is_clean_and_recorded(self, tiny_scenario, tiny_platform,
+                                              tiny_cost_table):
+        report = run_differential(
+            tiny_scenario, tiny_platform, SCHEDULERS,
+            duration_ms=300.0, seed=0, cost_table=tiny_cost_table,
+            faults=("platform_outage",),
+        )
+        assert report.ok
+        assert not report.harness_errors
+        assert report.faults == ("platform_outage",)
+        expected = {f"{s}@faults:platform_outage" for s in SCHEDULERS}
+        assert set(report.fault_runs) == expected
+        artifact = report.to_artifact()
+        assert artifact["faults"] == ["platform_outage"]
+        assert artifact["fault_plans"]["platform_outage"]
+        assert "faults platform_outage" in report.describe()
+
+    def test_unknown_fault_kind_rejected(self, tiny_scenario, tiny_platform,
+                                         tiny_cost_table):
+        with pytest.raises(ValueError, match="fault kind"):
+            run_differential(
+                tiny_scenario, tiny_platform, SCHEDULERS[:1],
+                duration_ms=100.0, cost_table=tiny_cost_table,
+                faults=("meteor_strike",),
+            )
+
+    def test_fault_axis_roundtrips_through_replay(self):
+        spec = GeneratorSpec(seed=13, min_tasks=2, max_tasks=3)
+        fuzz = run_fuzz(
+            spec, count=1, schedulers=SCHEDULERS[:2], duration_ms=150.0,
+            faults=("accel_degrade", "transient_stall"),
+        )
+        assert fuzz.ok
+        artifact = fuzz.reports[0].to_artifact()
+        assert artifact["faults"] == ["accel_degrade", "transient_stall"]
+        replayed = replay_artifact(artifact)
+        assert replayed.ok
+        assert replayed.faults == ("accel_degrade", "transient_stall")
+        assert set(replayed.fault_runs) == set(fuzz.reports[0].fault_runs)
+        # Replay re-samples the plans from the recorded seed: bit-identical.
+        assert replayed.to_artifact()["fault_plans"] == artifact["fault_plans"]
+
+
 class TestReportShape:
     def test_failing_report_is_not_ok(self):
         from repro.sim import Violation

@@ -22,7 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
 
 PAGES = ["architecture.md", "performance.md", "fleet.md", "glossary.md", "cli.md",
-         "perf-trend.md", "resource-models.md"]
+         "perf-trend.md", "resource-models.md", "faults.md"]
 
 
 def load_gen_cli_reference():
@@ -91,7 +91,8 @@ class TestDocPages:
         for term in ["head task", "frame", "request", "cell", "session",
                      "admission tier", "uxcost", "fair share",
                      "resource model", "kv cache", "continuous batching",
-                     "interaction chain"]:
+                     "interaction chain", "fault window", "failover",
+                     "retry budget", "goodput"]:
             assert term in glossary, f"glossary is missing {term!r}"
 
 

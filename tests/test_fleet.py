@@ -24,12 +24,16 @@ import pytest
 from repro.experiments import ResultStore
 from repro.fleet import (
     ADMITTED,
+    EVICTED,
     REASON_CAPACITY,
     REASON_FAIR_SHARE,
+    REASON_OUTAGE,
     REJECTED,
+    REROUTED,
     THROTTLED,
     FairSharePolicy,
     FleetLoadView,
+    FleetOutage,
     FleetSimulator,
     FleetSpec,
     PlatformLoad,
@@ -39,6 +43,7 @@ from repro.fleet import (
     audit_fleet,
     audit_plan,
     check_admission_consistency,
+    check_failover_no_double_routing,
     check_frame_conservation,
     check_no_double_routing,
     check_session_conservation,
@@ -68,6 +73,16 @@ def small_spec(policy="least_loaded", max_sessions=2, users=2, seed=0):
         policy=policy,
         duration_ms=400.0,
         seed=seed,
+    )
+
+
+def faulted_spec(failover="reroute", max_sessions=2, users=2, retry_budget=1):
+    """``small_spec`` plus a mid-window outage on platform 0."""
+    return dataclasses.replace(
+        small_spec(max_sessions=max_sessions, users=users),
+        outages=(FleetOutage(platform_index=0, start_ms=100.0, duration_ms=150.0),),
+        failover=failover,
+        session_retry_budget=retry_budget,
     )
 
 
@@ -535,3 +550,161 @@ class TestOracleCorruption:
         corrupted = aggregate_fleet(honest.plan, session_results)
         with pytest.raises(TraceInvariantError):
             assert_fleet_invariants(corrupted)
+
+
+class TestFleetFaults:
+    """Declared outages evict, fail over, and keep the accounting honest."""
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError, match="platform_index"):
+            FleetOutage(platform_index=-1, start_ms=0.0, duration_ms=1.0)
+        with pytest.raises(ValueError, match="start_ms"):
+            FleetOutage(platform_index=0, start_ms=-1.0, duration_ms=1.0)
+        with pytest.raises(ValueError, match="duration_ms"):
+            FleetOutage(platform_index=0, start_ms=0.0, duration_ms=0.0)
+        outage = FleetOutage(platform_index=0, start_ms=10.0, duration_ms=5.0)
+        assert outage.active_at(10.0) and not outage.active_at(15.0)
+
+    @pytest.mark.parametrize("mutation", [
+        {"outages": (FleetOutage(platform_index=9, start_ms=0.0, duration_ms=1.0),)},
+        {"failover": "no_such_policy"},
+        {"session_retry_budget": -1},
+        {"session_retry_backoff_ms": 0.0},
+    ])
+    def test_spec_rejects_invalid_fault_knobs(self, mutation):
+        with pytest.raises(ValueError):
+            dataclasses.replace(small_spec(), **mutation)
+
+    def test_faulted_spec_round_trips(self):
+        spec = faulted_spec(failover="fail", retry_budget=3)
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert spec.canonical_key() != small_spec().canonical_key()
+
+    def test_fault_free_spec_serializes_without_fault_knobs(self):
+        blob = json.dumps(small_spec().to_dict())
+        for knob in ("outages", "failover", "session_retry_budget",
+                     "session_retry_backoff_ms"):
+            assert knob not in blob
+
+    def test_totals_carry_fault_block_only_with_outages(self):
+        healthy = simulate_fleet(small_spec()).to_dict()["totals"]
+        faulted = simulate_fleet(faulted_spec()).to_dict()["totals"]
+        for key in ("evicted", "rerouted", "retried", "failed", "goodput_sessions"):
+            assert key not in healthy
+            assert key in faulted
+
+    def test_outage_evicts_and_reroutes(self):
+        result = simulate_fleet(faulted_spec())
+        assert result.evicted > 0
+        assert result.rerouted > 0
+        evictions = [r for r in result.records if r.outcome == EVICTED]
+        assert evictions and all(r.reason == REASON_OUTAGE for r in evictions)
+        outage = result.plan.spec.outages[0]
+        for record in result.records:
+            if record.outcome in (ADMITTED, REROUTED) and record.platform_index == 0:
+                assert not outage.active_at(record.time_ms)
+        assert audit_fleet(result) == []
+
+    def test_failover_fail_terminates_evicted_sessions(self):
+        result = simulate_fleet(faulted_spec(failover="fail"))
+        assert result.evicted > 0
+        assert result.failed == result.evicted
+        assert result.rerouted == 0
+        assert audit_fleet(result) == []
+
+    def test_contended_outage_retries_and_drops_goodput(self):
+        result = simulate_fleet(faulted_spec(max_sessions=1, users=4,
+                                             retry_budget=2))
+        assert result.retried > 0
+        assert result.failed > 0
+        assert result.goodput_sessions == len(result.plan.jobs)
+        assert result.goodput_sessions < result.admitted
+        assert audit_fleet(result) == []
+
+    def test_faulted_runs_are_deterministic_and_backend_agnostic(self):
+        spec = faulted_spec(max_sessions=1, users=4)
+        serial = simulate_fleet(spec, backend="serial")
+        process = simulate_fleet(spec, backend="process", workers=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            process.to_dict(), sort_keys=True
+        )
+
+
+class TestFaultedCrossSessionDeterminism:
+    """Faulted fleet payloads must also survive hash randomization."""
+
+    def _digest(self, hash_seed: str) -> str:
+        repo_root = os.path.join(os.path.dirname(__file__), "..")
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(repo_root, "src"), repo_root,
+                          env.get("PYTHONPATH", "")])
+        )
+        script = (
+            "import json\n"
+            "from tests.test_fleet import faulted_spec\n"
+            "from repro.fleet import simulate_fleet\n"
+            "result = simulate_fleet(faulted_spec(max_sessions=1, users=4))\n"
+            "print(json.dumps(result.to_dict(), sort_keys=True))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script], env=env, check=True,
+            capture_output=True, text=True,
+        )
+        return output.stdout.strip()
+
+    def test_faulted_payload_is_identical_across_hash_seeds(self):
+        assert self._digest("1") == self._digest("2")
+
+
+class TestFailoverOracleCorruption:
+    """Hand-corrupted failover traces trip failover_no_double_routing."""
+
+    @pytest.fixture(scope="class")
+    def honest(self):
+        return simulate_fleet(faulted_spec())
+
+    @staticmethod
+    def _violations(spec, records):
+        return check_failover_no_double_routing(spec, records)
+
+    def test_honest_failover_trace_is_clean(self, honest):
+        assert self._violations(honest.plan.spec, honest.records) == []
+
+    def test_reroute_onto_a_platform_inside_its_outage(self, honest):
+        records = list(honest.records)
+        index = next(i for i, r in enumerate(records) if r.outcome == REROUTED)
+        records[index] = dataclasses.replace(records[index], platform_index=0)
+        violations = self._violations(honest.plan.spec, records)
+        assert {v.invariant for v in violations} == {"failover_no_double_routing"}
+        assert any("outage window" in v.message for v in violations)
+
+    def test_eviction_from_a_healthy_platform(self, honest):
+        records = list(honest.records)
+        index = next(i for i, r in enumerate(records) if r.outcome == EVICTED)
+        records[index] = dataclasses.replace(records[index], platform_index=1)
+        violations = self._violations(honest.plan.spec, records)
+        assert {v.invariant for v in violations} == {"failover_no_double_routing"}
+        assert any("no declared outage" in v.message for v in violations)
+
+    def test_eviction_of_an_unplaced_session(self, honest):
+        eviction = next(r for r in honest.records if r.outcome == EVICTED)
+        # Re-evict the same session long after every placement expired.
+        stray = dataclasses.replace(eviction, time_ms=10_000.0)
+        records = list(honest.records) + [stray]
+        violations = self._violations(honest.plan.spec, records)
+        assert {v.invariant for v in violations} == {"failover_no_double_routing"}
+        assert any("holds no platform" in v.message for v in violations)
+
+    def test_double_placement_of_a_live_session(self, honest):
+        admissions = [r for r in honest.records if r.outcome == ADMITTED]
+        first = admissions[0]
+        duplicate = dataclasses.replace(
+            first, time_ms=first.time_ms + first.duration_ms / 2
+        )
+        records = sorted(
+            list(honest.records) + [duplicate], key=lambda r: r.time_ms
+        )
+        violations = self._violations(honest.plan.spec, records)
+        assert any("while still holding" in v.message for v in violations)

@@ -9,11 +9,13 @@ import os
 import pickle
 import subprocess
 import sys
+import time
 
 import pytest
 
 from repro.experiments import (
     CellJob,
+    JobTimeoutError,
     ProcessBackend,
     SerialBackend,
     backend_names,
@@ -148,6 +150,89 @@ class TestBackends:
     def test_process_backend_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             ProcessBackend(workers=0)
+
+
+class _EchoJob:
+    """Minimal well-behaved stand-in for a cell job (picklable by reference)."""
+
+    scenario = "echo"
+    platform = "fake"
+    scheduler = "fake"
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def run(self):
+        return self.tag
+
+
+class _SlowInWorkerJob:
+    """Wedges only inside a pool worker; instant in the parent process.
+
+    The construction-time pid travels as pickled data, so a pool worker
+    (different pid) sleeps past any reasonable per-job timeout while the
+    parent's serial retry of the same job returns immediately.
+    """
+
+    scenario = "wedge"
+    platform = "fake"
+    scheduler = "fake"
+
+    def __init__(self, wedge_s=2.0):
+        self.parent_pid = os.getpid()
+        self.wedge_s = wedge_s
+
+    def run(self):
+        if os.getpid() != self.parent_pid:
+            time.sleep(self.wedge_s)
+        return "recovered"
+
+
+class _UnrecoverableJob(_SlowInWorkerJob):
+    """Wedges in the worker AND raises on the parent's serial retry."""
+
+    def run(self):
+        if os.getpid() != self.parent_pid:
+            time.sleep(self.wedge_s)
+            return "from-worker"
+        raise RuntimeError("reproducible failure")
+
+
+class TestJobTimeout:
+    """Per-job timeout: a wedged worker degrades to serial, never a hang."""
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="job_timeout_s"):
+            ProcessBackend(job_timeout_s=0)
+
+    def test_make_backend_forwards_the_timeout(self):
+        backend = make_backend("process", workers=2, job_timeout_s=1.5)
+        assert backend.job_timeout_s == 1.5
+        assert make_backend("process", workers=2).job_timeout_s is None
+
+    def test_wedged_worker_recovers_via_serial_retry(self):
+        backend = ProcessBackend(workers=2, job_timeout_s=0.3)
+        results = backend.run_jobs([_EchoJob("ok"), _SlowInWorkerJob()])
+        assert results == ["ok", "recovered"]
+
+    def test_unrecoverable_job_raises_a_structured_error(self):
+        backend = ProcessBackend(workers=2, job_timeout_s=0.3)
+        bad = _UnrecoverableJob()
+        with pytest.raises(JobTimeoutError) as excinfo:
+            backend.run_jobs([_EchoJob("ok"), bad])
+        assert excinfo.value.job is bad
+        message = str(excinfo.value)
+        assert "per-job timeout" in message
+        assert "serial retry also failed" in message
+        assert "'wedge'" in message
+
+    def test_generous_timeout_keeps_real_job_parity(self):
+        jobs = grid_jobs(["ar_call"], ["4k_1ws_2os"],
+                         ["fcfs_dynamic", "dream_mapscore"],
+                         duration_ms=150.0, seed=0)
+        serial = SerialBackend().run_jobs(jobs)
+        timed = ProcessBackend(workers=2, job_timeout_s=300.0).run_jobs(jobs)
+        assert [r.to_dict() for r in timed] == [r.to_dict() for r in serial]
 
 
 class TestSerialProcessParity:

@@ -296,6 +296,9 @@ class TestCorruptedTraces:
             "interaction_causality",
             "conservation",
             "stats_consistency",
+            "fault_conservation",
+            "no_dispatch_while_faulted",
+            "degraded_capacity_respected",
         }
 
 
@@ -365,3 +368,134 @@ class TestStructuredTraceFields:
             assert record.deadline_ms is not None
             if record.event == "dispatch":
                 assert record.pe_fraction is not None and 0 < record.pe_fraction <= 1.0
+
+
+class TestFaultOracles:
+    """Hand-corrupted traces trip exactly the intended fault invariant."""
+
+    def _faulted_lifecycle(self):
+        """arrival -> dispatch -> abort -> retry -> dispatch -> complete."""
+        return [
+            _rec(0.0, "arrival", rid=1),
+            _rec(1.0, "dispatch", rid=1, acc=0, pe=1.0),
+            _rec(2.0, "abort", rid=1, acc=0),
+            _rec(3.0, "retry", rid=1),
+            _rec(4.0, "dispatch", rid=1, acc=0, pe=1.0),
+            _rec(5.0, "layers_complete", rid=1, acc=0),
+            _rec(5.0, "complete", rid=1, acc=0),
+        ]
+
+    def test_clean_abort_retry_lifecycle_passes(self):
+        assert audit_trace(self._faulted_lifecycle()) == []
+
+    def test_clean_abort_failed_lifecycle_passes(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(1.0, "dispatch", rid=1, acc=0, pe=1.0),
+            _rec(2.0, "abort", rid=1, acc=0),
+            _rec(2.0, "failed", rid=1),
+        ]
+        assert audit_trace(records) == []
+
+    def test_leaked_abort(self):
+        records = self._faulted_lifecycle()[:3]
+        (violation,) = _violated(
+            records, "fault_conservation", invariants=["fault_conservation"]
+        )
+        assert "neither retried nor terminally failed" in violation.message
+
+    def test_retry_without_abort(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(1.0, "retry", rid=1),
+        ]
+        (violation,) = _violated(
+            records, "fault_conservation", invariants=["fault_conservation"]
+        )
+        assert "retry without a preceding abort" in violation.message
+
+    def test_failed_without_abort(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(1.0, "failed", rid=1),
+        ]
+        (violation,) = _violated(
+            records, "fault_conservation", invariants=["fault_conservation"]
+        )
+        assert "without a preceding abort" in violation.message
+
+    def test_double_abort(self):
+        records = self._faulted_lifecycle()[:3] + [_rec(2.5, "abort", rid=1, acc=0)]
+        violations = _violated(
+            records, "fault_conservation", invariants=["fault_conservation"]
+        )
+        assert any("second abort" in v.message for v in violations)
+
+    def test_terminal_with_open_abort(self):
+        records = self._faulted_lifecycle()[:3] + [_rec(3.0, "expired", rid=1)]
+        (violation,) = _violated(
+            records, "fault_conservation", invariants=["fault_conservation"]
+        )
+        assert "still awaiting retry or failure" in violation.message
+
+    def _outage(self, start=10.0, duration=5.0):
+        from repro.sim import FaultSpec
+
+        return (FaultSpec(kind="platform_outage", start_ms=start, duration_ms=duration),)
+
+    def test_dispatch_during_outage(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(12.0, "dispatch", rid=1, acc=0, pe=1.0),
+        ]
+        (violation,) = _violated(
+            records, "no_dispatch_while_faulted",
+            invariants=["no_dispatch_while_faulted"], faults=self._outage(),
+        )
+        assert "during a declared platform outage" in violation.message
+
+    def test_dispatch_at_recovery_instant_is_legal(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(15.0, "dispatch", rid=1, acc=0, pe=1.0),
+            _rec(16.0, "layers_complete", rid=1, acc=0),
+            _rec(16.0, "complete", rid=1, acc=0),
+        ]
+        assert audit_trace(records, faults=self._outage()) == []
+
+    def _degrade(self, magnitude=0.5):
+        from repro.sim import FaultSpec
+
+        return (
+            FaultSpec(kind="accel_degrade", start_ms=10.0, duration_ms=10.0,
+                      acc_id=0, magnitude=magnitude),
+        )
+
+    def test_dispatch_exceeding_degraded_capacity(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(12.0, "dispatch", rid=1, acc=0, pe=0.7),
+        ]
+        (violation,) = _violated(
+            records, "degraded_capacity_respected",
+            invariants=["degraded_capacity_respected"], faults=self._degrade(),
+        )
+        assert "capping capacity" in violation.message
+
+    def test_dispatch_within_degraded_capacity_passes(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(12.0, "dispatch", rid=1, acc=0, pe=0.4),
+            _rec(13.0, "layers_complete", rid=1, acc=0),
+            _rec(13.0, "complete", rid=1, acc=0),
+        ]
+        assert audit_trace(records, faults=self._degrade()) == []
+
+    def test_other_accelerator_unaffected_by_degrade(self):
+        records = [
+            _rec(0.0, "arrival", rid=1),
+            _rec(12.0, "dispatch", rid=1, acc=1, pe=1.0),
+            _rec(13.0, "layers_complete", rid=1, acc=1),
+            _rec(13.0, "complete", rid=1, acc=1),
+        ]
+        assert audit_trace(records, faults=self._degrade()) == []

@@ -61,8 +61,38 @@ class TestResultStore:
         path = store.path_for(job.cache_key())
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get(job) is None
+        assert store.misses == 1
+        assert store.corrupt == 1
+
+    def test_absent_entry_is_a_plain_miss_not_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = CellJob.create(**_job_kwargs())
         assert store.get(job) is None
         assert store.misses == 1
+        assert store.corrupt == 0
+
+    def test_truncated_entry_recovers_by_recompute_and_overwrite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = CellJob.create(**_job_kwargs())
+        result = job.run()
+        store.put(job, result)
+        path = store.path_for(job.cache_key())
+        # Simulate a torn write from a killed run on a non-atomic
+        # filesystem: keep only the first half of the entry's bytes.
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="treating as a cache miss"):
+            assert store.get(job) is None
+        assert store.corrupt == 1
+        assert store.stats()["corrupt"] == 1
+        # The caller's recompute-and-put overwrites the bad entry in place,
+        # after which reads are clean hits again.
+        store.put(job, job.run())
+        assert store.get(job).to_dict() == result.to_dict()
+        assert store.hits == 1
+        assert store.corrupt == 1
 
     def test_run_grid_caches_cells(self, tmp_path):
         store = ResultStore(tmp_path)
